@@ -1,0 +1,102 @@
+package autoe2e_test
+
+import (
+	"math"
+	"testing"
+
+	autoe2e "github.com/autoe2e/autoe2e"
+)
+
+// TestPublicAPIQuickstart exercises the README's quick-start path through
+// the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys := autoe2e.TestbedWorkload()
+	res, err := autoe2e.Run(autoe2e.RunConfig{
+		System:     sys,
+		Exec:       autoe2e.NewNoise(autoe2e.Nominal{}, 0.05, 1),
+		Middleware: autoe2e.Config{Mode: autoe2e.ModeAutoE2E},
+		Duration:   30 * autoe2e.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverallMissRatio() > 0.01 {
+		t.Errorf("miss ratio = %v on the feasible testbed", res.OverallMissRatio())
+	}
+	if res.Trace.Series("util.ecu0") == nil {
+		t.Error("trace missing")
+	}
+}
+
+func TestPublicAPICustomSystem(t *testing.T) {
+	sys := &autoe2e.System{
+		NumECUs: 2,
+		Tasks: []*autoe2e.Task{
+			{
+				Name: "pipeline",
+				Subtasks: []autoe2e.Subtask{
+					{Name: "sense", ECU: 0, NominalExec: autoe2e.FromMillis(8), MinRatio: 0.5, Weight: 2},
+					{Name: "act", ECU: 1, NominalExec: autoe2e.FromMillis(4), MinRatio: 1, Weight: 1},
+				},
+				RateMin: 10, RateMax: 60,
+			},
+		},
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Defaulted bound is the RMS bound for one subtask per ECU.
+	if sys.UtilBound[0] != 1 {
+		t.Errorf("bound = %v, want RMS(1) = 1", sys.UtilBound[0])
+	}
+	res, err := autoe2e.Run(autoe2e.RunConfig{
+		System:     sys,
+		Exec:       autoe2e.Nominal{},
+		Middleware: autoe2e.Config{Mode: autoe2e.ModeEUCON},
+		Duration:   20 * autoe2e.Second,
+		Events: []autoe2e.Event{{
+			At: autoe2e.At(10),
+			Do: func(st *autoe2e.State) { st.SetRateFloor(0, 30) },
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.State.RateFloor(0); got != 30 {
+		t.Errorf("floor = %v, want 30", got)
+	}
+}
+
+func TestPublicHelpers(t *testing.T) {
+	if got := autoe2e.RMSBound(2); math.Abs(got-0.828) > 0.001 {
+		t.Errorf("RMSBound(2) = %v", got)
+	}
+	if autoe2e.FromMillis(1500) != autoe2e.FromSeconds(1.5) {
+		t.Error("duration conversions disagree")
+	}
+	if autoe2e.SimulationWorkload().NumECUs != 6 {
+		t.Error("simulation workload wrong shape")
+	}
+	syn := autoe2e.SyntheticWorkload(3, 4, 9)
+	if syn.NumECUs != 4 || len(syn.Tasks) != 9 {
+		t.Error("synthetic workload wrong shape")
+	}
+}
+
+func TestPublicAnalysis(t *testing.T) {
+	st := autoe2e.NewState(autoe2e.TestbedWorkload())
+	rep, err := autoe2e.Analyze(st, autoe2e.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Schedulable {
+		t.Error("testbed at floors must certify schedulable")
+	}
+	margin, err := autoe2e.MaxWCETMargin(st, 16, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if margin <= 1 {
+		t.Errorf("margin = %v, want > 1", margin)
+	}
+}

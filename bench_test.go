@@ -1,0 +1,591 @@
+// Benchmarks regenerating every figure of the paper's evaluation section.
+// Each benchmark runs the corresponding experiment end to end and reports
+// the figure's headline quantities via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the same rows the paper plots (see EXPERIMENTS.md for the
+// paper-vs-measured record). Ablation benchmarks at the bottom quantify the
+// design choices DESIGN.md calls out.
+package autoe2e_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/autoe2e/autoe2e/internal/analysis"
+	"github.com/autoe2e/autoe2e/internal/baseline"
+	"github.com/autoe2e/autoe2e/internal/core"
+	"github.com/autoe2e/autoe2e/internal/eucon"
+	"github.com/autoe2e/autoe2e/internal/exectime"
+	"github.com/autoe2e/autoe2e/internal/linalg"
+	"github.com/autoe2e/autoe2e/internal/precision"
+	"github.com/autoe2e/autoe2e/internal/scenario"
+	"github.com/autoe2e/autoe2e/internal/sched"
+	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/stats"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/vehicle/cosim"
+	"github.com/autoe2e/autoe2e/internal/workload"
+)
+
+// mustRun executes a scenario or fails the benchmark.
+func mustRun(b *testing.B, cfg core.RunConfig) *core.RunResult {
+	b.Helper()
+	res, err := core.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig3MissRatio regenerates Figure 3(a) at the paper's icy-road
+// point: the steering MPC grows from 12.1 ms to 23.5 ms (×1.94) under a
+// static OPEN assignment.
+func BenchmarkFig3MissRatio(b *testing.B) {
+	var miss float64
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, scenario.Motivation(1.94, 1))
+		miss = res.MissRatio(workload.SimPathTracking)
+	}
+	b.ReportMetric(miss, "t8_miss_ratio")
+}
+
+// BenchmarkFig4aSaturation regenerates the tight-period end of Figure 4(a):
+// the path-tracking cycle forced to 20 ms under rate-only EUCON.
+func BenchmarkFig4aSaturation(b *testing.B) {
+	var loose, tight float64
+	for i := 0; i < b.N; i++ {
+		loose = mustRun(b, scenario.SaturationSweep(40, 1)).OverallMissRatio()
+		tight = mustRun(b, scenario.SaturationSweep(20, 1)).OverallMissRatio()
+	}
+	b.ReportMetric(loose, "miss_at_40ms")
+	b.ReportMetric(tight, "miss_at_20ms")
+}
+
+// BenchmarkFig4bTradeoff regenerates three points of the Figure 4(b)
+// U-curve: precision-starved, balanced, and unschedulable budgets.
+func BenchmarkFig4bTradeoff(b *testing.B) {
+	var short, mid, over float64
+	for i := 0; i < b.N; i++ {
+		p1, err := cosim.Tradeoff(3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p2, err := cosim.Tradeoff(24, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p3, err := cosim.Tradeoff(30, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		short, mid, over = p1.MaxAbsErr, p2.MaxAbsErr, p3.MaxAbsErr
+	}
+	b.ReportMetric(short, "err_m_starved")
+	b.ReportMetric(mid, "err_m_balanced")
+	b.ReportMetric(over, "err_m_missing")
+}
+
+// BenchmarkFig8Testbed regenerates Figure 8: the testbed acceleration for
+// both arms, reporting late-phase miss ratios and AutoE2E's precision cost.
+func BenchmarkFig8Testbed(b *testing.B) {
+	var euconMiss, autoMiss, precisionDrop float64
+	for i := 0; i < b.N; i++ {
+		eu := mustRun(b, scenario.TestbedAcceleration(core.ModeEUCON, 1))
+		au := mustRun(b, scenario.TestbedAcceleration(core.ModeAutoE2E, 1))
+		euconMiss = eu.OverallMissRatio()
+		autoMiss = au.OverallMissRatio()
+		precisionDrop = 1 - au.State.TotalPrecision()/7.5
+	}
+	b.ReportMetric(euconMiss, "eucon_miss")
+	b.ReportMetric(autoMiss, "autoe2e_miss")
+	b.ReportMetric(precisionDrop*100, "precision_drop_%")
+}
+
+// BenchmarkFig9Restorer regenerates Figure 9: the deceleration restoration
+// against Direct Increase and the oracle.
+func BenchmarkFig9Restorer(b *testing.B) {
+	var restored, direct float64
+	opt := scenario.TestbedOptimalPrecision()
+	for i := 0; i < b.N; i++ {
+		restored = mustRun(b, scenario.TestbedRestore(1)).State.TotalPrecision()
+		direct = mustRun(b, scenario.TestbedRestoreDirectIncrease(1, 0.1)).State.TotalPrecision()
+	}
+	b.ReportMetric(restored, "restorer_precision")
+	b.ReportMetric(direct, "direct_precision")
+	b.ReportMetric((1-restored/opt)*100, "gap_to_optimal_%")
+}
+
+// BenchmarkFig10LaneChange regenerates Figure 10(a): maximum lateral
+// tracking error per arm on the scaled car's double lane change.
+func BenchmarkFig10LaneChange(b *testing.B) {
+	var open, euc, auto float64
+	for i := 0; i < b.N; i++ {
+		for _, arm := range []struct {
+			mode core.Mode
+			dst  *float64
+		}{
+			{core.ModeOpen, &open}, {core.ModeEUCON, &euc}, {core.ModeAutoE2E, &auto},
+		} {
+			res, err := cosim.LaneChange(cosim.LaneChangeConfig{Mode: arm.mode, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			*arm.dst = res.MaxAbsErr
+		}
+	}
+	b.ReportMetric(open*100, "open_maxerr_cm")
+	b.ReportMetric(euc*100, "eucon_maxerr_cm")
+	b.ReportMetric(auto*100, "autoe2e_maxerr_cm")
+}
+
+// BenchmarkFig10Cruise regenerates Figure 10(b): cruise-control tracking
+// error and miss-induced command spikes.
+func BenchmarkFig10Cruise(b *testing.B) {
+	var euconSpike, autoSpike, autoRMS float64
+	for i := 0; i < b.N; i++ {
+		eu, err := cosim.Cruise(cosim.CruiseConfig{Mode: core.ModeEUCON, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		au, err := cosim.Cruise(cosim.CruiseConfig{Mode: core.ModeAutoE2E, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		euconSpike, autoSpike, autoRMS = eu.MaxJerk, au.MaxJerk, au.RMSErr
+	}
+	b.ReportMetric(euconSpike, "eucon_spike")
+	b.ReportMetric(autoSpike, "autoe2e_spike")
+	b.ReportMetric(autoRMS, "autoe2e_rms_err")
+}
+
+// BenchmarkFig11Simulation regenerates Figure 11: the 6-ECU/11-task
+// acceleration for both arms.
+func BenchmarkFig11Simulation(b *testing.B) {
+	var euconUtil, euconStabMiss, autoStabMiss float64
+	stabName := fmt.Sprintf("missratio.t%d", int(workload.SimStability)+1)
+	for i := 0; i < b.N; i++ {
+		eu := mustRun(b, scenario.SimAcceleration(core.ModeEUCON, 1))
+		au := mustRun(b, scenario.SimAcceleration(core.ModeAutoE2E, 1))
+		euconUtil = stats.Mean(eu.Trace.Series("util.ecu3").Window(45, 60))
+		euconStabMiss = stats.Mean(eu.Trace.Series(stabName).Window(45, 60))
+		autoStabMiss = stats.Mean(au.Trace.Series(stabName).Window(45, 60))
+	}
+	b.ReportMetric(euconUtil, "eucon_ecu4_util")
+	b.ReportMetric(euconStabMiss, "eucon_stab_miss")
+	b.ReportMetric(autoStabMiss, "autoe2e_stab_miss")
+}
+
+// BenchmarkFig12SimRestorer regenerates Figure 12: restoration on the
+// larger-scale workload.
+func BenchmarkFig12SimRestorer(b *testing.B) {
+	var restored, direct float64
+	opt := scenario.SimOptimalPrecision()
+	for i := 0; i < b.N; i++ {
+		restored = mustRun(b, scenario.SimRestore(1)).State.TotalPrecision()
+		direct = mustRun(b, scenario.SimRestoreDirectIncrease(1, 0.1)).State.TotalPrecision()
+	}
+	b.ReportMetric(restored, "restorer_precision")
+	b.ReportMetric(direct, "direct_precision")
+	b.ReportMetric((1-restored/opt)*100, "gap_to_optimal_%")
+}
+
+// BenchmarkHeadline regenerates the abstract's claim: average miss-ratio
+// reduction versus EUCON across both acceleration experiments.
+func BenchmarkHeadline(b *testing.B) {
+	var reduction, cost float64
+	for i := 0; i < b.N; i++ {
+		var reds, costs []float64
+		for _, exp := range []struct {
+			cfg  func(core.Mode, int64) core.RunConfig
+			full float64
+		}{
+			{scenario.TestbedAcceleration, 7.5},
+			{scenario.SimAcceleration, 21},
+		} {
+			eu := mustRun(b, exp.cfg(core.ModeEUCON, 1))
+			au := mustRun(b, exp.cfg(core.ModeAutoE2E, 1))
+			if m := eu.OverallMissRatio(); m > 0 {
+				reds = append(reds, (m-au.OverallMissRatio())/m)
+			}
+			costs = append(costs, 1-au.State.TotalPrecision()/exp.full)
+		}
+		reduction = stats.Mean(reds)
+		cost = stats.Mean(costs)
+	}
+	b.ReportMetric(reduction*100, "miss_reduction_%")
+	b.ReportMetric(cost*100, "precision_cost_%")
+}
+
+// BenchmarkControllerOverhead measures the per-invocation cost of the two
+// control loops on the full Figure 2 workload — the paper reports < 10 ms
+// total middleware overhead per control period.
+func BenchmarkControllerOverhead(b *testing.B) {
+	st := taskmodel.NewState(workload.Simulation())
+	inner, err := eucon.New(st, eucon.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	outer, err := precision.New(st, precision.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	utils := st.EstimatedUtilizations()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inner.Step(utils); err != nil {
+			b.Fatal(err)
+		}
+		outer.ObserveInner(utils)
+		if _, err := outer.Step(utils); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerThroughput measures raw simulation speed: scheduled job
+// events per wall second on the Figure 2 workload.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	var released uint64
+	for i := 0; i < b.N; i++ {
+		eng := simtime.NewEngine()
+		st := taskmodel.NewState(workload.Simulation())
+		s := sched.New(eng, st, sched.Config{Exec: exectime.Nominal{}})
+		s.Start()
+		eng.Run(simtime.At(10))
+		released = 0
+		for _, c := range s.Counters() {
+			released += c.Released
+		}
+	}
+	b.ReportMetric(float64(released), "chains_per_10s")
+}
+
+// BenchmarkBoxLSQ measures the constrained least-squares kernel at the
+// size the inner MPC uses on the Figure 2 workload (2-step control horizon
+// over 11 tasks).
+func BenchmarkBoxLSQ(b *testing.B) {
+	rng := simtime.NewRand(1)
+	rows, cols := 24+22, 22
+	a := linalg.NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			a.Set(i, j, rng.Float64())
+		}
+	}
+	rhs := make([]float64, rows)
+	lo := make([]float64, cols)
+	hi := make([]float64, cols)
+	for i := range rhs {
+		rhs[i] = rng.Float64()
+	}
+	for j := range lo {
+		lo[j] = -1
+		hi[j] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := linalg.BoxLSQ(a, rhs, lo, hi, nil, linalg.DefaultBoxLSQOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations: the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationKnapsackOrder compares the paper's profit/cost-ordered
+// knapsack against a naive proportional reduction for the same reclaimed
+// utilization: the metric is the weighted precision kept.
+func BenchmarkAblationKnapsackOrder(b *testing.B) {
+	sys := workload.Simulation()
+	var greedy, proportional float64
+	for i := 0; i < b.N; i++ {
+		// Greedy (the paper's Equation 8 solution).
+		st := taskmodel.NewState(sys)
+		for ti := range sys.Tasks {
+			st.SetRate(taskmodel.TaskID(ti), sys.Tasks[ti].RateMax)
+		}
+		const reclaim = 0.3
+		got := precision.ReduceRatios(st, workload.SimECU4, reclaim)
+		greedy = st.TotalPrecision()
+
+		// Naive: shrink every adjustable ratio on the ECU by the same
+		// factor until the same utilization is reclaimed.
+		st2 := taskmodel.NewState(sys)
+		for ti := range sys.Tasks {
+			st2.SetRate(taskmodel.TaskID(ti), sys.Tasks[ti].RateMax)
+		}
+		reclaimProportional(st2, workload.SimECU4, got)
+		proportional = st2.TotalPrecision()
+	}
+	b.ReportMetric(greedy, "greedy_precision")
+	b.ReportMetric(proportional, "proportional_precision")
+}
+
+// reclaimProportional sheds `reclaim` estimated utilization from ECU j by
+// scaling all adjustable ratios by a common factor (bisected).
+func reclaimProportional(st *taskmodel.State, ecu int, reclaim float64) {
+	sys := st.System()
+	before := st.EstimatedUtilization(ecu)
+	lo, hi := 0.0, 1.0
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		for _, ref := range sys.OnECU(ecu) {
+			if sys.Subtask(ref).Adjustable() {
+				st.SetRatio(ref, mid)
+			}
+		}
+		if before-st.EstimatedUtilization(ecu) > reclaim {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+}
+
+// BenchmarkAblationRestorerStep compares Algorithm 1's bisection against
+// fixed-step rate decreases: the metric is rounds needed to finish the
+// restoration (the paper argues bisection needs fewer iterations for the
+// same final precision).
+func BenchmarkAblationRestorerStep(b *testing.B) {
+	var bisectRounds float64
+	for i := 0; i < b.N; i++ {
+		res := mustRun(b, scenario.TestbedRestore(1))
+		if s := res.Trace.Series("outer.restore_round"); s != nil {
+			bisectRounds = float64(s.Len())
+		}
+	}
+	b.ReportMetric(bisectRounds, "bisection_rounds")
+}
+
+// BenchmarkAblationMPCHorizon measures inner-loop convergence (periods to
+// settle within 1% of the bound) across prediction horizons.
+func BenchmarkAblationMPCHorizon(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		p := p
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			var settled float64
+			for i := 0; i < b.N; i++ {
+				sys := workload.Testbed()
+				st := taskmodel.NewState(sys)
+				m := p / 2
+				if m < 1 {
+					m = 1
+				}
+				ctl, err := eucon.New(st, eucon.Config{PredictionHorizon: p, ControlHorizon: m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				settled = math.NaN()
+				for k := 1; k <= 100; k++ {
+					if _, err := ctl.Step(st.EstimatedUtilizations()); err != nil {
+						b.Fatal(err)
+					}
+					worst := 0.0
+					for j, u := range st.EstimatedUtilizations() {
+						if d := math.Abs(u - sys.UtilBound[j]); d > worst {
+							worst = d
+						}
+					}
+					if worst < 0.01 {
+						settled = float64(k)
+						break
+					}
+				}
+			}
+			b.ReportMetric(settled, "periods_to_settle")
+		})
+	}
+}
+
+// BenchmarkAblationOuterMargin sweeps the outer loop's reclaim margin: a
+// larger margin sheds more precision but avoids re-saturation (counted as
+// repeated reclaim events).
+func BenchmarkAblationOuterMargin(b *testing.B) {
+	for _, margin := range []float64{0.01, 0.03, 0.08} {
+		margin := margin
+		b.Run(fmt.Sprintf("margin=%v", margin), func(b *testing.B) {
+			var precisionKept, reclaimEvents float64
+			for i := 0; i < b.N; i++ {
+				cfg := scenario.TestbedAcceleration(core.ModeAutoE2E, 1)
+				cfg.Middleware.Precision.ReclaimMargin = margin
+				res := mustRun(b, cfg)
+				precisionKept = res.State.TotalPrecision()
+				reclaimEvents = 0
+				for j := 0; j < 3; j++ {
+					if s := res.Trace.Series(fmt.Sprintf("outer.reclaimed.ecu%d", j)); s != nil {
+						reclaimEvents += float64(s.Len())
+					}
+				}
+			}
+			b.ReportMetric(precisionKept, "final_precision")
+			b.ReportMetric(reclaimEvents, "reclaim_events")
+		})
+	}
+}
+
+// BenchmarkAblationBaselineOptimal prices the oracle itself (Equation 5
+// with perfect knowledge): how fast is the exact fractional knapsack.
+func BenchmarkAblationBaselineOptimal(b *testing.B) {
+	sys := workload.Simulation()
+	st := taskmodel.NewState(sys)
+	trueExec := func(ref taskmodel.SubtaskRef) float64 {
+		return sys.Subtask(ref).NominalExec.Seconds()
+	}
+	var opt float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt = baseline.OptimalPrecision(st, trueExec)
+	}
+	b.ReportMetric(opt, "optimal_precision")
+}
+
+// BenchmarkAblationSyncPolicy compares the release-guard protocol against
+// greedy chain synchronization on the noisy testbed acceleration: greedy
+// releases bursts that inflate downstream interference.
+func BenchmarkAblationSyncPolicy(b *testing.B) {
+	for _, pol := range []struct {
+		name string
+		sync sched.SyncPolicy
+	}{
+		{"release-guard", sched.SyncReleaseGuard},
+		{"greedy", sched.SyncGreedy},
+	} {
+		pol := pol
+		b.Run(pol.name, func(b *testing.B) {
+			var miss float64
+			for i := 0; i < b.N; i++ {
+				eng := simtime.NewEngine()
+				st := taskmodel.NewState(workload.Testbed())
+				// High-rate regime with heavy noise: burstiness matters.
+				for ti := range st.System().Tasks {
+					st.SetRateFloor(taskmodel.TaskID(ti), st.System().Tasks[ti].RateMax*0.8)
+				}
+				s := sched.New(eng, st, sched.Config{
+					Exec: exectime.NewNoise(exectime.Nominal{}, 0.4, 1),
+					Sync: pol.sync,
+				})
+				s.Start()
+				eng.Run(simtime.At(60))
+				var missed, resolved uint64
+				for _, c := range s.Counters() {
+					missed += c.Missed
+					resolved += c.Missed + c.Completed
+				}
+				miss = 0
+				if resolved > 0 {
+					miss = float64(missed) / float64(resolved)
+				}
+			}
+			b.ReportMetric(miss, "miss_ratio")
+		})
+	}
+}
+
+// BenchmarkAblationGainSweep runs the full testbed acceleration with the
+// plant's execution times scaled by g on every ECU, validating the
+// stability analysis of Section IV.C.2 end to end: AutoE2E holds misses low
+// throughout the analytic range.
+func BenchmarkAblationGainSweep(b *testing.B) {
+	for _, g := range []float64{0.8, 1.0, 1.3, 1.6} {
+		g := g
+		b.Run(fmt.Sprintf("g=%v", g), func(b *testing.B) {
+			var miss float64
+			for i := 0; i < b.N; i++ {
+				cfg := scenario.TestbedAcceleration(core.ModeAutoE2E, 1)
+				cfg.Exec = exectime.Gain{
+					Inner:  cfg.Exec,
+					PerECU: map[int]float64{0: g, 1: g, 2: g},
+				}
+				miss = mustRun(b, cfg).OverallMissRatio()
+			}
+			b.ReportMetric(miss, "miss_ratio")
+			b.ReportMetric(g, "gain")
+		})
+	}
+}
+
+// BenchmarkOfflineAnalysis prices the offline schedulability analysis on
+// the Figure 2 workload and reports its WCET-inflation headroom — the
+// quantity the paper's Section I argument revolves around.
+func BenchmarkOfflineAnalysis(b *testing.B) {
+	st := taskmodel.NewState(workload.Simulation())
+	var margin float64
+	for i := 0; i < b.N; i++ {
+		rep, err := analysis.Analyze(st, analysis.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Schedulable {
+			b.Fatal("Figure 2 workload at floors must be schedulable")
+		}
+		m, err := analysis.MaxWCETMargin(st, 64, 0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		margin = m
+	}
+	b.ReportMetric(margin, "max_wcet_margin")
+}
+
+// BenchmarkAblationDecentralizedInner swaps the centralized MPC for the
+// DEUCON-inspired per-task local controllers on the full Figure 8
+// experiment: same saturation handling, no global solve.
+func BenchmarkAblationDecentralizedInner(b *testing.B) {
+	for _, arm := range []struct {
+		name          string
+		decentralized bool
+	}{
+		{"centralized", false},
+		{"decentralized", true},
+	} {
+		arm := arm
+		b.Run(arm.name, func(b *testing.B) {
+			var miss, precision float64
+			for i := 0; i < b.N; i++ {
+				cfg := scenario.TestbedAcceleration(core.ModeAutoE2E, 1)
+				cfg.Middleware.DecentralizedInner = arm.decentralized
+				res := mustRun(b, cfg)
+				miss = res.OverallMissRatio()
+				precision = res.State.TotalPrecision()
+			}
+			b.ReportMetric(miss, "miss_ratio")
+			b.ReportMetric(precision, "final_precision")
+		})
+	}
+}
+
+// BenchmarkScalability runs the synthetic saturation scenario at growing
+// system sizes with the decentralized inner loop, reporting the worst
+// settled utilization excess over the bounds and the late-phase miss ratio.
+// At these scales the centralized MPC's coupled compromises leave residual
+// over-bound offsets — the scaling argument behind DEUCON [12].
+func BenchmarkScalability(b *testing.B) {
+	shapes := []struct{ ecus, tasks int }{
+		{8, 32}, {16, 64}, {32, 128},
+	}
+	for _, shape := range shapes {
+		shape := shape
+		b.Run(fmt.Sprintf("E%dT%d", shape.ecus, shape.tasks), func(b *testing.B) {
+			var worstExcess, lateMiss float64
+			for i := 0; i < b.N; i++ {
+				cfg := scenario.SyntheticScale(core.ModeAutoE2E, 11, shape.ecus, shape.tasks)
+				cfg.Middleware.DecentralizedInner = true
+				res := mustRun(b, cfg)
+				sys := res.State.System()
+				worstExcess = 0
+				for j := 0; j < sys.NumECUs; j++ {
+					u := stats.Mean(res.Trace.Series(fmt.Sprintf("util.ecu%d", j)).Window(45, 60))
+					if v := u - sys.UtilBound[j]; v > worstExcess {
+						worstExcess = v
+					}
+				}
+				lateMiss = stats.Mean(res.Trace.Series("missratio.overall").Window(45, 60))
+			}
+			b.ReportMetric(worstExcess, "worst_excess")
+			b.ReportMetric(lateMiss, "late_miss")
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Smoke tests: each harness function runs end to end and writes its CSVs.
+// The cheap figures are exercised directly; the full set runs via
+// `autoe2e-figs` itself or the root benchmarks.
+func TestFig9WritesOutputs(t *testing.T) {
+	dir := t.TempDir()
+	if err := fig9(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig9_restorer.csv", "fig9_direct.csv"} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestFig12WritesOutputs(t *testing.T) {
+	dir := t.TempDir()
+	if err := fig12(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig12_restorer.csv")); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeadlineWritesOutputs(t *testing.T) {
+	dir := t.TempDir()
+	if err := headline(dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "headline.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("headline.csv is empty")
+	}
+}

@@ -1,0 +1,109 @@
+// Command quickstart is the smallest complete AutoE2E program: it builds a
+// two-ECU system with one adjustable perception-control pipeline and one
+// fixed housekeeping task, runs the full two-tier middleware through a
+// speed increase that saturates the rate controller, and prints what the
+// middleware did about it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	autoe2e "github.com/autoe2e/autoe2e"
+)
+
+func main() {
+	// A minimal distributed system: a perception→actuation pipeline
+	// spanning both ECUs, plus a fixed-rate housekeeping task.
+	sys := &autoe2e.System{
+		NumECUs: 2,
+		// Leave headroom below the theoretical bounds, as a production
+		// deployment would (the default is the per-ECU RMS bound).
+		UtilBound: []float64{0.70, 0.75},
+		Tasks: []*autoe2e.Task{
+			{
+				Name: "perception-control",
+				Subtasks: []autoe2e.Subtask{
+					// The perception stage can trade precision for time
+					// (down to 40% of its full execution).
+					{Name: "perceive", ECU: 0, NominalExec: autoe2e.FromMillis(15), MinRatio: 0.4, Weight: 2},
+					{Name: "actuate", ECU: 1, NominalExec: autoe2e.FromMillis(5), MinRatio: 1, Weight: 1},
+				},
+				RateMin: 10, RateMax: 50,
+			},
+			{
+				Name: "housekeeping",
+				Subtasks: []autoe2e.Subtask{
+					{Name: "log", ECU: 1, NominalExec: autoe2e.FromMillis(6), MinRatio: 1, Weight: 1},
+				},
+				RateMin: 5, RateMax: 40,
+			},
+		},
+	}
+	if err := sys.Validate(); err != nil {
+		log.Fatalf("invalid system: %v", err)
+	}
+	fmt.Printf("system: %d ECUs, %d tasks, utilization bounds %v\n",
+		sys.NumECUs, len(sys.Tasks), sys.UtilBound)
+
+	res, err := autoe2e.Run(autoe2e.RunConfig{
+		System: sys,
+		// 5% execution-time noise around the offline estimates.
+		Exec: autoe2e.NewNoise(autoe2e.Nominal{}, 0.05, 42),
+		Middleware: autoe2e.Config{
+			Mode:        autoe2e.ModeAutoE2E,
+			InnerPeriod: autoe2e.Second,
+			OuterEvery:  5,
+		},
+		Duration: 120 * autoe2e.Second,
+		Events: []autoe2e.Event{
+			// At t = 40 s the vehicle speeds up: the perception pipeline's
+			// determined rate jumps to 48 Hz. At full precision that load
+			// (15 ms · 48 Hz = 0.72) exceeds ECU0's 0.70 bound, so the
+			// rate controller saturates and the outer loop must shed
+			// precision.
+			{At: autoe2e.At(40), Do: func(st *autoe2e.State) {
+				st.SetRateFloor(0, 48)
+			}},
+			// At t = 80 s it slows down again; the restorer buys the
+			// precision back.
+			{At: autoe2e.At(80), Do: func(st *autoe2e.State) {
+				st.SetRateFloor(0, 10)
+			}},
+		},
+	})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+
+	fmt.Printf("\noverall deadline miss ratio: %.4f\n", res.OverallMissRatio())
+	for i, c := range res.Counters {
+		fmt.Printf("  %-20s released %5d  completed %5d  missed %3d\n",
+			sys.Tasks[i].Name, c.Released, c.Completed, c.Missed)
+	}
+	fmt.Printf("\nfinal computation precision: %.3f (full = 4.0)\n", res.State.TotalPrecision())
+	fmt.Printf("final rates: %.1f Hz, %.1f Hz\n", res.State.Rate(0), res.State.Rate(1))
+
+	fmt.Println("\nutilization and precision over time:")
+	for _, name := range []string{"util.ecu0", "util.ecu1", "precision.total"} {
+		fmt.Printf("  %-16s %s\n", name, sparkline(res, name))
+	}
+}
+
+// sparkline renders one recorded series compactly with its value range.
+func sparkline(res *autoe2e.RunResult, name string) string {
+	s := res.Trace.Series(name)
+	if s == nil {
+		return "(missing)"
+	}
+	lo, hi := s.Values()[0], s.Values()[0]
+	for _, v := range s.Values() {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return fmt.Sprintf("%s  [%.2f … %.2f]", autoe2e.Sparkline(s, 60), lo, hi)
+}

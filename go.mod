@@ -1,0 +1,3 @@
+module github.com/autoe2e/autoe2e
+
+go 1.22

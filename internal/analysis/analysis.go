@@ -1,0 +1,296 @@
+// Package analysis implements offline schedulability analysis for the
+// end-to-end task model: per-ECU response-time analysis under preemptive
+// rate-monotonic scheduling, holistic jitter propagation along chains
+// (Tindell & Clark style), and end-to-end latency bounds.
+//
+// This is the "traditional open-loop scheduling" toolchain the paper
+// contrasts AutoE2E against (Section II's offline timing-analysis work):
+// given fixed rates, precision ratios and worst-case execution times it
+// certifies deadlines a priori — and, exactly as the paper argues, the
+// certificate is only as good as the WCETs it was fed. The test suite
+// cross-validates it against the simulator: whatever this package certifies
+// schedulable must run without misses under nominal execution times.
+//
+// The analysis is conservative (sufficient, not necessary): equal-priority
+// subtasks are counted as interfering in both directions, and best-case
+// execution times are taken as zero when propagating jitter.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/autoe2e/autoe2e/internal/sched"
+	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+)
+
+// Options tunes the analysis.
+type Options struct {
+	// Sync is the chain synchronization protocol assumed. Under the
+	// release guard (default), successor releases are strictly periodic
+	// and carry no interference jitter; under greedy synchronization a
+	// successor inherits its predecessor's response-time variation as
+	// release jitter.
+	Sync sched.SyncPolicy
+	// WCETMargin scales every worst-case execution time, modeling the
+	// conservative over-estimation the paper says inflates ECU counts
+	// (Section I). Default 1.0; must be ≥ 1 when set.
+	WCETMargin float64
+	// MaxIterations bounds each response-time fixed-point search.
+	// Default 1000.
+	MaxIterations int
+}
+
+func (o Options) withDefaults() Options {
+	if o.WCETMargin == 0 {
+		o.WCETMargin = 1
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 1000
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.WCETMargin < 1 {
+		return fmt.Errorf("analysis: WCETMargin = %v, want >= 1", o.WCETMargin)
+	}
+	if o.MaxIterations < 1 {
+		return fmt.Errorf("analysis: MaxIterations = %d, want >= 1", o.MaxIterations)
+	}
+	return nil
+}
+
+// SubtaskReport is the per-subtask analysis outcome.
+type SubtaskReport struct {
+	Ref taskmodel.SubtaskRef
+	// WCET is the analyzed worst-case execution time (c·a·margin).
+	WCET simtime.Duration
+	// Period is the subtask period p = 1/r.
+	Period simtime.Duration
+	// Jitter is the release jitter used for interference (greedy sync
+	// only).
+	Jitter simtime.Duration
+	// Response is the worst-case response time from release, or
+	// simtime.Unbounded when the fixed point exceeded the deadline budget.
+	Response simtime.Duration
+	// Schedulable reports Response ≤ Period (the per-stage subdeadline).
+	Schedulable bool
+}
+
+// TaskReport is the per-task end-to-end outcome.
+type TaskReport struct {
+	Task taskmodel.TaskID
+	// E2ELatency is the end-to-end latency bound: under the release
+	// guard, one period of pipeline offset per upstream stage plus the
+	// final stage's response; under greedy sync, the sum of stage
+	// responses.
+	E2ELatency simtime.Duration
+	// Deadline is the end-to-end deadline n·p.
+	Deadline simtime.Duration
+	// Schedulable reports that every stage met its subdeadline (which
+	// implies E2ELatency ≤ Deadline).
+	Schedulable bool
+}
+
+// Report is the complete analysis result.
+type Report struct {
+	Subtasks []SubtaskReport
+	Tasks    []TaskReport
+	// Utilizations is the estimated per-ECU utilization (Equation 2,
+	// scaled by the WCET margin).
+	Utilizations []float64
+	// Schedulable reports that every task is schedulable.
+	Schedulable bool
+}
+
+// Analyze runs the holistic analysis at the given operating point (rates
+// and ratios from st, worst cases from the nominal estimates).
+func Analyze(st *taskmodel.State, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	sys := st.System()
+
+	type item struct {
+		ref    taskmodel.SubtaskRef
+		wcet   simtime.Duration
+		period simtime.Duration
+		jitter simtime.Duration
+	}
+	// Per-ECU interference sets, sorted by RMS priority (period
+	// ascending; ties conservative — kept in both interference sets via
+	// non-strict comparison below).
+	perECU := make([][]*item, sys.NumECUs)
+	items := make(map[taskmodel.SubtaskRef]*item)
+	for ti, task := range sys.Tasks {
+		id := taskmodel.TaskID(ti)
+		period := st.Period(id)
+		for si := range task.Subtasks {
+			ref := taskmodel.SubtaskRef{Task: id, Index: si}
+			sub := sys.Subtask(ref)
+			it := &item{
+				ref:    ref,
+				wcet:   simtime.Duration(float64(sub.NominalExec) * st.Ratio(ref) * opts.WCETMargin),
+				period: period,
+			}
+			items[ref] = it
+			perECU[sub.ECU] = append(perECU[sub.ECU], it)
+		}
+	}
+	for j := range perECU {
+		sort.SliceStable(perECU[j], func(a, b int) bool {
+			return perECU[j][a].period < perECU[j][b].period
+		})
+	}
+
+	// response computes the fixed point
+	//   R = C + Σ_{higher-or-equal priority on same ECU} ceil((R+J_h)/p_h)·C_h
+	// or Unbounded if it exceeds the stage budget (one period).
+	response := func(target *item, ecu int) simtime.Duration {
+		r := target.wcet
+		for iter := 0; iter < opts.MaxIterations; iter++ {
+			next := target.wcet
+			for _, other := range perECU[ecu] {
+				if other == target {
+					continue
+				}
+				// Conservative tie handling: equal periods interfere.
+				if other.period > target.period {
+					continue
+				}
+				n := ceilDiv(r+other.jitter, other.period)
+				next += simtime.Duration(n) * other.wcet
+			}
+			if next == r {
+				return r
+			}
+			if next > target.period {
+				// Past the subdeadline: unschedulable; no need to
+				// iterate further (interference only grows).
+				return simtime.Unbounded
+			}
+			r = next
+		}
+		return simtime.Unbounded
+	}
+
+	// Holistic iteration: recompute responses and propagate jitter until
+	// stable. Under the release guard, successor releases are periodic
+	// (jitter 0) regardless of upstream variation; under greedy sync the
+	// predecessor's response becomes the successor's release jitter.
+	responses := make(map[taskmodel.SubtaskRef]simtime.Duration, len(items))
+	for pass := 0; pass < len(sys.Tasks)+2; pass++ {
+		changed := false
+		for ti, task := range sys.Tasks {
+			for si := range task.Subtasks {
+				ref := taskmodel.SubtaskRef{Task: taskmodel.TaskID(ti), Index: si}
+				it := items[ref]
+				r := response(it, sys.Subtask(ref).ECU)
+				if responses[ref] != r {
+					responses[ref] = r
+					changed = true
+				}
+				if opts.Sync == sched.SyncGreedy && si+1 < len(task.Subtasks) {
+					succ := items[taskmodel.SubtaskRef{Task: taskmodel.TaskID(ti), Index: si + 1}]
+					j := r
+					if r == simtime.Unbounded {
+						j = it.period // cap: the chain is dead anyway
+					}
+					if succ.jitter != j {
+						succ.jitter = j
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Assemble the report.
+	rep := &Report{Schedulable: true, Utilizations: make([]float64, sys.NumECUs)}
+	for j := 0; j < sys.NumECUs; j++ {
+		rep.Utilizations[j] = st.EstimatedUtilization(j) * opts.WCETMargin
+	}
+	for ti, task := range sys.Tasks {
+		id := taskmodel.TaskID(ti)
+		taskOK := true
+		var e2e simtime.Duration
+		for si := range task.Subtasks {
+			ref := taskmodel.SubtaskRef{Task: id, Index: si}
+			it := items[ref]
+			r := responses[ref]
+			ok := r != simtime.Unbounded && r <= it.period
+			sr := SubtaskReport{
+				Ref: ref, WCET: it.wcet, Period: it.period,
+				Jitter: it.jitter, Response: r, Schedulable: ok,
+			}
+			rep.Subtasks = append(rep.Subtasks, sr)
+			taskOK = taskOK && ok
+			if r == simtime.Unbounded {
+				e2e = simtime.Unbounded
+			} else if e2e != simtime.Unbounded {
+				if si+1 < len(task.Subtasks) {
+					// Upstream stages contribute one full pipeline
+					// period each (the release guard anchors the
+					// successor at most one period later).
+					e2e += it.period
+				} else {
+					e2e += r
+				}
+			}
+		}
+		deadline := st.E2EDeadline(id)
+		rep.Tasks = append(rep.Tasks, TaskReport{
+			Task: id, E2ELatency: e2e, Deadline: deadline, Schedulable: taskOK,
+		})
+		rep.Schedulable = rep.Schedulable && taskOK
+	}
+	return rep, nil
+}
+
+// ceilDiv returns ceil(a/b) for positive durations.
+func ceilDiv(a, b simtime.Duration) int64 {
+	if a <= 0 {
+		return 0
+	}
+	return (int64(a) + int64(b) - 1) / int64(b)
+}
+
+// MaxWCETMargin searches the largest WCETMargin (within [1, hi], to the
+// given resolution) at which the operating point remains schedulable — a
+// quantitative version of the paper's Section I argument that conservative
+// WCET inflation exhausts ECU capacity.
+func MaxWCETMargin(st *taskmodel.State, hi, resolution float64) (float64, error) {
+	if hi < 1 {
+		return 0, fmt.Errorf("analysis: hi = %v, want >= 1", hi)
+	}
+	if resolution <= 0 {
+		return 0, fmt.Errorf("analysis: resolution = %v, want > 0", resolution)
+	}
+	rep, err := Analyze(st, Options{})
+	if err != nil {
+		return 0, err
+	}
+	if !rep.Schedulable {
+		return 0, nil // not schedulable even at margin 1
+	}
+	lo := 1.0
+	for hi-lo > resolution {
+		mid := (lo + hi) / 2
+		rep, err := Analyze(st, Options{WCETMargin: mid})
+		if err != nil {
+			return 0, err
+		}
+		if rep.Schedulable {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,184 @@
+// Package baseline implements the comparison systems of the paper's
+// evaluation:
+//
+//   - OPEN (Section V.C): the state-of-the-practice static assignment that
+//     solves F·r = B once with offline execution-time estimates and never
+//     adapts at runtime;
+//   - Direct Increase (Section V.B): the restorer baseline that raises
+//     execution-time ratios toward one with a fixed step until the system
+//     saturates, producing the over-bound peaks of Figure 9(b);
+//   - Optimal (Section V.B): the oracle upper bound on computation
+//     precision, solving Equation (5) with the *true* runtime execution
+//     times, which no online controller can know.
+//
+// EUCON, the rate-only adaptive baseline, lives in package eucon because
+// AutoE2E reuses it as its inner loop.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/autoe2e/autoe2e/internal/linalg"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+)
+
+// OpenLoop assigns static task rates by solving F·r = B in least squares
+// with the offline execution-time estimates (ratios pinned at one), clamped
+// to each task's rate box. It mutates the state once; an OPEN system never
+// revisits the assignment, which is exactly why runtime execution-time
+// growth drives it into sustained misses (Figure 10(a)).
+func OpenLoop(st *taskmodel.State) error {
+	sys := st.System()
+	n, m := sys.NumECUs, len(sys.Tasks)
+	f := linalg.NewMatrix(n, m)
+	for ti, task := range sys.Tasks {
+		for si := range task.Subtasks {
+			f.Add(task.Subtasks[si].ECU, ti, task.Subtasks[si].NominalExec.Seconds())
+		}
+	}
+	lo := make([]float64, m)
+	hi := make([]float64, m)
+	for ti, task := range sys.Tasks {
+		lo[ti] = st.RateFloor(taskmodel.TaskID(ti))
+		hi[ti] = task.RateMax
+	}
+	r, err := linalg.BoxLSQ(f, sys.UtilBound, lo, hi, st.Rates(), linalg.DefaultBoxLSQOptions())
+	if err != nil {
+		return fmt.Errorf("baseline: OPEN rate assignment: %w", err)
+	}
+	for ti := range sys.Tasks {
+		st.SetRate(taskmodel.TaskID(ti), r[ti])
+	}
+	return nil
+}
+
+// TrueExec reports a subtask's actual full-precision execution time in
+// seconds at the queried moment — information only the oracle has.
+type TrueExec func(ref taskmodel.SubtaskRef) float64
+
+// OptimalPrecision solves Equation (5) with perfect knowledge of the true
+// execution times: rates at their floors (the precision objective never
+// benefits from a higher rate), then an exact fractional knapsack per ECU
+// that raises ratios from their floors in descending w/(c·r) order within
+// the utilization bound. It does not mutate st; it returns the oracle's
+// total weighted precision Σ w_il·a_il, the theoretical upper bound plotted
+// in Figures 9(d) and 12(d).
+func OptimalPrecision(st *taskmodel.State, trueExec TrueExec) float64 {
+	sys := st.System()
+	total := 0.0
+	for j := 0; j < sys.NumECUs; j++ {
+		refs := sys.OnECU(j)
+		// Fixed load: every subtask at its minimum ratio, rates at
+		// floors.
+		capacity := sys.UtilBound[j]
+		type item struct {
+			ref    taskmodel.SubtaskRef
+			cost   float64 // true c·r_min per unit ratio
+			profit float64
+			span   float64 // 1 − a_min
+		}
+		var list []item
+		for _, ref := range refs {
+			sub := sys.Subtask(ref)
+			rate := st.RateFloor(ref.Task)
+			cost := trueExec(ref) * rate
+			capacity -= cost * sub.MinRatio
+			total += sub.Weight * sub.MinRatio
+			if sub.Adjustable() {
+				list = append(list, item{ref: ref, cost: cost, profit: sub.Weight, span: 1 - sub.MinRatio})
+			}
+		}
+		if capacity <= 0 {
+			// Even minimum precision overloads this ECU: the oracle
+			// cannot raise anything here.
+			continue
+		}
+		sort.SliceStable(list, func(a, b int) bool {
+			return list[a].profit*list[b].cost > list[b].profit*list[a].cost
+		})
+		for _, it := range list {
+			if capacity <= 0 {
+				break
+			}
+			da := it.span
+			if it.cost > 0 && da*it.cost > capacity {
+				da = capacity / it.cost
+			}
+			total += it.profit * da
+			capacity -= da * it.cost
+		}
+	}
+	return total
+}
+
+// DirectIncrease is the restorer baseline: when rate floors drop it slams
+// task rates to the floors and then raises every adjustable ratio by a
+// fixed step each outer period, stopping only after the measured
+// utilization has already exceeded a bound — the over-bound peaks the
+// paper's restorer avoids by leaving slack.
+type DirectIncrease struct {
+	state *taskmodel.State
+	step  float64
+	// active is true between OnFloorDrop and saturation.
+	active bool
+}
+
+// NewDirectIncrease builds the baseline with the given per-period ratio
+// step (e.g. 0.1).
+func NewDirectIncrease(st *taskmodel.State, step float64) (*DirectIncrease, error) {
+	if step <= 0 || step > 1 {
+		return nil, fmt.Errorf("baseline: DirectIncrease step = %v, want (0, 1]", step)
+	}
+	return &DirectIncrease{state: st, step: step}, nil
+}
+
+// OnFloorDrop activates the baseline: rates go straight to their floors to
+// make room for ratio increases.
+func (d *DirectIncrease) OnFloorDrop() {
+	sys := d.state.System()
+	for i := range sys.Tasks {
+		id := taskmodel.TaskID(i)
+		d.state.SetRate(id, d.state.RateFloor(id))
+	}
+	d.active = true
+}
+
+// Active reports whether the baseline is still stepping ratios up.
+func (d *DirectIncrease) Active() bool { return d.active }
+
+// Step runs one outer period: if any measured utilization exceeds its
+// bound the baseline stops (the step that caused the excess is the
+// Figure 9(b) peak — it is not undone); otherwise every adjustable ratio
+// rises by the fixed step. It reports whether the baseline is done.
+func (d *DirectIncrease) Step(utils []float64) bool {
+	if !d.active {
+		return true
+	}
+	sys := d.state.System()
+	for j, u := range utils {
+		if u > sys.UtilBound[j] {
+			d.active = false
+			return true
+		}
+	}
+	allFull := true
+	for ti, task := range sys.Tasks {
+		for si := range task.Subtasks {
+			ref := taskmodel.SubtaskRef{Task: taskmodel.TaskID(ti), Index: si}
+			if !task.Subtasks[si].Adjustable() {
+				continue
+			}
+			if a := d.state.Ratio(ref); a < 1 {
+				d.state.SetRatio(ref, a+d.step)
+				if d.state.Ratio(ref) < 1 {
+					allFull = false
+				}
+			}
+		}
+	}
+	if allFull {
+		d.active = false
+	}
+	return !d.active
+}

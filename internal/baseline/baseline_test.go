@@ -1,0 +1,205 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+)
+
+func mkSystem(t *testing.T) (*taskmodel.System, *taskmodel.State) {
+	t.Helper()
+	sys := &taskmodel.System{
+		NumECUs:   2,
+		UtilBound: []float64{0.7, 0.7},
+		Tasks: []*taskmodel.Task{
+			{
+				Name: "chain",
+				Subtasks: []taskmodel.Subtask{
+					{Name: "c1", ECU: 0, NominalExec: simtime.FromMillis(10), MinRatio: 0.4, Weight: 2},
+					{Name: "c2", ECU: 1, NominalExec: simtime.FromMillis(5), MinRatio: 1, Weight: 1},
+				},
+				RateMin: 5, RateMax: 100,
+			},
+			{
+				Name: "local",
+				Subtasks: []taskmodel.Subtask{
+					{Name: "l1", ECU: 1, NominalExec: simtime.FromMillis(8), MinRatio: 0.5, Weight: 1},
+				},
+				RateMin: 5, RateMax: 100,
+			},
+		},
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sys, taskmodel.NewState(sys)
+}
+
+func TestOpenLoopHitsBoundsWithAccurateEstimates(t *testing.T) {
+	sys, st := mkSystem(t)
+	if err := OpenLoop(st); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < sys.NumECUs; j++ {
+		if u := st.EstimatedUtilization(j); math.Abs(u-0.7) > 0.01 {
+			t.Errorf("u[%d] = %v, want ~0.7", j, u)
+		}
+	}
+	// Rates respect boxes.
+	for i := range sys.Tasks {
+		r := st.Rate(taskmodel.TaskID(i))
+		if r < 5-1e-9 || r > 100+1e-9 {
+			t.Errorf("rate[%d] = %v outside box", i, r)
+		}
+	}
+}
+
+func TestOpenLoopRespectsFloors(t *testing.T) {
+	_, st := mkSystem(t)
+	st.SetRateFloor(0, 60)
+	st.SetRateFloor(1, 60)
+	if err := OpenLoop(st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rate(0) < 60 || st.Rate(1) < 60 {
+		t.Errorf("rates = %v, %v below floors", st.Rate(0), st.Rate(1))
+	}
+	// With floors this high ECU1 is necessarily over its bound — OPEN
+	// has no mechanism to fix that.
+	if u := st.EstimatedUtilization(1); u <= 0.7 {
+		t.Errorf("u1 = %v, expected over bound at high floors", u)
+	}
+}
+
+func TestOptimalPrecisionPerfectKnowledge(t *testing.T) {
+	sys, st := mkSystem(t)
+	// True exec = nominal: at floor rates (5 Hz) everything fits at full
+	// precision: optimal = Σ w = 2 + 1 + 1 = 4.
+	got := OptimalPrecision(st, func(ref taskmodel.SubtaskRef) float64 {
+		return sys.Subtask(ref).NominalExec.Seconds()
+	})
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("optimal = %v, want 4 (all ratios 1)", got)
+	}
+}
+
+func TestOptimalPrecisionUnderPressure(t *testing.T) {
+	sys, st := mkSystem(t)
+	// Floors at 50 Hz and the chain head's true exec doubled to 20ms:
+	// ECU0 fixed load at a_min: 0.020·50·0.4 = 0.40; capacity left
+	// 0.30 → Δa = 0.30/(0.020·50) = 0.3 → a = 0.7; precision on ECU0 =
+	// 2·0.7 = 1.4. ECU1: load c2 = 0.005·50 = 0.25 (a pinned 1) +
+	// l1 at a_min 0.5: 0.008·50·0.5 = 0.2; capacity left 0.7−0.45 =
+	// 0.25 → Δa = 0.25/0.4 = 0.625 capped by span 0.5 → a = 1.
+	// Total = 1.4 + 1 + 1 = 3.4.
+	st.SetRateFloor(0, 50)
+	st.SetRateFloor(1, 50)
+	got := OptimalPrecision(st, func(ref taskmodel.SubtaskRef) float64 {
+		c := sys.Subtask(ref).NominalExec.Seconds()
+		if ref == (taskmodel.SubtaskRef{Task: 0, Index: 0}) {
+			return 2 * c
+		}
+		return c
+	})
+	if math.Abs(got-3.4) > 1e-9 {
+		t.Errorf("optimal = %v, want 3.4", got)
+	}
+}
+
+func TestOptimalPrecisionDoesNotMutate(t *testing.T) {
+	sys, st := mkSystem(t)
+	st.SetRatio(taskmodel.SubtaskRef{Task: 0, Index: 0}, 0.6)
+	before := st.TotalPrecision()
+	OptimalPrecision(st, func(ref taskmodel.SubtaskRef) float64 {
+		return sys.Subtask(ref).NominalExec.Seconds()
+	})
+	if st.TotalPrecision() != before {
+		t.Error("oracle mutated the state")
+	}
+}
+
+func TestOptimalPrecisionOverloadedECU(t *testing.T) {
+	sys, st := mkSystem(t)
+	// True exec so large that even minimum ratios overload ECU0: the
+	// oracle keeps a_min there.
+	st.SetRateFloor(0, 100)
+	got := OptimalPrecision(st, func(ref taskmodel.SubtaskRef) float64 {
+		if ref == (taskmodel.SubtaskRef{Task: 0, Index: 0}) {
+			return 0.050 // 50ms·100Hz·0.4 = 2.0 >> 0.7
+		}
+		return sys.Subtask(ref).NominalExec.Seconds()
+	})
+	// ECU0 contributes only w·a_min = 2·0.4 = 0.8; ECU1 restores fully:
+	// 1 + 1. Total 2.8.
+	if math.Abs(got-2.8) > 1e-9 {
+		t.Errorf("optimal = %v, want 2.8", got)
+	}
+}
+
+func TestDirectIncreaseStepsUntilSaturation(t *testing.T) {
+	sys, st := mkSystem(t)
+	st.SetRateFloor(0, 20)
+	st.SetRateFloor(1, 20)
+	st.SetRate(0, 40)
+	st.SetRate(1, 40)
+	st.SetRatio(taskmodel.SubtaskRef{Task: 0, Index: 0}, 0.4)
+	st.SetRatio(taskmodel.SubtaskRef{Task: 1, Index: 0}, 0.5)
+	di, err := NewDirectIncrease(st, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di.OnFloorDrop()
+	if st.Rate(0) != 20 || st.Rate(1) != 20 {
+		t.Errorf("rates after OnFloorDrop = %v, %v, want floors", st.Rate(0), st.Rate(1))
+	}
+	// Feed utilizations below the bound: ratios must step up by 0.2.
+	done := di.Step(st.EstimatedUtilizations())
+	if done {
+		t.Fatal("done too early")
+	}
+	if a := st.Ratio(taskmodel.SubtaskRef{Task: 0, Index: 0}); math.Abs(a-0.6) > 1e-12 {
+		t.Errorf("ratio after one step = %v, want 0.6", a)
+	}
+	// Saturation stops it immediately, leaving the overshoot in place.
+	aBefore := st.Ratio(taskmodel.SubtaskRef{Task: 0, Index: 0})
+	done = di.Step([]float64{0.9, 0.5})
+	if !done || di.Active() {
+		t.Error("saturation did not stop the baseline")
+	}
+	if st.Ratio(taskmodel.SubtaskRef{Task: 0, Index: 0}) != aBefore {
+		t.Error("stop step should not change ratios")
+	}
+	_ = sys
+}
+
+func TestDirectIncreaseFinishesAtFullPrecision(t *testing.T) {
+	_, st := mkSystem(t)
+	st.SetRatio(taskmodel.SubtaskRef{Task: 0, Index: 0}, 0.4)
+	di, err := NewDirectIncrease(st, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di.OnFloorDrop()
+	steps := 0
+	for !di.Step([]float64{0.1, 0.1}) {
+		steps++
+		if steps > 10 {
+			t.Fatal("never finished")
+		}
+	}
+	if a := st.Ratio(taskmodel.SubtaskRef{Task: 0, Index: 0}); a != 1 {
+		t.Errorf("final ratio = %v, want 1", a)
+	}
+}
+
+func TestDirectIncreaseValidation(t *testing.T) {
+	_, st := mkSystem(t)
+	if _, err := NewDirectIncrease(st, 0); err == nil {
+		t.Error("step 0 accepted")
+	}
+	if _, err := NewDirectIncrease(st, 1.5); err == nil {
+		t.Error("step > 1 accepted")
+	}
+}

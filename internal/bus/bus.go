@@ -1,0 +1,94 @@
+// Package bus models the in-vehicle communication fabric between ECUs.
+//
+// The paper assumes network delay is negligible and deducts it from the
+// end-to-end deadline when it is not (Section IV.E.1). This package provides
+// the delay functions plugged into sched.Config.LinkDelay so both treatments
+// can be exercised: a zero-delay fabric, a CAN-like fabric with fixed
+// per-hop latency plus bounded jitter, and an explicit topology with
+// per-link latencies.
+package bus
+
+import (
+	"fmt"
+
+	"github.com/autoe2e/autoe2e/internal/simtime"
+)
+
+// DelayFunc matches sched.Config.LinkDelay: the communication delay between
+// the completion of a subtask on fromECU and the release of its successor
+// on toECU. Same-ECU handoffs are free.
+type DelayFunc func(fromECU, toECU int) simtime.Duration
+
+// None is the paper's default assumption: negligible network delay.
+func None() DelayFunc {
+	return func(int, int) simtime.Duration { return 0 }
+}
+
+// CAN models a shared CAN-like bus: every inter-ECU message takes the base
+// latency plus deterministic seeded jitter in [0, jitter]. Same-ECU
+// handoffs cost nothing.
+func CAN(base, jitter simtime.Duration, seed int64) DelayFunc {
+	if base < 0 || jitter < 0 {
+		panic(fmt.Sprintf("bus: negative CAN latency base=%v jitter=%v", base, jitter))
+	}
+	rng := simtime.NewRand(seed)
+	return func(from, to int) simtime.Duration {
+		if from == to {
+			return 0
+		}
+		d := base
+		if jitter > 0 {
+			d += simtime.Duration(rng.Float64() * float64(jitter))
+		}
+		return d
+	}
+}
+
+// Topology is an explicit per-link latency map for heterogeneous fabrics
+// (e.g. CAN between body ECUs, MOST to the infotainment unit).
+type Topology struct {
+	links map[[2]int]simtime.Duration
+	def   simtime.Duration
+}
+
+// NewTopology creates a topology whose unlisted inter-ECU links use the
+// given default latency.
+func NewTopology(def simtime.Duration) *Topology {
+	if def < 0 {
+		panic("bus: negative default latency")
+	}
+	return &Topology{links: make(map[[2]int]simtime.Duration), def: def}
+}
+
+// SetLink sets the latency of the directed link from→to.
+func (t *Topology) SetLink(from, to int, d simtime.Duration) *Topology {
+	if d < 0 {
+		panic("bus: negative link latency")
+	}
+	t.links[[2]int{from, to}] = d
+	return t
+}
+
+// Delay returns the topology as a DelayFunc.
+func (t *Topology) Delay() DelayFunc {
+	return func(from, to int) simtime.Duration {
+		if from == to {
+			return 0
+		}
+		if d, ok := t.links[[2]int{from, to}]; ok {
+			return d
+		}
+		return t.def
+	}
+}
+
+// DeadlineBudget applies the paper's Section IV.E.1 treatment: given an
+// end-to-end deadline and the worst-case total network delay along a chain,
+// it returns the computation deadline left for the subtasks. It returns an
+// error when the delay consumes the whole deadline.
+func DeadlineBudget(e2e, worstCaseDelay simtime.Duration) (simtime.Duration, error) {
+	if worstCaseDelay >= e2e {
+		return 0, fmt.Errorf("bus: worst-case network delay %v consumes the %v end-to-end deadline", worstCaseDelay, e2e)
+	}
+	return e2e - worstCaseDelay, nil
+}

@@ -1,0 +1,78 @@
+package bus
+
+import (
+	"testing"
+
+	"github.com/autoe2e/autoe2e/internal/simtime"
+)
+
+func TestNone(t *testing.T) {
+	d := None()
+	if d(0, 1) != 0 || d(2, 2) != 0 {
+		t.Error("None must always return 0")
+	}
+}
+
+func TestCANBounds(t *testing.T) {
+	d := CAN(simtime.FromMillis(0.5), simtime.FromMillis(0.2), 1)
+	for i := 0; i < 100; i++ {
+		got := d(0, 1)
+		if got < simtime.FromMillis(0.5) || got > simtime.FromMillis(0.7) {
+			t.Fatalf("delay %v outside [0.5ms, 0.7ms]", got)
+		}
+	}
+	if d(1, 1) != 0 {
+		t.Error("same-ECU handoff should be free")
+	}
+}
+
+func TestCANDeterminism(t *testing.T) {
+	a := CAN(simtime.Millisecond, simtime.Millisecond, 9)
+	b := CAN(simtime.Millisecond, simtime.Millisecond, 9)
+	for i := 0; i < 50; i++ {
+		if a(0, 1) != b(0, 1) {
+			t.Fatal("same seed produced different delays")
+		}
+	}
+}
+
+func TestCANNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative base did not panic")
+		}
+	}()
+	CAN(-1, 0, 0)
+}
+
+func TestTopology(t *testing.T) {
+	tp := NewTopology(simtime.FromMillis(1)).
+		SetLink(0, 1, simtime.FromMillis(5)).
+		SetLink(1, 0, simtime.FromMillis(2))
+	d := tp.Delay()
+	if got := d(0, 1); got != simtime.FromMillis(5) {
+		t.Errorf("0→1 = %v, want 5ms", got)
+	}
+	if got := d(1, 0); got != simtime.FromMillis(2) {
+		t.Errorf("1→0 = %v, want 2ms (directed)", got)
+	}
+	if got := d(0, 2); got != simtime.FromMillis(1) {
+		t.Errorf("unlisted link = %v, want default 1ms", got)
+	}
+	if got := d(2, 2); got != 0 {
+		t.Errorf("same ECU = %v, want 0", got)
+	}
+}
+
+func TestDeadlineBudget(t *testing.T) {
+	got, err := DeadlineBudget(simtime.FromMillis(50), simtime.FromMillis(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != simtime.FromMillis(42) {
+		t.Errorf("budget = %v, want 42ms", got)
+	}
+	if _, err := DeadlineBudget(simtime.FromMillis(5), simtime.FromMillis(5)); err == nil {
+		t.Error("delay == deadline should error")
+	}
+}

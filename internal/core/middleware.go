@@ -1,0 +1,235 @@
+// Package core assembles the AutoE2E middleware: the inner rate-based MPC
+// loop (package eucon), the outer precision-based loop (package precision),
+// the utilization monitors and the rate/execution-time modulators, wired to
+// the distributed scheduler simulation (package sched) on one event engine.
+//
+// It also provides Run, the one-call experiment runner used by the
+// examples, the CLI tools, and every figure-reproduction benchmark.
+package core
+
+import (
+	"fmt"
+
+	"github.com/autoe2e/autoe2e/internal/eucon"
+	"github.com/autoe2e/autoe2e/internal/precision"
+	"github.com/autoe2e/autoe2e/internal/sched"
+	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/trace"
+)
+
+// Mode selects how much of the middleware is active, matching the paper's
+// comparison arms.
+type Mode int
+
+const (
+	// ModeOpen runs no online adaptation at all: rates are whatever the
+	// setup assigned (typically baseline.OpenLoop). The paper's OPEN arm.
+	ModeOpen Mode = iota
+	// ModeEUCON runs only the inner rate-based loop. The paper's EUCON
+	// arm.
+	ModeEUCON
+	// ModeAutoE2E runs both loops — the paper's system.
+	ModeAutoE2E
+)
+
+// String names the mode as in the paper.
+func (m Mode) String() string {
+	switch m {
+	case ModeOpen:
+		return "OPEN"
+	case ModeEUCON:
+		return "EUCON"
+	case ModeAutoE2E:
+		return "AutoE2E"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config assembles the middleware.
+type Config struct {
+	// Mode selects the comparison arm. Default ModeAutoE2E.
+	Mode Mode
+	// InnerPeriod is the inner-loop control period; it must span several
+	// task instances so the utilization monitor samples meaningfully
+	// (the testbed uses 1 s). Default 1 s.
+	InnerPeriod simtime.Duration
+	// OuterEvery is the outer-loop period expressed in inner periods
+	// (the testbed uses 10). Default 10.
+	OuterEvery int
+	// Eucon tunes the inner MPC.
+	Eucon eucon.Config
+	// DecentralizedInner replaces the centralized MPC with the
+	// DEUCON-inspired per-task local controllers (eucon.Decentralized).
+	// The Eucon field is ignored when set.
+	DecentralizedInner bool
+	// Decentralized tunes the decentralized inner loop (used only with
+	// DecentralizedInner).
+	Decentralized eucon.DecentralizedConfig
+	// Precision tunes the outer loop.
+	Precision precision.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.InnerPeriod == 0 {
+		c.InnerPeriod = simtime.Second
+	}
+	if c.OuterEvery == 0 {
+		c.OuterEvery = 10
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.InnerPeriod <= 0 {
+		return fmt.Errorf("core: InnerPeriod = %v, want > 0", c.InnerPeriod)
+	}
+	if c.OuterEvery < 1 {
+		return fmt.Errorf("core: OuterEvery = %d, want >= 1", c.OuterEvery)
+	}
+	return nil
+}
+
+// rateController is the inner-loop contract both the centralized MPC and
+// the decentralized variant satisfy.
+type rateController interface {
+	Step(utils []float64) (eucon.Result, error)
+}
+
+// Middleware is the assembled two-tier controller attached to a scheduler.
+type Middleware struct {
+	eng   *simtime.Engine
+	sch   *sched.Scheduler
+	state *taskmodel.State
+	cfg   Config
+	inner rateController
+	outer *precision.Controller
+	rec   *trace.Recorder
+	// onInner, if set, observes every inner tick after the controllers
+	// have acted (used by baselines and co-simulations that piggyback on
+	// the monitoring cadence).
+	onInner func(now simtime.Time, utils []float64, st *taskmodel.State)
+
+	innerCount   int
+	lastCounters []sched.TaskCounter
+	started      bool
+}
+
+// NewMiddleware wires the controllers to a scheduler. The recorder may be
+// nil, in which case a fresh one is created.
+func NewMiddleware(eng *simtime.Engine, sch *sched.Scheduler, cfg Config, rec *trace.Recorder) (*Middleware, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if rec == nil {
+		rec = trace.NewRecorder()
+	}
+	m := &Middleware{
+		eng:   eng,
+		sch:   sch,
+		state: sch.State(),
+		cfg:   cfg,
+		rec:   rec,
+	}
+	var err error
+	if cfg.Mode == ModeEUCON || cfg.Mode == ModeAutoE2E {
+		if cfg.DecentralizedInner {
+			m.inner, err = eucon.NewDecentralized(m.state, cfg.Decentralized)
+		} else {
+			m.inner, err = eucon.New(m.state, cfg.Eucon)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Mode == ModeAutoE2E {
+		if m.outer, err = precision.New(m.state, cfg.Precision); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Recorder exposes the time series collected by the middleware.
+func (m *Middleware) Recorder() *trace.Recorder { return m.rec }
+
+// Start schedules the periodic control ticks. Call once, before running the
+// engine.
+func (m *Middleware) Start() {
+	if m.started {
+		panic("core: Middleware.Start called twice")
+	}
+	m.started = true
+	m.lastCounters = m.sch.Counters()
+	m.eng.After(m.cfg.InnerPeriod, m.innerTick)
+}
+
+// innerTick runs one inner control period: sample monitors, record metrics,
+// run the rate controller, and every OuterEvery-th period run the outer
+// precision controller.
+func (m *Middleware) innerTick(now simtime.Time) {
+	utils := m.sch.SampleUtilizations()
+	m.recordMetrics(now, utils)
+
+	if m.inner != nil {
+		if _, err := m.inner.Step(utils); err != nil {
+			// The MPC can only fail on programmer error (dimension
+			// mismatch); surfacing it loudly beats silently coasting.
+			panic(fmt.Sprintf("core: inner loop at %v: %v", now, err))
+		}
+	}
+	if m.onInner != nil {
+		defer m.onInner(now, utils, m.state)
+	}
+	if m.outer != nil {
+		m.outer.ObserveInner(utils)
+		m.innerCount++
+		if m.innerCount%m.cfg.OuterEvery == 0 {
+			res, err := m.outer.Step(utils)
+			if err != nil {
+				panic(fmt.Sprintf("core: outer loop at %v: %v", now, err))
+			}
+			for j := range res.Reclaimed {
+				if res.Reclaimed[j] > 0 {
+					m.rec.Add(fmt.Sprintf("outer.reclaimed.ecu%d", j), now.Seconds(), res.Reclaimed[j])
+				}
+				if res.Restored[j] > 0 {
+					m.rec.Add(fmt.Sprintf("outer.restored.ecu%d", j), now.Seconds(), res.Restored[j])
+				}
+			}
+			if res.RestoreRound > 0 {
+				m.rec.Add("outer.restore_round", now.Seconds(), float64(res.RestoreRound))
+			}
+		}
+	}
+	m.eng.After(m.cfg.InnerPeriod, m.innerTick)
+}
+
+// recordMetrics appends the per-period observability series: utilization
+// per ECU, rate per task, windowed miss ratio per task and overall, and the
+// total computation precision.
+func (m *Middleware) recordMetrics(now simtime.Time, utils []float64) {
+	t := now.Seconds()
+	for j, u := range utils {
+		m.rec.Add(fmt.Sprintf("util.ecu%d", j), t, u)
+	}
+	sys := m.state.System()
+	counters := m.sch.Counters()
+	var windowMissed, windowResolved uint64
+	for i := range sys.Tasks {
+		m.rec.Add(fmt.Sprintf("rate.t%d", i+1), t, m.state.Rate(taskmodel.TaskID(i)))
+		d := counters[i].Sub(m.lastCounters[i])
+		m.rec.Add(fmt.Sprintf("missratio.t%d", i+1), t, d.MissRatio())
+		windowMissed += d.Missed
+		windowResolved += d.Missed + d.Completed
+	}
+	overall := 0.0
+	if windowResolved > 0 {
+		overall = float64(windowMissed) / float64(windowResolved)
+	}
+	m.rec.Add("missratio.overall", t, overall)
+	m.rec.Add("precision.total", t, m.state.TotalPrecision())
+	m.lastCounters = counters
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/autoe2e/autoe2e/internal/exectime"
+	"github.com/autoe2e/autoe2e/internal/sched"
+	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/trace"
+)
+
+// Event is a scripted state change applied at an absolute simulation time —
+// the vehicle-speed (rate-floor) steps and similar scenario actions.
+type Event struct {
+	At simtime.Time
+	Do func(st *taskmodel.State)
+}
+
+// RunConfig describes one experiment run end to end.
+type RunConfig struct {
+	// System is the validated task set. Required.
+	System *taskmodel.System
+	// Setup optionally adjusts the initial operating point (e.g. apply
+	// baseline.OpenLoop, pre-shed precision) before the scheduler starts.
+	Setup func(st *taskmodel.State)
+	// Exec is the actual-execution-time model. Required.
+	Exec exectime.Model
+	// LinkDelay optionally models the communication fabric
+	// (bus.DelayFunc).
+	LinkDelay func(fromECU, toECU int) simtime.Duration
+	// Middleware selects and tunes the control arms.
+	Middleware Config
+	// Duration is the simulated run length. Required.
+	Duration simtime.Duration
+	// Events are scripted scenario actions.
+	Events []Event
+	// OnChain optionally observes every task-instance completion or miss
+	// (the vehicle co-simulation consumes actuation commands here).
+	OnChain func(ev sched.ChainEvent)
+	// Attach optionally installs extra simulation processes (e.g. the
+	// vehicle physics stepper) before the run starts.
+	Attach func(eng *simtime.Engine, st *taskmodel.State)
+	// OnInnerTick optionally observes every inner control period after
+	// the middleware has acted, with the same utilization samples the
+	// controllers saw. Baselines such as Direct Increase hook here.
+	OnInnerTick func(now simtime.Time, utils []float64, st *taskmodel.State)
+}
+
+// RunResult carries everything the harnesses report on.
+type RunResult struct {
+	// Trace holds all recorded time series.
+	Trace *trace.Recorder
+	// Counters is the final cumulative per-task accounting.
+	Counters []sched.TaskCounter
+	// State is the final operating point.
+	State *taskmodel.State
+}
+
+// OverallMissRatio aggregates misses across all tasks for the whole run.
+func (r *RunResult) OverallMissRatio() float64 {
+	var missed, resolved uint64
+	for _, c := range r.Counters {
+		missed += c.Missed
+		resolved += c.Missed + c.Completed
+	}
+	if resolved == 0 {
+		return 0
+	}
+	return float64(missed) / float64(resolved)
+}
+
+// MissRatio reports the cumulative miss ratio of one task.
+func (r *RunResult) MissRatio(i taskmodel.TaskID) float64 {
+	return r.Counters[i].MissRatio()
+}
+
+// Run executes one experiment: it validates the configuration, assembles
+// engine + scheduler + middleware, schedules the scenario events, runs to
+// cfg.Duration, and returns the collected results.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.System == nil {
+		return nil, fmt.Errorf("core: RunConfig.System is required")
+	}
+	if cfg.Exec == nil {
+		return nil, fmt.Errorf("core: RunConfig.Exec is required")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("core: RunConfig.Duration = %v, want > 0", cfg.Duration)
+	}
+
+	eng := simtime.NewEngine()
+	state := taskmodel.NewState(cfg.System)
+	if cfg.Setup != nil {
+		cfg.Setup(state)
+	}
+	scheduler := sched.New(eng, state, sched.Config{
+		Exec:      cfg.Exec,
+		LinkDelay: cfg.LinkDelay,
+		OnChain:   cfg.OnChain,
+	})
+	mw, err := NewMiddleware(eng, scheduler, cfg.Middleware, nil)
+	if err != nil {
+		return nil, err
+	}
+	mw.onInner = cfg.OnInnerTick
+	for _, ev := range cfg.Events {
+		if ev.Do == nil {
+			return nil, fmt.Errorf("core: scenario event at %v has nil action", ev.At)
+		}
+		ev := ev
+		eng.Schedule(ev.At, func(simtime.Time) { ev.Do(state) })
+	}
+	if cfg.Attach != nil {
+		cfg.Attach(eng, state)
+	}
+	scheduler.Start()
+	mw.Start()
+	eng.Run(simtime.Time(cfg.Duration))
+
+	return &RunResult{
+		Trace:    mw.Recorder(),
+		Counters: scheduler.Counters(),
+		State:    state,
+	}, nil
+}

@@ -1,0 +1,134 @@
+package eucon
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+)
+
+// Decentralized is a DEUCON-inspired variant of the inner rate loop (Wang,
+// Jia, Lu, Koutsoukos: "DEUCON: Decentralized End-to-End Utilization
+// Control for Distributed Real-Time Systems", IEEE TPDS 2007 — reference
+// [12] of the AutoE2E paper). Instead of one centralized MIMO MPC, each
+// task runs a local rate controller that only needs information from its
+// *neighbor* ECUs — the processors its own subtasks execute on:
+//
+//	Δr_i = λ · min over touched ECUs j of (B_j − u_j) / (m_j · F_{j,i})
+//
+// where m_j is the number of tasks loading ECU j (each task may claim an
+// equal share of the ECU's slack) and F_{j,i} is the task's load
+// coefficient there. The min makes the most-constrained processor
+// authoritative: an over-bound ECU forces every task it hosts to slow
+// down, regardless of slack elsewhere.
+//
+// Compared to the centralized MPC it needs no global state and no matrix
+// solve — O(subtasks) per period — at the cost of slower convergence. It
+// saturates in exactly the same situations, so the outer precision loop
+// composes with it unchanged.
+type Decentralized struct {
+	state *taskmodel.State
+	cfg   DecentralizedConfig
+}
+
+// DecentralizedConfig tunes the local controllers.
+type DecentralizedConfig struct {
+	// Gain is the per-period correction factor λ. Stability of the
+	// coupled loops requires 0 < λ < 2 on the dominant ECU; the default
+	// 0.8 converges briskly with a comfortable margin.
+	Gain float64
+	// BoundMargin shifts the per-ECU set-point below the bound, as in the
+	// centralized controller. Default 0.
+	BoundMargin float64
+}
+
+func (c DecentralizedConfig) withDefaults() DecentralizedConfig {
+	if c.Gain == 0 {
+		c.Gain = 0.8
+	}
+	return c
+}
+
+func (c DecentralizedConfig) validate() error {
+	if c.Gain <= 0 || c.Gain >= 2 {
+		return fmt.Errorf("eucon: decentralized Gain = %v, want (0, 2)", c.Gain)
+	}
+	if c.BoundMargin < 0 {
+		return fmt.Errorf("eucon: decentralized BoundMargin = %v, want >= 0", c.BoundMargin)
+	}
+	return nil
+}
+
+// NewDecentralized builds the decentralized controller on the shared
+// operating point.
+func NewDecentralized(state *taskmodel.State, cfg DecentralizedConfig) (*Decentralized, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Decentralized{state: state, cfg: cfg}, nil
+}
+
+// Step runs one control period: every task adjusts its rate from its
+// neighbor ECUs' measured utilizations. It returns the same Result shape as
+// the centralized controller.
+func (d *Decentralized) Step(utils []float64) (Result, error) {
+	sys := d.state.System()
+	n, m := sys.NumECUs, len(sys.Tasks)
+	if len(utils) != n {
+		return Result{}, fmt.Errorf("eucon: got %d utilizations, want %d", len(utils), n)
+	}
+
+	// Load coefficients and per-ECU task counts (the "neighborhood"
+	// bookkeeping each local controller would exchange).
+	load := make([][]float64, m) // load[i][j] = F_{j,i}
+	tasksOn := make([]int, n)
+	counted := make([]bool, n)
+	for ti, task := range sys.Tasks {
+		load[ti] = make([]float64, n)
+		for j := range counted {
+			counted[j] = false
+		}
+		for si := range task.Subtasks {
+			sub := &task.Subtasks[si]
+			ref := taskmodel.SubtaskRef{Task: taskmodel.TaskID(ti), Index: si}
+			load[ti][sub.ECU] += sub.NominalExec.Seconds() * d.state.Ratio(ref)
+			if !counted[sub.ECU] {
+				counted[sub.ECU] = true
+				tasksOn[sub.ECU]++
+			}
+		}
+	}
+
+	res := Result{
+		Rates:     make([]float64, m),
+		Delta:     make([]float64, m),
+		Saturated: make([]bool, m),
+	}
+	for ti := 0; ti < m; ti++ {
+		id := taskmodel.TaskID(ti)
+		delta := math.Inf(1)
+		touches := false
+		for j := 0; j < n; j++ {
+			f := load[ti][j]
+			if f <= 0 {
+				continue
+			}
+			touches = true
+			slack := (sys.UtilBound[j] - d.cfg.BoundMargin) - utils[j]
+			share := slack / (float64(tasksOn[j]) * f)
+			if share < delta {
+				delta = share
+			}
+		}
+		if !touches {
+			res.Rates[ti] = d.state.Rate(id)
+			continue
+		}
+		move := d.cfg.Gain * delta
+		res.Delta[ti] = move
+		res.Rates[ti] = d.state.SetRate(id, d.state.Rate(id)+move)
+		res.Saturated[ti] = d.state.RateSaturated(id, 1e-9)
+	}
+	return res, nil
+}

@@ -1,0 +1,268 @@
+// Package eucon implements the inner rate-based control loop of AutoE2E,
+// which the paper adopts from EUCON (Lu, Wang, Koutsoukos: "Feedback
+// Utilization Control in Distributed Real-Time Systems with End-to-End
+// Tasks", IEEE TPDS 2005). It is also the stand-alone rate-only baseline
+// the paper compares against.
+//
+// Each control period the controller:
+//
+//  1. reads the measured CPU utilization u_j(k) of every ECU from the
+//     utilization monitors,
+//  2. predicts future utilizations with the linear model
+//     u(k+1) = u(k) + F·Δr(k), where F_ji = Σ_{T_il ∈ S_j} c_il·a_il is
+//     the estimated load each task places on each ECU per unit rate,
+//  3. minimizes the MPC cost of Equation (11) — tracking of an
+//     exponential reference trajectory toward the utilization bounds over
+//     the prediction horizon P, plus a control penalty over the control
+//     horizon M — subject to the rate box [r_min, r_max], and
+//  4. applies the first control move Δr(k|k) through the rate modulators
+//     (taskmodel.State.SetRate).
+//
+// Rate saturation — some task rates pinned at their floors while
+// utilization still exceeds the bound — is reported to the caller; the
+// outer precision-based loop of package precision reacts to it.
+package eucon
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/autoe2e/autoe2e/internal/linalg"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+)
+
+// Config tunes the MPC.
+type Config struct {
+	// PredictionHorizon is P in Equation (11). Default 4.
+	PredictionHorizon int
+	// ControlHorizon is M in Equation (11); must be ≤ PredictionHorizon.
+	// Default 2.
+	ControlHorizon int
+	// RefDecay is the per-period geometric decay of the reference
+	// trajectory toward the bound: ref(k+i) = B − RefDecay^i·(B − u(k)).
+	// Smaller is more aggressive. Default 0.5.
+	RefDecay float64
+	// ControlPenalty is the weight ρ of the control-change term. Default
+	// 0.1.
+	ControlPenalty float64
+	// BoundMargin shifts the utilization set-point slightly below the
+	// bound (B_j − BoundMargin) so the settled system has schedulable
+	// slack. Default 0.
+	BoundMargin float64
+	// OverloadWeight multiplies the tracking-error weight of ECUs whose
+	// measured utilization exceeds the set-point. Equation (1) treats the
+	// bounds as hard constraints; in the least-squares MPC this asymmetry
+	// keeps an over-bound ECU from being traded off against slack
+	// elsewhere (rates must come down first). Default 8.
+	OverloadWeight float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.PredictionHorizon == 0 {
+		c.PredictionHorizon = 4
+	}
+	if c.ControlHorizon == 0 {
+		c.ControlHorizon = 2
+	}
+	if c.RefDecay == 0 {
+		c.RefDecay = 0.5
+	}
+	if c.ControlPenalty == 0 {
+		c.ControlPenalty = 0.1
+	}
+	if c.OverloadWeight == 0 {
+		c.OverloadWeight = 8
+	}
+	return c
+}
+
+// validate rejects nonsensical configurations.
+func (c Config) validate() error {
+	if c.PredictionHorizon < 1 {
+		return fmt.Errorf("eucon: PredictionHorizon = %d, want >= 1", c.PredictionHorizon)
+	}
+	if c.ControlHorizon < 1 || c.ControlHorizon > c.PredictionHorizon {
+		return fmt.Errorf("eucon: ControlHorizon = %d, want in [1, %d]", c.ControlHorizon, c.PredictionHorizon)
+	}
+	if c.RefDecay <= 0 || c.RefDecay >= 1 {
+		return fmt.Errorf("eucon: RefDecay = %v, want in (0, 1)", c.RefDecay)
+	}
+	if c.ControlPenalty < 0 {
+		return fmt.Errorf("eucon: ControlPenalty = %v, want >= 0", c.ControlPenalty)
+	}
+	if c.BoundMargin < 0 {
+		return fmt.Errorf("eucon: BoundMargin = %v, want >= 0", c.BoundMargin)
+	}
+	if c.OverloadWeight < 1 {
+		return fmt.Errorf("eucon: OverloadWeight = %v, want >= 1", c.OverloadWeight)
+	}
+	return nil
+}
+
+// Controller is the centralized inner-loop MPC.
+type Controller struct {
+	state *taskmodel.State
+	cfg   Config
+	// prevDelta is Δr(k−1), the previously applied move, used by the
+	// control-change penalty of Equation (11).
+	prevDelta []float64
+}
+
+// New builds a controller operating on the given mutable state. It returns
+// an error on invalid configuration.
+func New(state *taskmodel.State, cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		state:     state,
+		cfg:       cfg,
+		prevDelta: make([]float64, len(state.System().Tasks)),
+	}, nil
+}
+
+// Result reports what one control step did.
+type Result struct {
+	// Rates are the applied task rates r(k+1).
+	Rates []float64
+	// Delta is the applied first move Δr(k|k) before rate clamping.
+	Delta []float64
+	// Saturated[i] reports that task i's rate is pinned at its floor.
+	Saturated []bool
+}
+
+// loadMatrix builds F: F_ji = Σ_{T_il ∈ S_j} c_il·a_il in seconds, using
+// the controller's offline estimates c_il and the current precision ratios.
+func (c *Controller) loadMatrix() *linalg.Matrix {
+	sys := c.state.System()
+	f := linalg.NewMatrix(sys.NumECUs, len(sys.Tasks))
+	for ti, task := range sys.Tasks {
+		for si := range task.Subtasks {
+			sub := &task.Subtasks[si]
+			ref := taskmodel.SubtaskRef{Task: taskmodel.TaskID(ti), Index: si}
+			f.Add(sub.ECU, ti, sub.NominalExec.Seconds()*c.state.Ratio(ref))
+		}
+	}
+	return f
+}
+
+// Step runs one control period with the measured utilizations and applies
+// the resulting rates. len(utils) must equal the number of ECUs.
+func (c *Controller) Step(utils []float64) (Result, error) {
+	sys := c.state.System()
+	n, m := sys.NumECUs, len(sys.Tasks)
+	if len(utils) != n {
+		return Result{}, fmt.Errorf("eucon: got %d utilizations, want %d", len(utils), n)
+	}
+	p, mh := c.cfg.PredictionHorizon, c.cfg.ControlHorizon
+	f := c.loadMatrix()
+
+	// Stacked least-squares over x = [Δr_0; …; Δr_{M−1}].
+	// Tracking rows, i = 1..P:
+	//   F·(Σ_{l<min(i,M)} Δr_l) = ref(k+i) − u(k)
+	// Control-change rows, i = 1..M (weight √ρ):
+	//   Δr_{i−1} − Δr_{i−2} = 0   (Δr_{−1} = prevDelta)
+	rows := p*n + mh*m
+	cols := mh * m
+	a := linalg.NewMatrix(rows, cols)
+	b := make([]float64, rows)
+	row := 0
+	for i := 1; i <= p; i++ {
+		decay := pow(c.cfg.RefDecay, i)
+		active := i
+		if active > mh {
+			active = mh
+		}
+		for j := 0; j < n; j++ {
+			target := sys.UtilBound[j] - c.cfg.BoundMargin
+			w := 1.0
+			// Over-bound: hard-constraint side of Equation (1). The small
+			// tolerance keeps the asymmetry from biasing the settled
+			// point below the target when utilization hovers at it.
+			if utils[j] > target+0.02 {
+				w = c.cfg.OverloadWeight
+			}
+			// ref(k+i) − u(k) = (1 − decay)·(target − u(k))
+			b[row] = w * (1 - decay) * (target - utils[j])
+			for l := 0; l < active; l++ {
+				for ti := 0; ti < m; ti++ {
+					a.Set(row, l*m+ti, w*f.At(j, ti))
+				}
+			}
+			row++
+		}
+	}
+	// The control-change penalty must be dimensionless relative to the
+	// tracking term: utilization residuals are F·Δr (seconds × Hz) while
+	// the raw penalty residuals are Δr (Hz). Scale ρ by the mean squared
+	// column norm of F so that ControlPenalty weights the two terms on
+	// comparable scales regardless of the task set's execution-time
+	// units.
+	fScale := 0.0
+	for ti := 0; ti < m; ti++ {
+		col := 0.0
+		for j := 0; j < n; j++ {
+			col += f.At(j, ti) * f.At(j, ti)
+		}
+		fScale += col
+	}
+	fScale /= float64(m)
+	rho := math.Sqrt(c.cfg.ControlPenalty * fScale)
+	for i := 1; i <= mh; i++ {
+		for ti := 0; ti < m; ti++ {
+			a.Set(row, (i-1)*m+ti, rho)
+			if i >= 2 {
+				a.Set(row, (i-2)*m+ti, -rho)
+			} else {
+				b[row] = rho * c.prevDelta[ti]
+			}
+			row++
+		}
+	}
+
+	// Box constraints: the first move must keep every rate inside
+	// [floor, max]; later moves get the loose full-range box (they are
+	// re-planned next period anyway — standard receding-horizon
+	// practice).
+	lo := make([]float64, cols)
+	hi := make([]float64, cols)
+	for ti := 0; ti < m; ti++ {
+		r := c.state.Rate(taskmodel.TaskID(ti))
+		lo[ti] = c.state.RateFloor(taskmodel.TaskID(ti)) - r
+		hi[ti] = sys.Tasks[ti].RateMax - r
+		span := sys.Tasks[ti].RateMax - sys.Tasks[ti].RateMin
+		for l := 1; l < mh; l++ {
+			lo[l*m+ti] = -span
+			hi[l*m+ti] = span
+		}
+	}
+
+	x, err := linalg.BoxLSQ(a, b, lo, hi, nil, linalg.DefaultBoxLSQOptions())
+	if err != nil {
+		return Result{}, fmt.Errorf("eucon: MPC solve: %w", err)
+	}
+
+	res := Result{
+		Rates:     make([]float64, m),
+		Delta:     make([]float64, m),
+		Saturated: make([]bool, m),
+	}
+	for ti := 0; ti < m; ti++ {
+		id := taskmodel.TaskID(ti)
+		res.Delta[ti] = x[ti]
+		res.Rates[ti] = c.state.SetRate(id, c.state.Rate(id)+x[ti])
+		res.Saturated[ti] = c.state.RateSaturated(id, 1e-9)
+		c.prevDelta[ti] = x[ti]
+	}
+	return res, nil
+}
+
+func pow(base float64, exp int) float64 {
+	out := 1.0
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}

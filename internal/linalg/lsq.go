@@ -1,0 +1,182 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeastSquares solves min_x ||a·x − b||² via the regularized normal
+// equations (aᵀa + ridge·I)x = aᵀb. A small ridge keeps the solve
+// well-posed when a is rank-deficient, which happens in the MPC whenever
+// two tasks load the same ECU set proportionally. Pass ridge = 0 for the
+// exact normal equations.
+func LeastSquares(a *Matrix, b []float64, ridge float64) ([]float64, error) {
+	if a.Rows() != len(b) {
+		return nil, fmt.Errorf("linalg: LeastSquares dimension mismatch %d != %d", a.Rows(), len(b))
+	}
+	at := a.Transpose()
+	ata := at.Mul(a)
+	if ridge > 0 {
+		for i := 0; i < ata.Rows(); i++ {
+			ata.Add(i, i, ridge)
+		}
+	}
+	atb := at.MulVec(b)
+	return SolveLU(ata, atb)
+}
+
+// BoxLSQOptions tunes the projected-gradient solver.
+type BoxLSQOptions struct {
+	// MaxIter bounds the number of gradient steps. The MPC problems here
+	// are tiny and strongly convex after ridge regularization, so a few
+	// hundred iterations reach machine-level stationarity.
+	MaxIter int
+	// Tol is the convergence threshold on the projected-gradient
+	// infinity norm.
+	Tol float64
+	// Ridge adds Tikhonov regularization, improving conditioning.
+	Ridge float64
+}
+
+// DefaultBoxLSQOptions are sensible defaults for the controller problems in
+// this repository.
+func DefaultBoxLSQOptions() BoxLSQOptions {
+	return BoxLSQOptions{MaxIter: 2000, Tol: 1e-10, Ridge: 1e-9}
+}
+
+// BoxLSQ solves min_x ||a·x − b||² subject to lo ≤ x ≤ hi element-wise,
+// using projected gradient descent with a fixed 1/L step where L is the
+// spectral norm of aᵀa (estimated by power iteration). x0 is the starting
+// point and is clamped into the box before use; pass nil to start from the
+// box midpoint.
+//
+// The returned point satisfies the KKT conditions of the box-constrained
+// problem to within opts.Tol: the gradient is ~0 on free coordinates,
+// non-negative at lower-active coordinates, and non-positive at
+// upper-active coordinates.
+func BoxLSQ(a *Matrix, b, lo, hi, x0 []float64, opts BoxLSQOptions) ([]float64, error) {
+	n := a.Cols()
+	if len(lo) != n || len(hi) != n {
+		return nil, fmt.Errorf("linalg: BoxLSQ bound length %d/%d != %d", len(lo), len(hi), n)
+	}
+	if a.Rows() != len(b) {
+		return nil, fmt.Errorf("linalg: BoxLSQ dimension mismatch %d != %d", a.Rows(), len(b))
+	}
+	for i := 0; i < n; i++ {
+		if lo[i] > hi[i] {
+			return nil, fmt.Errorf("linalg: BoxLSQ empty box at coordinate %d: [%g, %g]", i, lo[i], hi[i])
+		}
+	}
+	if opts.MaxIter <= 0 {
+		opts = DefaultBoxLSQOptions()
+	}
+
+	at := a.Transpose()
+	ata := at.Mul(a)
+	if opts.Ridge > 0 {
+		for i := 0; i < n; i++ {
+			ata.Add(i, i, opts.Ridge)
+		}
+	}
+	atb := at.MulVec(b)
+
+	lip := spectralNorm(ata)
+	if lip <= 0 {
+		// aᵀa is numerically zero: every feasible point is optimal.
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = Clamp(0, lo[i], hi[i])
+		}
+		return x, nil
+	}
+	step := 1 / lip
+
+	x := make([]float64, n)
+	if x0 != nil {
+		if len(x0) != n {
+			return nil, fmt.Errorf("linalg: BoxLSQ x0 length %d != %d", len(x0), n)
+		}
+		copy(x, x0)
+	} else {
+		for i := range x {
+			x[i] = (lo[i] + hi[i]) / 2
+		}
+	}
+	ClampVec(x, lo, hi)
+
+	grad := make([]float64, n)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// grad = ata·x − atb
+		g := ata.MulVec(x)
+		maxMove := 0.0
+		for i := 0; i < n; i++ {
+			grad[i] = g[i] - atb[i]
+			next := Clamp(x[i]-step*grad[i], lo[i], hi[i])
+			if d := math.Abs(next - x[i]); d > maxMove {
+				maxMove = d
+			}
+			x[i] = next
+		}
+		if maxMove <= opts.Tol {
+			break
+		}
+	}
+	return x, nil
+}
+
+// spectralNorm estimates the largest eigenvalue of a symmetric positive
+// semi-definite matrix by power iteration.
+func spectralNorm(m *Matrix) float64 {
+	n := m.Rows()
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(n))
+	}
+	lambda := 0.0
+	for iter := 0; iter < 100; iter++ {
+		w := m.MulVec(v)
+		norm := Norm2(w)
+		if norm == 0 {
+			return 0
+		}
+		for i := range w {
+			w[i] /= norm
+		}
+		newLambda := Dot(w, m.MulVec(w))
+		if math.Abs(newLambda-lambda) <= 1e-12*math.Max(1, math.Abs(newLambda)) {
+			return newLambda
+		}
+		lambda = newLambda
+		v = w
+	}
+	return lambda
+}
+
+// KKTResidual reports how far x is from satisfying the KKT conditions of
+// min ||a·x − b||² s.t. lo ≤ x ≤ hi. A small value (≲1e-6 relative to the
+// problem scale) certifies optimality; tests use it as the property oracle
+// for BoxLSQ.
+func KKTResidual(a *Matrix, b, lo, hi, x []float64) float64 {
+	r := Sub(a.MulVec(x), b)
+	grad := a.Transpose().MulVec(r)
+	res := 0.0
+	const edge = 1e-9
+	for i := range x {
+		g := grad[i]
+		switch {
+		case x[i] <= lo[i]+edge && x[i] >= hi[i]-edge:
+			// Degenerate box (lo == hi): any gradient is fine.
+		case x[i] <= lo[i]+edge:
+			if g < 0 {
+				res = math.Max(res, -g)
+			}
+		case x[i] >= hi[i]-edge:
+			if g > 0 {
+				res = math.Max(res, g)
+			}
+		default:
+			res = math.Max(res, math.Abs(g))
+		}
+	}
+	return res
+}

@@ -1,0 +1,63 @@
+package precision
+
+// Detector implements the paper's saturation criterion: the outer loop
+// activates for an ECU when its settled utilization has exceeded its bound
+// by a configurable threshold for several consecutive inner-loop control
+// periods — i.e. the inner rate-based controller has demonstrably lost
+// control authority (Section IV.B).
+type Detector struct {
+	threshold float64
+	needed    int
+	counts    []int
+}
+
+// NewDetector builds a detector for n ECUs. threshold is the utilization
+// excess over the bound that counts as a violation; needed is how many
+// consecutive inner periods must violate before saturation is latched.
+func NewDetector(n int, threshold float64, needed int) *Detector {
+	if threshold < 0 {
+		panic("precision: negative detector threshold")
+	}
+	if needed < 1 {
+		panic("precision: detector needs at least one period")
+	}
+	return &Detector{threshold: threshold, needed: needed, counts: make([]int, n)}
+}
+
+// Observe records one inner-period utilization sample per ECU against the
+// bounds. A sample at or below bound+threshold resets that ECU's streak.
+func (d *Detector) Observe(utils, bounds []float64) {
+	for j := range d.counts {
+		if utils[j] > bounds[j]+d.threshold {
+			d.counts[j]++
+		} else {
+			d.counts[j] = 0
+		}
+	}
+}
+
+// Saturated reports which ECUs have latched saturation.
+func (d *Detector) Saturated() []bool {
+	out := make([]bool, len(d.counts))
+	for j, c := range d.counts {
+		out[j] = c >= d.needed
+	}
+	return out
+}
+
+// StronglySaturated reports which ECUs have violated their bounds for three
+// times the latch requirement — long enough that the inner loop has
+// demonstrably failed regardless of where the task rates sit (e.g. MIMO
+// compromises on large systems that keep some rates off their floors while
+// an ECU stays overloaded).
+func (d *Detector) StronglySaturated() []bool {
+	out := make([]bool, len(d.counts))
+	for j, c := range d.counts {
+		out[j] = c >= 3*d.needed
+	}
+	return out
+}
+
+// Reset clears one ECU's streak (called after the outer loop has acted on
+// it, so re-latching requires fresh evidence).
+func (d *Detector) Reset(ecu int) { d.counts[ecu] = 0 }

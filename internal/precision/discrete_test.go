@@ -1,0 +1,98 @@
+package precision
+
+import (
+	"math"
+	"testing"
+
+	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+)
+
+// discreteKnapsackSystem: two adjustable subtasks on one ECU, one on a
+// 0.2-step precision grid.
+func discreteKnapsackSystem(t *testing.T) *taskmodel.State {
+	t.Helper()
+	mk := func(name string, weight, step float64) *taskmodel.Task {
+		return &taskmodel.Task{
+			Name: name,
+			Subtasks: []taskmodel.Subtask{
+				{Name: name, ECU: 0, NominalExec: simtime.FromMillis(10), MinRatio: 0.2, Weight: weight, RatioStep: step},
+			},
+			RateMin: 10, RateMax: 10,
+		}
+	}
+	sys := &taskmodel.System{
+		NumECUs:   1,
+		UtilBound: []float64{0.9},
+		Tasks: []*taskmodel.Task{
+			mk("gridded", 1, 0.2),
+			mk("smooth", 3, 0),
+		},
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return taskmodel.NewState(sys)
+}
+
+func TestReduceRatiosWithDiscreteGrid(t *testing.T) {
+	st := discreteKnapsackSystem(t)
+	// Cheapest precision is the gridded task (w/cr = 1/0.1 = 10 vs 30).
+	// Request 0.033 of utilization: continuous Δa = 0.33, floored grid
+	// ratio = floor(0.67/0.2)·0.2 = 0.6 → actual Δa = 0.4, reclaiming
+	// 0.04 — more than requested, as Section IV.E.2's floor demands.
+	got := ReduceRatios(st, 0, 0.033)
+	a := st.Ratio(taskmodel.SubtaskRef{Task: 0, Index: 0})
+	if math.Abs(a-0.6) > 1e-12 {
+		t.Errorf("gridded ratio = %v, want 0.6", a)
+	}
+	if math.Abs(got-0.04) > 1e-12 {
+		t.Errorf("reclaimed = %v, want 0.04 (floored over-reclaim)", got)
+	}
+	// The smooth task was not needed.
+	if st.Ratio(taskmodel.SubtaskRef{Task: 1, Index: 0}) != 1 {
+		t.Error("smooth task touched unnecessarily")
+	}
+	// Accounting matches the estimated utilization drop exactly.
+	if u := st.EstimatedUtilization(0); math.Abs((0.2-u)-got) > 1e-12 {
+		t.Errorf("estimated drop %v != reported %v", 0.2-u, got)
+	}
+}
+
+func TestRestoreRatiosWithDiscreteGrid(t *testing.T) {
+	st := discreteKnapsackSystem(t)
+	gridded := taskmodel.SubtaskRef{Task: 0, Index: 0}
+	smooth := taskmodel.SubtaskRef{Task: 1, Index: 0}
+	st.SetRatio(gridded, 0.2)
+	st.SetRatio(smooth, 0.2)
+	// Budget 0.1: the smooth task (higher profit) restores first —
+	// full restore costs 0.08; the remaining 0.02 goes to the gridded
+	// task: continuous Δa = 0.2 → exactly one grid step to 0.4.
+	spent := RestoreRatios(st, 0, 0.1)
+	if a := st.Ratio(smooth); a != 1 {
+		t.Errorf("smooth ratio = %v, want 1", a)
+	}
+	if a := st.Ratio(gridded); math.Abs(a-0.4) > 1e-12 {
+		t.Errorf("gridded ratio = %v, want 0.4", a)
+	}
+	if math.Abs(spent-0.1) > 1e-12 {
+		t.Errorf("spent = %v, want 0.1", spent)
+	}
+}
+
+func TestRestoreNeverExceedsBudgetWithGrid(t *testing.T) {
+	st := discreteKnapsackSystem(t)
+	gridded := taskmodel.SubtaskRef{Task: 0, Index: 0}
+	smooth := taskmodel.SubtaskRef{Task: 1, Index: 0}
+	st.SetRatio(gridded, 0.2)
+	st.SetRatio(smooth, 1)
+	// Budget worth Δa = 0.15 on the gridded task: flooring yields zero
+	// grid steps (0.35 floors to 0.2), so nothing is spent.
+	spent := RestoreRatios(st, 0, 0.015)
+	if spent > 0.015+1e-12 {
+		t.Errorf("spent %v exceeds budget", spent)
+	}
+	if a := st.Ratio(gridded); math.Abs(a-0.2) > 1e-12 {
+		t.Errorf("gridded ratio = %v, want unchanged 0.2 (sub-step budget)", a)
+	}
+}

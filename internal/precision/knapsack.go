@@ -1,0 +1,136 @@
+// Package precision implements the outer precision-based control loop of
+// AutoE2E (Section IV.C) — the paper's main contribution. It contains:
+//
+//   - the reversed relaxed knapsack solver of Equation (8), which chooses
+//     execution-time-ratio decrements Δa_il that reclaim a required amount
+//     of CPU utilization at minimum total precision loss Σ w_il·Δa_il;
+//   - its dual used for restoration, which spends a utilization budget on
+//     ratio increases at maximum precision gain;
+//   - the saturation detector that activates the loop when the inner
+//     rate-based controller has lost control authority (settled
+//     utilization above the bound for several consecutive inner periods);
+//   - the computation precision restorer of Algorithm 1, which reacts to
+//     rate-floor drops (vehicle deceleration) by bisecting task rates
+//     toward their floors and letting the ratio controller refill the
+//     resulting headroom with precision.
+package precision
+
+import (
+	"sort"
+
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+)
+
+// ratioItem is one adjustable subtask on the ECU being balanced.
+type ratioItem struct {
+	ref taskmodel.SubtaskRef
+	// cost is the estimated utilization change per unit of ratio change:
+	// c_il·r_i (Equation 8's container coefficients).
+	cost float64
+	// profit is the precision weight w_il.
+	profit float64
+	// headroom is how far the ratio can still move in the intended
+	// direction (a − a_min when decreasing, 1 − a when increasing).
+	headroom float64
+}
+
+// items collects the adjustable subtasks of ECU j with their knapsack
+// coefficients. decrease selects the direction headroom is measured in.
+func items(st *taskmodel.State, ecu int, decrease bool) []ratioItem {
+	sys := st.System()
+	var out []ratioItem
+	for _, ref := range sys.OnECU(ecu) {
+		sub := sys.Subtask(ref)
+		if !sub.Adjustable() {
+			continue
+		}
+		a := st.Ratio(ref)
+		head := a - sub.MinRatio
+		if !decrease {
+			head = 1 - a
+		}
+		if head <= 0 {
+			continue
+		}
+		out = append(out, ratioItem{
+			ref:      ref,
+			cost:     sub.NominalExec.Seconds() * st.Rate(ref.Task),
+			profit:   sub.Weight,
+			headroom: head,
+		})
+	}
+	return out
+}
+
+// ReduceRatios solves the reversed relaxed knapsack of Equation (8) for one
+// ECU: it lowers execution-time ratios until the estimated utilization
+// reclaimed reaches `reclaim`, filling items in ascending profit/cost order
+// (w_il / (c_il·r_i)) so the total precision loss is minimal. It mutates
+// the state and returns the utilization actually reclaimed, which is less
+// than requested when every adjustable ratio is already at its floor.
+func ReduceRatios(st *taskmodel.State, ecu int, reclaim float64) float64 {
+	if reclaim <= 0 {
+		return 0
+	}
+	list := items(st, ecu, true)
+	// Ascending profit-to-cost: cheapest precision (least weight per
+	// reclaimed utilization) is sacrificed first. Ties resolve by task
+	// order for determinism.
+	sort.SliceStable(list, func(i, j int) bool {
+		return list[i].profit*list[j].cost < list[j].profit*list[i].cost
+	})
+	reclaimed := 0.0
+	for _, it := range list {
+		if reclaim-reclaimed <= 0 {
+			break
+		}
+		if it.cost <= 0 {
+			continue
+		}
+		da := (reclaim - reclaimed) / it.cost
+		if da > it.headroom {
+			da = it.headroom
+		}
+		// Account the delta actually applied: discrete-ratio subtasks
+		// floor onto their grid (Section IV.E.2), which can reclaim more
+		// than requested.
+		before := st.Ratio(it.ref)
+		applied := st.SetRatio(it.ref, before-da)
+		reclaimed += (before - applied) * it.cost
+	}
+	return reclaimed
+}
+
+// RestoreRatios spends up to `budget` of estimated utilization on raising
+// execution-time ratios toward one, in descending profit/cost order so the
+// most valuable precision returns first (the under-utilization branch of
+// Equation 8, where e_j is negative and Δa_il comes out negative). It
+// mutates the state and returns the utilization actually consumed.
+func RestoreRatios(st *taskmodel.State, ecu int, budget float64) float64 {
+	if budget <= 0 {
+		return 0
+	}
+	list := items(st, ecu, false)
+	sort.SliceStable(list, func(i, j int) bool {
+		return list[i].profit*list[j].cost > list[j].profit*list[i].cost
+	})
+	spent := 0.0
+	for _, it := range list {
+		if budget-spent <= 0 {
+			break
+		}
+		if it.cost <= 0 {
+			continue
+		}
+		da := (budget - spent) / it.cost
+		if da > it.headroom {
+			da = it.headroom
+		}
+		// Discrete-ratio subtasks floor onto their grid, restoring less
+		// than the continuous request — never exceeding the budget.
+		before := st.Ratio(it.ref)
+		applied := st.SetRatio(it.ref, before+da)
+		spent += (applied - before) * it.cost
+	}
+	return spent
+}

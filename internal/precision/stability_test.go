@@ -1,0 +1,111 @@
+package precision
+
+import (
+	"math"
+	"testing"
+
+	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+)
+
+// stabilitySystem: one ECU, one wide-range adjustable subtask, so the
+// outer loop's closed-loop dynamics are exactly Equation (9):
+// u(k+1) = u(k) + g·(B − u(k)).
+func stabilitySystem(t *testing.T) *taskmodel.State {
+	t.Helper()
+	sys := &taskmodel.System{
+		NumECUs:   1,
+		UtilBound: []float64{0.7},
+		Tasks: []*taskmodel.Task{{
+			Name: "wide",
+			Subtasks: []taskmodel.Subtask{
+				{Name: "w", ECU: 0, NominalExec: simtime.FromMillis(100), MinRatio: 0.01, Weight: 1},
+			},
+			RateMin: 10, RateMax: 10,
+		}},
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return taskmodel.NewState(sys)
+}
+
+// runGainLoop simulates the outer loop against a plant with execution-time
+// uncertainty g: the controller believes the estimates (reclaim/restore in
+// estimated utilization), but the plant responds with g times the estimated
+// change — Equation (4). It returns the trajectory of |u − B|.
+func runGainLoop(t *testing.T, g, u0 float64, periods int) []float64 {
+	t.Helper()
+	st := stabilitySystem(t)
+	const bound = 0.7
+	// Start at u0 (the subtask's c·r spans exactly one unit of
+	// utilization, so ratio u0 realizes it); plant and estimate agree at
+	// the start.
+	st.SetRatio(taskmodel.SubtaskRef{Task: 0, Index: 0}, u0)
+	u := u0
+	errs := make([]float64, 0, periods)
+	for k := 0; k < periods; k++ {
+		e := u - bound
+		var estChange float64
+		if e > 0 {
+			estChange = -ReduceRatios(st, 0, e)
+		} else if e < 0 {
+			estChange = RestoreRatios(st, 0, -e)
+		}
+		u += g * estChange
+		errs = append(errs, math.Abs(u-bound))
+	}
+	return errs
+}
+
+func TestOuterLoopStableWithinGainRange(t *testing.T) {
+	// Section IV.C.2: the closed loop is stable for 0 < g < 2.
+	for _, g := range []float64{0.3, 0.7, 1.0, 1.5, 1.9} {
+		// Start at u = 0.9: far enough from the bound to need many
+		// corrections, close enough that even g = 0.3's overshooting
+		// estimates stay inside the ratio box.
+		errs := runGainLoop(t, g, 0.9, 40)
+		final := errs[len(errs)-1]
+		if final > 0.01 {
+			t.Errorf("g = %v: final error %v, want convergence", g, final)
+		}
+	}
+}
+
+func TestOuterLoopCriticallyDampedAtGainOne(t *testing.T) {
+	// g = 1 (perfect estimates): one step lands exactly on the bound.
+	errs := runGainLoop(t, 1.0, 0.9, 3)
+	if errs[0] > 1e-9 {
+		t.Errorf("g=1 first-step error = %v, want 0 (deadbeat)", errs[0])
+	}
+}
+
+func TestOuterLoopDivergesBeyondGainTwo(t *testing.T) {
+	// Beyond g = 2 the pole leaves the unit circle: the error grows (until
+	// the ratio box clips it). Start near the bound so several doubling
+	// oscillations fit inside the box.
+	errs := runGainLoop(t, 2.4, 0.75, 6)
+	grew := 0
+	for i := 1; i < len(errs); i++ {
+		if errs[i] > errs[i-1]*1.05 {
+			grew++
+		}
+	}
+	if grew < 2 {
+		t.Errorf("g = 2.4: error trajectory %v does not amplify", errs)
+	}
+	if errs[len(errs)-1] < errs[0] {
+		t.Errorf("g = 2.4: error shrank overall: %v", errs)
+	}
+}
+
+func TestOuterLoopMarginallyStableAtGainTwo(t *testing.T) {
+	// Exactly g = 2: the pole sits on the unit circle — a sustained
+	// oscillation that neither grows nor decays.
+	errs := runGainLoop(t, 2.0, 0.75, 10)
+	for i, e := range errs {
+		if math.Abs(e-errs[0]) > 1e-9 {
+			t.Errorf("g = 2 oscillation amplitude changed at step %d: %v vs %v", i, e, errs[0])
+		}
+	}
+}

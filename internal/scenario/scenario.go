@@ -1,0 +1,411 @@
+// Package scenario scripts the paper's experiments: the vehicle-speed
+// profiles (rate-floor steps), execution-time disturbances, and initial
+// conditions for each figure of the evaluation section, packaged as
+// core.RunConfig values ready to run.
+//
+// Figures 3 and 4(a) use the motivation setup of Section III; Figures 8 and
+// 9 use the Figure 7 testbed workload; Figures 11 and 12 use the Figure 2
+// larger-scale workload. The lane-change and cruise experiments of
+// Figures 3(b), 4(b) and 10 additionally attach the vehicle co-simulation
+// (package vehicle) on top of these configurations.
+package scenario
+
+import (
+	"math"
+
+	"github.com/autoe2e/autoe2e/internal/baseline"
+	"github.com/autoe2e/autoe2e/internal/core"
+	"github.com/autoe2e/autoe2e/internal/exectime"
+	"github.com/autoe2e/autoe2e/internal/precision"
+	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/workload"
+)
+
+// ExecNoise is the default multiplicative execution-time noise spread,
+// producing the small runtime precision variations visible in
+// Figures 8(c) and 9(c).
+const ExecNoise = 0.05
+
+// floorEvent returns a scenario event that moves several tasks' determined
+// rates at once (one vehicle-speed change).
+func floorEvent(at simtime.Time, floors map[taskmodel.TaskID]float64) core.Event {
+	return core.Event{At: at, Do: func(st *taskmodel.State) {
+		for id, f := range floors {
+			st.SetRateFloor(id, f)
+		}
+	}}
+}
+
+// TestbedAcceleration reproduces the Figure 8 experiment: the Figure 7
+// scaled-car workload under an acceleration profile that raises the
+// determined task rates at 100 s, 200 s and 320 s. The first step leaves
+// the system feasible at full precision; the later steps push the actuator
+// and computation ECUs beyond their bounds unless precision is shed, which
+// is exactly where EUCON's rate-only adaptation saturates.
+func TestbedAcceleration(mode core.Mode, seed int64) core.RunConfig {
+	sys := workload.Testbed()
+	return core.RunConfig{
+		System: sys,
+		Exec:   exectime.NewNoise(exectime.Nominal{}, ExecNoise, seed),
+		Middleware: core.Config{
+			Mode:        mode,
+			InnerPeriod: simtime.Second,
+			OuterEvery:  10,
+		},
+		Duration: 400 * simtime.Second,
+		Events: []core.Event{
+			floorEvent(simtime.At(100), map[taskmodel.TaskID]float64{
+				workload.TestbedSteerByWire: 75, workload.TestbedDriveByWire: 75,
+				workload.TestbedSteerCtrl: 18, workload.TestbedSpeedCtrl: 18,
+			}),
+			floorEvent(simtime.At(200), map[taskmodel.TaskID]float64{
+				workload.TestbedSteerByWire: 90, workload.TestbedDriveByWire: 90,
+				workload.TestbedSteerCtrl: 24, workload.TestbedSpeedCtrl: 24,
+			}),
+			floorEvent(simtime.At(320), map[taskmodel.TaskID]float64{
+				workload.TestbedSteerByWire: 100, workload.TestbedDriveByWire: 100,
+				workload.TestbedSteerCtrl: 30, workload.TestbedSpeedCtrl: 30,
+			}),
+		},
+	}
+}
+
+// testbedHighSpeedFloors is the operating point after the Figure 8
+// acceleration finishes (the state the Figure 9 deceleration starts from).
+var testbedHighSpeedFloors = map[taskmodel.TaskID]float64{
+	workload.TestbedSteerByWire: 100, workload.TestbedDriveByWire: 100,
+	workload.TestbedSteerCtrl: 30, workload.TestbedSpeedCtrl: 30,
+}
+
+// testbedDecelFloors is the determined-rate level the vehicle decelerates
+// back to — the level of the first acceleration step, per Section V.B.
+var testbedDecelFloors = map[taskmodel.TaskID]float64{
+	workload.TestbedSteerByWire: 75, workload.TestbedDriveByWire: 75,
+	workload.TestbedSteerCtrl: 18, workload.TestbedSpeedCtrl: 18,
+}
+
+// testbedHighSpeedSetup reproduces the settled post-acceleration state:
+// rates pinned at the high floors and enough precision shed per ECU that
+// the estimated utilizations sit just under the bounds.
+func testbedHighSpeedSetup(st *taskmodel.State) {
+	for id, f := range testbedHighSpeedFloors {
+		st.SetRateFloor(id, f)
+	}
+	sys := st.System()
+	for j := 0; j < sys.NumECUs; j++ {
+		if over := st.EstimatedUtilization(j) - (sys.UtilBound[j] - 0.03); over > 0 {
+			precision.ReduceRatios(st, j, over)
+		}
+	}
+}
+
+// TestbedRestore reproduces the Figure 9 experiment with AutoE2E's
+// computation precision restorer: the run starts in the settled high-speed
+// state (precision shed), and at 10 s the vehicle decelerates, dropping the
+// determined rates back to the first-acceleration level.
+func TestbedRestore(seed int64) core.RunConfig {
+	sys := workload.Testbed()
+	return core.RunConfig{
+		System: sys,
+		Setup:  testbedHighSpeedSetup,
+		Exec:   exectime.NewNoise(exectime.Nominal{}, ExecNoise, seed),
+		Middleware: core.Config{
+			Mode:        core.ModeAutoE2E,
+			InnerPeriod: simtime.Second,
+			OuterEvery:  10,
+		},
+		Duration: 120 * simtime.Second,
+		Events:   []core.Event{floorEvent(simtime.At(10), testbedDecelFloors)},
+	}
+}
+
+// TestbedRestoreDirectIncrease is the Figure 9 Direct Increase baseline:
+// same initial state and deceleration, but the ratios are raised by a fixed
+// step each outer period until the system saturates, instead of running
+// Algorithm 1. The inner rate loop stays active (EUCON), and the baseline
+// piggybacks on the middleware's monitoring cadence.
+func TestbedRestoreDirectIncrease(seed int64, step float64) core.RunConfig {
+	cfg := TestbedRestore(seed)
+	cfg.Middleware.Mode = core.ModeEUCON
+	var di *baseline.DirectIncrease
+	innerCount := 0
+	outerEvery := cfg.Middleware.OuterEvery
+	cfg.OnInnerTick = func(now simtime.Time, utils []float64, st *taskmodel.State) {
+		if di == nil {
+			d, err := baseline.NewDirectIncrease(st, step)
+			if err != nil {
+				panic(err) // static misconfiguration of the scenario
+			}
+			di = d
+		}
+		if now >= simtime.At(10) && !di.Active() &&
+			st.Rate(workload.TestbedSteerByWire) > st.RateFloor(workload.TestbedSteerByWire)+1e-9 &&
+			!st.FullPrecision() {
+			// Deceleration detected (floor below rate): activate once.
+			di.OnFloorDrop()
+		}
+		innerCount++
+		if di.Active() && innerCount%outerEvery == 0 {
+			di.Step(utils)
+		}
+	}
+	return cfg
+}
+
+// TestbedOptimalPrecision evaluates the Figure 9(d) oracle: the maximum
+// weighted precision achievable at the post-deceleration floors with
+// perfect knowledge of true execution times (here: nominal, since the
+// noise is zero-mean).
+func TestbedOptimalPrecision() float64 {
+	sys := workload.Testbed()
+	st := taskmodel.NewState(sys)
+	for id, f := range testbedDecelFloors {
+		st.SetRateFloor(id, f)
+	}
+	return baseline.OptimalPrecision(st, func(ref taskmodel.SubtaskRef) float64 {
+		return sys.Subtask(ref).NominalExec.Seconds()
+	})
+}
+
+// SimAcceleration reproduces the Figure 11 experiment: the Figure 2
+// workload (6 ECUs, 11 tasks) under speed increases at 25 s and 37 s. The
+// path-tracking cycle shrinks from 40 ms toward 20 ms and the other
+// autonomous-driving applications tighten with it; after the second step
+// the chassis-computation and perception ECUs are infeasible at full
+// precision.
+func SimAcceleration(mode core.Mode, seed int64) core.RunConfig {
+	sys := workload.Simulation()
+	return core.RunConfig{
+		System: sys,
+		Exec:   exectime.NewNoise(exectime.Nominal{}, ExecNoise, seed),
+		Middleware: core.Config{
+			Mode:        mode,
+			InnerPeriod: 500 * simtime.Millisecond,
+			OuterEvery:  6,
+		},
+		Duration: 60 * simtime.Second,
+		Events: []core.Event{
+			floorEvent(simtime.At(25), map[taskmodel.TaskID]float64{
+				workload.SimPathTracking: 40,
+				workload.SimStability:    25,
+				workload.SimACC:          25,
+				workload.SimABS:          100,
+				workload.SimParking:      15,
+			}),
+			floorEvent(simtime.At(37), map[taskmodel.TaskID]float64{
+				workload.SimPathTracking: 50,
+				workload.SimStability:    40,
+				workload.SimACC:          40,
+				workload.SimABS:          150,
+				workload.SimParking:      25,
+				workload.SimEngine:       40,
+				workload.SimBrakeByWire:  40,
+				workload.SimTraction:     40,
+				workload.SimESC:          40,
+			}),
+		},
+	}
+}
+
+// simHighSpeedFloors is the Figure 12 starting point: the post-acceleration
+// determined rates of SimAcceleration's final step.
+var simHighSpeedFloors = map[taskmodel.TaskID]float64{
+	workload.SimPathTracking: 50,
+	workload.SimStability:    40,
+	workload.SimACC:          40,
+	workload.SimABS:          150,
+	workload.SimParking:      25,
+	workload.SimEngine:       40,
+	workload.SimBrakeByWire:  40,
+	workload.SimTraction:     40,
+	workload.SimESC:          40,
+}
+
+// simDecelFloors is the level the simulated vehicle decelerates to in the
+// Figure 12 experiment (the first acceleration step of Figure 11).
+var simDecelFloors = map[taskmodel.TaskID]float64{
+	workload.SimPathTracking: 40,
+	workload.SimStability:    25,
+	workload.SimACC:          25,
+	workload.SimABS:          100,
+	workload.SimParking:      15,
+	workload.SimEngine:       20,
+	workload.SimBrakeByWire:  20,
+	workload.SimTraction:     20,
+	workload.SimESC:          20,
+}
+
+// simHighSpeedSetup mirrors testbedHighSpeedSetup for the Figure 2
+// workload.
+func simHighSpeedSetup(st *taskmodel.State) {
+	for id, f := range simHighSpeedFloors {
+		st.SetRateFloor(id, f)
+	}
+	sys := st.System()
+	for j := 0; j < sys.NumECUs; j++ {
+		if over := st.EstimatedUtilization(j) - (sys.UtilBound[j] - 0.03); over > 0 {
+			precision.ReduceRatios(st, j, over)
+		}
+	}
+}
+
+// SimRestore reproduces the Figure 12 experiment: the Figure 2 workload
+// starts in the settled high-speed state and decelerates at 5 s.
+func SimRestore(seed int64) core.RunConfig {
+	sys := workload.Simulation()
+	return core.RunConfig{
+		System: sys,
+		Setup:  simHighSpeedSetup,
+		Exec:   exectime.NewNoise(exectime.Nominal{}, ExecNoise, seed),
+		Middleware: core.Config{
+			Mode:        core.ModeAutoE2E,
+			InnerPeriod: 500 * simtime.Millisecond,
+			OuterEvery:  6,
+		},
+		Duration: 40 * simtime.Second,
+		Events:   []core.Event{floorEvent(simtime.At(5), simDecelFloors)},
+	}
+}
+
+// SimRestoreDirectIncrease is the Figure 12 Direct Increase baseline.
+func SimRestoreDirectIncrease(seed int64, step float64) core.RunConfig {
+	cfg := SimRestore(seed)
+	cfg.Middleware.Mode = core.ModeEUCON
+	var di *baseline.DirectIncrease
+	innerCount := 0
+	outerEvery := cfg.Middleware.OuterEvery
+	cfg.OnInnerTick = func(now simtime.Time, utils []float64, st *taskmodel.State) {
+		if di == nil {
+			d, err := baseline.NewDirectIncrease(st, step)
+			if err != nil {
+				panic(err)
+			}
+			di = d
+		}
+		if now >= simtime.At(5) && !di.Active() &&
+			st.Rate(workload.SimPathTracking) > st.RateFloor(workload.SimPathTracking)+1e-9 &&
+			!st.FullPrecision() {
+			di.OnFloorDrop()
+		}
+		innerCount++
+		if di.Active() && innerCount%outerEvery == 0 {
+			di.Step(utils)
+		}
+	}
+	return cfg
+}
+
+// SimOptimalPrecision evaluates the Figure 12(d) oracle at the
+// post-deceleration floors.
+func SimOptimalPrecision() float64 {
+	sys := workload.Simulation()
+	st := taskmodel.NewState(sys)
+	for id, f := range simDecelFloors {
+		st.SetRateFloor(id, f)
+	}
+	return baseline.OptimalPrecision(st, func(ref taskmodel.SubtaskRef) float64 {
+		return sys.Subtask(ref).NominalExec.Seconds()
+	})
+}
+
+// Motivation reproduces the Figure 3(a) setup: the Figure 2 workload under
+// a static (OPEN) rate assignment, with the steering MPC's execution time
+// multiplied by execFactor from t = 5 s onward (factor ~1.94 is the paper's
+// icy-road 12.1 ms → 23.5 ms jump). No runtime adaptation is active; the
+// miss ratio of the path-tracking task is the experiment's output.
+func Motivation(execFactor float64, seed int64) core.RunConfig {
+	sys := workload.Simulation()
+	base := exectime.NewScript(exectime.Nominal{}, []exectime.Step{
+		{Ref: workload.PathTrackingMPCRef, At: simtime.At(5), Factor: execFactor},
+	})
+	return core.RunConfig{
+		System: sys,
+		Setup: func(st *taskmodel.State) {
+			if err := baseline.OpenLoop(st); err != nil {
+				panic(err) // built-in workload is always solvable
+			}
+		},
+		Exec: exectime.NewNoise(base, ExecNoise, seed),
+		Middleware: core.Config{
+			Mode:        core.ModeOpen,
+			InnerPeriod: 500 * simtime.Millisecond,
+		},
+		Duration: 30 * simtime.Second,
+	}
+}
+
+// SaturationSweep reproduces one point of Figure 4(a): the Figure 2
+// workload under EUCON with the path-tracking determined period forced to
+// periodMs (40 ms down to 20 ms) from t = 5 s. As the period tightens, the
+// rate range collapses and EUCON's utilization control becomes infeasible.
+func SaturationSweep(periodMs float64, seed int64) core.RunConfig {
+	sys := workload.Simulation()
+	return core.RunConfig{
+		System: sys,
+		Exec:   exectime.NewNoise(exectime.Nominal{}, ExecNoise, seed),
+		Middleware: core.Config{
+			Mode:        core.ModeEUCON,
+			InnerPeriod: 500 * simtime.Millisecond,
+		},
+		Duration: 30 * simtime.Second,
+		Events: []core.Event{
+			floorEvent(simtime.At(5), map[taskmodel.TaskID]float64{
+				workload.SimPathTracking: 1000 / periodMs,
+				workload.SimStability:    40,
+				workload.SimACC:          40,
+			}),
+		},
+	}
+}
+
+// SyntheticScale builds a saturation scenario on a randomly generated
+// workload of the given shape: after a settling phase, every task's
+// determined rate jumps by a common factor chosen from the workload itself —
+// 30% beyond the tightest ECU's full-precision feasibility, but within what
+// minimum precision can absorb. The rate-only arm must saturate; the
+// two-tier arm must recover by shedding. Used by the scalability
+// experiments to show the design holds well beyond the paper's 6-ECU setup.
+func SyntheticScale(mode core.Mode, seed int64, numECUs, numTasks int) core.RunConfig {
+	sys := workload.Synthetic(seed, numECUs, numTasks)
+
+	// Per-ECU load per unit of floor scaling, at full and at minimum
+	// precision.
+	full := taskmodel.NewState(sys)
+	atMin := taskmodel.NewState(sys)
+	for ti, task := range sys.Tasks {
+		for si := range task.Subtasks {
+			ref := taskmodel.SubtaskRef{Task: taskmodel.TaskID(ti), Index: si}
+			atMin.SetRatio(ref, task.Subtasks[si].MinRatio)
+		}
+	}
+	lambda := math.Inf(1)    // beyond this, full precision is infeasible
+	lambdaMax := math.Inf(1) // beyond this, even minimum precision is infeasible
+	for j := 0; j < sys.NumECUs; j++ {
+		if u := full.EstimatedUtilization(j); u > 0 {
+			lambda = math.Min(lambda, sys.UtilBound[j]/u)
+		}
+		if u := atMin.EstimatedUtilization(j); u > 0 {
+			lambdaMax = math.Min(lambdaMax, 0.9*sys.UtilBound[j]/u)
+		}
+	}
+	scale := math.Min(1.3*lambda, lambdaMax)
+
+	raise := core.Event{At: simtime.At(20), Do: func(st *taskmodel.State) {
+		for ti, task := range sys.Tasks {
+			floor := math.Min(task.RateMin*scale, task.RateMax)
+			st.SetRateFloor(taskmodel.TaskID(ti), floor)
+		}
+	}}
+	return core.RunConfig{
+		System: sys,
+		Exec:   exectime.NewNoise(exectime.Nominal{}, ExecNoise, seed),
+		Middleware: core.Config{
+			Mode:        mode,
+			InnerPeriod: 500 * simtime.Millisecond,
+			OuterEvery:  6,
+		},
+		Duration: 60 * simtime.Second,
+		Events:   []core.Event{raise},
+	}
+}

@@ -1,0 +1,339 @@
+// Package sched simulates the distributed real-time execution substrate of
+// the paper: per-ECU preemptive fixed-priority scheduling (RMS /
+// deadline-monotonic on the evenly-split subdeadlines of Section V.A.3),
+// end-to-end task chains synchronized by the release-guard protocol, job
+// abortion at the end-to-end deadline ("the computation result becomes
+// obsolete and has to be discarded", Section III), windowed CPU-utilization
+// monitoring, and per-task deadline-miss accounting.
+//
+// The simulation is event-driven on a simtime.Engine: events are job
+// releases, job completions, chain deadlines, and periodic first-subtask
+// releases. Identical seeds produce identical traces.
+package sched
+
+import (
+	"fmt"
+
+	"github.com/autoe2e/autoe2e/internal/exectime"
+	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+)
+
+// ChainEvent describes the fate of one end-to-end task instance. It is
+// delivered to the OnChain callback when the instance either completes all
+// subtasks or is aborted at its end-to-end deadline.
+type ChainEvent struct {
+	Task     taskmodel.TaskID
+	Instance uint64
+	// Release is when the first subtask was released.
+	Release simtime.Time
+	// Deadline is the absolute end-to-end deadline: Release plus one
+	// period per subtask (the deadline d_i is evenly divided into
+	// subdeadlines p = d_i/n_i, and the task releases every p —
+	// Section V.A.3).
+	Deadline simtime.Time
+	// Completed is when the last subtask finished; meaningful only when
+	// Missed is false.
+	Completed simtime.Time
+	// Missed reports that the instance was aborted at its deadline.
+	Missed bool
+}
+
+// SyncPolicy selects how successive subtasks of a chain are released.
+type SyncPolicy int
+
+const (
+	// SyncReleaseGuard is the paper's non-greedy protocol [26]: a
+	// subtask's release is separated from its previous release by at
+	// least the task period, smoothing bursts at the cost of added
+	// latency. The default.
+	SyncReleaseGuard SyncPolicy = iota
+	// SyncGreedy releases a successor the instant its predecessor
+	// completes. Provided for the release-guard ablation: greedy
+	// synchronization admits bursts that inflate interference on shared
+	// ECUs.
+	SyncGreedy
+)
+
+// Config carries the pluggable pieces of the scheduler.
+type Config struct {
+	// Exec produces actual job demands. Required.
+	Exec exectime.Model
+	// Sync selects the chain synchronization protocol. Default
+	// SyncReleaseGuard.
+	Sync SyncPolicy
+	// LinkDelay, if non-nil, returns the communication delay inserted
+	// between the completion of a subtask on fromECU and the
+	// release-guard release of its successor on toECU (Section IV.E.1).
+	LinkDelay func(fromECU, toECU int) simtime.Duration
+	// OnChain, if non-nil, is invoked for every completed or missed task
+	// instance. Used by the vehicle co-simulation to apply (or hold)
+	// actuation commands.
+	OnChain func(ev ChainEvent)
+}
+
+// TaskCounter is the cumulative accounting for one task.
+type TaskCounter struct {
+	// Released counts chain instances whose first subtask was released.
+	Released uint64
+	// Completed counts instances that finished before their deadline.
+	Completed uint64
+	// Missed counts instances aborted at their end-to-end deadline.
+	Missed uint64
+}
+
+// MissRatio returns Missed / (Completed + Missed), or 0 when no instance
+// has resolved yet.
+func (c TaskCounter) MissRatio() float64 {
+	resolved := c.Completed + c.Missed
+	if resolved == 0 {
+		return 0
+	}
+	return float64(c.Missed) / float64(resolved)
+}
+
+// Sub returns the counter delta c − earlier, for windowed statistics.
+func (c TaskCounter) Sub(earlier TaskCounter) TaskCounter {
+	return TaskCounter{
+		Released:  c.Released - earlier.Released,
+		Completed: c.Completed - earlier.Completed,
+		Missed:    c.Missed - earlier.Missed,
+	}
+}
+
+// Scheduler drives the distributed task set on a simulation engine.
+type Scheduler struct {
+	eng   *simtime.Engine
+	sys   *taskmodel.System
+	state *taskmodel.State
+	cfg   Config
+
+	ecus     []*ecuRunner
+	lastRel  map[taskmodel.SubtaskRef]simtime.Time
+	counters []TaskCounter
+	nextSeq  uint64
+	started  bool
+}
+
+// New assembles a scheduler for the validated system at the given operating
+// point. Call Start to schedule the initial releases.
+func New(eng *simtime.Engine, state *taskmodel.State, cfg Config) *Scheduler {
+	if cfg.Exec == nil {
+		panic("sched: Config.Exec is required")
+	}
+	sys := state.System()
+	s := &Scheduler{
+		eng:      eng,
+		sys:      sys,
+		state:    state,
+		cfg:      cfg,
+		lastRel:  make(map[taskmodel.SubtaskRef]simtime.Time),
+		counters: make([]TaskCounter, len(sys.Tasks)),
+	}
+	s.ecus = make([]*ecuRunner, sys.NumECUs)
+	for j := range s.ecus {
+		s.ecus[j] = &ecuRunner{sched: s, id: j, lastSample: eng.Now()}
+	}
+	return s
+}
+
+// State returns the operating point the scheduler reads rates and ratios
+// from. Controllers mutate it between control periods.
+func (s *Scheduler) State() *taskmodel.State { return s.state }
+
+// Start schedules the first release of every task at the current instant.
+// It must be called exactly once.
+func (s *Scheduler) Start() {
+	if s.started {
+		panic("sched: Start called twice")
+	}
+	s.started = true
+	for ti := range s.sys.Tasks {
+		ti := taskmodel.TaskID(ti)
+		s.eng.Schedule(s.eng.Now(), func(now simtime.Time) { s.releaseFirst(ti, now) })
+	}
+}
+
+// Counters returns a snapshot of the cumulative per-task accounting.
+func (s *Scheduler) Counters() []TaskCounter {
+	out := make([]TaskCounter, len(s.counters))
+	copy(out, s.counters)
+	return out
+}
+
+// Counter returns the cumulative accounting for one task.
+func (s *Scheduler) Counter(i taskmodel.TaskID) TaskCounter { return s.counters[i] }
+
+// SampleUtilizations returns each ECU's busy-time fraction since the
+// previous call (the paper's utilization monitor) and starts a new window.
+// Windows with zero width return 0.
+func (s *Scheduler) SampleUtilizations() []float64 {
+	now := s.eng.Now()
+	out := make([]float64, len(s.ecus))
+	for j, e := range s.ecus {
+		out[j] = e.sampleWindow(now)
+	}
+	return out
+}
+
+// releaseFirst releases a new instance of task ti and schedules the next
+// periodic release. The period is read from the current rate, so rate
+// changes by the inner controller take effect at the next release.
+func (s *Scheduler) releaseFirst(ti taskmodel.TaskID, now simtime.Time) {
+	period := s.state.Period(ti)
+	n := len(s.sys.Tasks[ti].Subtasks)
+	c := &chain{
+		task:     ti,
+		instance: s.counters[ti].Released,
+		release:  now,
+		deadline: now.Add(period * simtime.Duration(n)),
+		period:   period,
+	}
+	s.counters[ti].Released++
+	// The deadline event aborts the chain if it has not completed. It is
+	// scheduled before the next release so that, at equal timestamps, the
+	// previous instance resolves before a new one starts.
+	s.eng.Schedule(c.deadline, func(simtime.Time) { s.chainDeadline(c) })
+	s.eng.Schedule(now.Add(period), func(next simtime.Time) { s.releaseFirst(ti, next) })
+	s.releaseStage(c, 0, now)
+}
+
+// releaseStage releases subtask `stage` of chain c, honouring the release
+// guard: consecutive releases of the same subtask are separated by at least
+// the chain period (unless greedy synchronization was configured).
+func (s *Scheduler) releaseStage(c *chain, stage int, now simtime.Time) {
+	ref := taskmodel.SubtaskRef{Task: c.task, Index: stage}
+	at := now
+	// Greedy synchronization only affects successor stages; the first
+	// stage's periodic separation is always guarded so a rate decrease
+	// between releases cannot produce a short gap.
+	if s.cfg.Sync == SyncReleaseGuard || stage == 0 {
+		if last, ok := s.lastRel[ref]; ok {
+			if guard := last.Add(c.period); guard > at {
+				at = guard
+			}
+		}
+	}
+	if at > now {
+		s.eng.Schedule(at, func(t simtime.Time) { s.admitJob(c, stage, t) })
+		return
+	}
+	s.admitJob(c, stage, now)
+}
+
+// admitJob creates the job for subtask `stage` of chain c and enqueues it on
+// its ECU.
+func (s *Scheduler) admitJob(c *chain, stage int, now simtime.Time) {
+	if c.dead {
+		return // chain was aborted while the release was pending
+	}
+	ref := taskmodel.SubtaskRef{Task: c.task, Index: stage}
+	s.lastRel[ref] = now
+	sub := s.sys.Subtask(ref)
+	demand := s.cfg.Exec.Demand(s.sys, ref, now, s.state.Ratio(ref))
+	s.nextSeq++
+	j := &job{
+		chain:     c,
+		ref:       ref,
+		release:   now,
+		remaining: demand,
+		// Rate-monotonic priority on the subtask period d_i/n_i (every
+		// stage of a chain runs at the task rate and owns one period as
+		// its subdeadline); smaller is more urgent.
+		priority: float64(c.period),
+		seq:      s.nextSeq,
+		index:    -1,
+	}
+	c.stage = stage
+	c.job = j
+	s.ecus[sub.ECU].enqueue(j, now)
+}
+
+// jobFinished is called by an ECU runner when a job runs to completion.
+func (s *Scheduler) jobFinished(j *job, now simtime.Time) {
+	c := j.chain
+	if c.dead {
+		return
+	}
+	c.job = nil
+	next := c.stage + 1
+	if next < len(s.sys.Tasks[c.task].Subtasks) {
+		from := s.sys.Subtask(j.ref).ECU
+		to := s.sys.Tasks[c.task].Subtasks[next].ECU
+		var delay simtime.Duration
+		if s.cfg.LinkDelay != nil {
+			delay = s.cfg.LinkDelay(from, to)
+		}
+		if delay > 0 {
+			s.eng.Schedule(now.Add(delay), func(t simtime.Time) {
+				if !c.dead {
+					s.releaseStage(c, next, t)
+				}
+			})
+		} else {
+			s.releaseStage(c, next, now)
+		}
+		return
+	}
+	// Last subtask done: the instance met its end-to-end deadline (the
+	// deadline event would have aborted it otherwise).
+	c.dead = true
+	s.counters[c.task].Completed++
+	if s.cfg.OnChain != nil {
+		s.cfg.OnChain(ChainEvent{
+			Task: c.task, Instance: c.instance,
+			Release: c.release, Deadline: c.deadline,
+			Completed: now, Missed: false,
+		})
+	}
+}
+
+// chainDeadline fires at a chain's absolute end-to-end deadline and aborts
+// it if it has not completed: the stale result is discarded and the
+// actuator keeps its previous command, exactly the failure mode of
+// Figure 3.
+func (s *Scheduler) chainDeadline(c *chain) {
+	if c.dead {
+		return
+	}
+	c.dead = true
+	if j := c.job; j != nil {
+		s.ecus[s.sys.Subtask(j.ref).ECU].abort(j, s.eng.Now())
+		c.job = nil
+	}
+	s.counters[c.task].Missed++
+	if s.cfg.OnChain != nil {
+		s.cfg.OnChain(ChainEvent{
+			Task: c.task, Instance: c.instance,
+			Release: c.release, Deadline: c.deadline,
+			Missed: true,
+		})
+	}
+}
+
+// chain is one live instance of an end-to-end task.
+type chain struct {
+	task     taskmodel.TaskID
+	instance uint64
+	release  simtime.Time
+	deadline simtime.Time
+	period   simtime.Duration
+	stage    int
+	job      *job
+	dead     bool
+}
+
+// job is one released subtask instance awaiting or receiving CPU time.
+type job struct {
+	chain     *chain
+	ref       taskmodel.SubtaskRef
+	release   simtime.Time
+	remaining simtime.Duration
+	priority  float64 // smaller = higher priority
+	seq       uint64  // FIFO tie-break
+	index     int     // position in the ready heap; -1 when not queued
+}
+
+func (j *job) String() string {
+	return fmt.Sprintf("%v@%v", j.ref, j.release)
+}

@@ -1,0 +1,181 @@
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// EventFunc is the body of a scheduled event. It runs with the engine clock
+// set to the event's instant and may schedule further events.
+type EventFunc func(now Time)
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+type event struct {
+	at    Time
+	seq   uint64 // FIFO tie-break among simultaneous events
+	id    EventID
+	fn    EventFunc
+	index int // heap index, -1 when cancelled/popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulation engine. Events
+// scheduled for the same instant run in scheduling order (FIFO), which keeps
+// runs reproducible regardless of map iteration or goroutine interleaving.
+//
+// Engine is not safe for concurrent use; the simulation is single-threaded
+// by design so that identical seeds yield identical traces.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	nextID  EventID
+	live    map[EventID]*event
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{live: make(map[EventID]*event)}
+}
+
+// Now reports the current simulated instant.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule enqueues fn to run at the given absolute instant. Scheduling in
+// the past (before Now) panics: it would silently reorder causality, which
+// is always a bug in the caller.
+func (e *Engine) Schedule(at Time, fn EventFunc) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("simtime: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("simtime: schedule with nil EventFunc")
+	}
+	e.nextSeq++
+	e.nextID++
+	ev := &event{at: at, seq: e.nextSeq, id: e.nextID, fn: fn}
+	heap.Push(&e.queue, ev)
+	e.live[ev.id] = ev
+	return ev.id
+}
+
+// After enqueues fn to run d after the current instant.
+func (e *Engine) After(d Duration, fn EventFunc) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative delay %v", d))
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Cancel removes a pending event. It reports whether the event was still
+// pending; cancelling an already-run or already-cancelled event is a no-op.
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.live[id]
+	if !ok || ev.index < 0 {
+		delete(e.live, id)
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	delete(e.live, id)
+	return true
+}
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty or the
+// next event is strictly after `until`. The clock is left at the time of the
+// last executed event, or at `until` if the queue drained earlier (so that
+// periodic samplers observe a full window).
+func (e *Engine) Run(until Time) {
+	e.stopped = false
+	for !e.stopped && e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		delete(e.live, next.id)
+		e.now = next.at
+		next.fn(e.now)
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Step executes exactly one event if any is pending, and reports whether an
+// event ran. It is intended for tests that need to observe intermediate
+// states.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	next := heap.Pop(&e.queue).(*event)
+	delete(e.live, next.id)
+	e.now = next.at
+	next.fn(e.now)
+	return true
+}
+
+// Every schedules fn to run every period, first at Now()+period. It returns
+// a stop function that cancels the pending occurrence; an fn currently
+// executing is unaffected. Periodic samplers and physics steppers use this
+// instead of hand-rolled rescheduling closures.
+func (e *Engine) Every(period Duration, fn EventFunc) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("simtime: non-positive period %v", period))
+	}
+	stopped := false
+	var id EventID
+	var tick EventFunc
+	tick = func(now Time) {
+		fn(now)
+		if !stopped {
+			id = e.After(period, tick)
+		}
+	}
+	id = e.After(period, tick)
+	return func() {
+		stopped = true
+		e.Cancel(id)
+	}
+}

@@ -1,0 +1,43 @@
+package simtime
+
+import "math/rand"
+
+// Rand is a deterministic random source shared by the simulation's noise
+// models. It is a thin wrapper over math/rand with a fixed seed so that
+// experiment runs are exactly reproducible; the paper's evaluation depends
+// on comparing controllers on identical workload traces.
+type Rand struct {
+	src *rand.Rand
+}
+
+// NewRand returns a deterministic source seeded with seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{src: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 { return r.src.Float64() }
+
+// NormFloat64 returns a standard-normal value.
+func (r *Rand) NormFloat64() float64 { return r.src.NormFloat64() }
+
+// Intn returns a uniform value in [0, n).
+func (r *Rand) Intn(n int) int { return r.src.Intn(n) }
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
+
+// Gaussian returns a normal value with the given mean and standard
+// deviation.
+func (r *Rand) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*r.src.NormFloat64()
+}
+
+// Fork derives an independent deterministic stream from this one. Components
+// that consume randomness at data-dependent rates should each own a fork so
+// that adding noise consumption in one component does not perturb another.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.src.Int63())
+}

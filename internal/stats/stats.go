@@ -1,0 +1,110 @@
+// Package stats provides the summary statistics used by the experiment
+// harnesses: means, extrema, percentiles, and error metrics for comparing
+// controller trajectories against references.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Max returns the maximum, or negative infinity for empty input.
+func Max(v []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range v {
+		m = math.Max(m, x)
+	}
+	return m
+}
+
+// Min returns the minimum, or positive infinity for empty input.
+func Min(v []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range v {
+		m = math.Min(m, x)
+	}
+	return m
+}
+
+// MaxAbs returns the maximum absolute value, or 0 for empty input.
+func MaxAbs(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		m = math.Max(m, math.Abs(x))
+	}
+	return m
+}
+
+// MeanAbs returns the mean absolute value, or 0 for empty input.
+func MeanAbs(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s / float64(len(v))
+}
+
+// RMS returns the root-mean-square, or 0 for empty input.
+func RMS(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s / float64(len(v)))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by linear
+// interpolation between closest ranks, or 0 for empty input.
+func Percentile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// FractionAbove returns the fraction of samples strictly above the
+// threshold, or 0 for empty input.
+func FractionAbove(v []float64, threshold float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range v {
+		if x > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(v))
+}

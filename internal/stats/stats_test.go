@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty Mean != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestExtrema(t *testing.T) {
+	v := []float64{3, -7, 2}
+	if Max(v) != 3 || Min(v) != -7 || MaxAbs(v) != 7 {
+		t.Errorf("Max/Min/MaxAbs = %v/%v/%v", Max(v), Min(v), MaxAbs(v))
+	}
+	if !math.IsInf(Max(nil), -1) || !math.IsInf(Min(nil), 1) {
+		t.Error("empty extrema wrong")
+	}
+	if MaxAbs(nil) != 0 {
+		t.Error("empty MaxAbs != 0")
+	}
+}
+
+func TestMeanAbsAndRMS(t *testing.T) {
+	v := []float64{3, -4}
+	if got := MeanAbs(v); got != 3.5 {
+		t.Errorf("MeanAbs = %v", got)
+	}
+	if got := RMS(v); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMS = %v", got)
+	}
+	if MeanAbs(nil) != 0 || RMS(nil) != 0 {
+		t.Error("empty MeanAbs/RMS != 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	tests := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {-5, 1}, {110, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(v, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 25); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("P25 of {0,10} = %v, want 2.5", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty Percentile != 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	v := []float64{3, 1, 2}
+	Percentile(v, 50)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Error("Percentile sorted its input in place")
+	}
+}
+
+func TestFractionAbove(t *testing.T) {
+	v := []float64{0.1, 0.5, 0.9, 0.7}
+	if got := FractionAbove(v, 0.6); got != 0.5 {
+		t.Errorf("FractionAbove = %v, want 0.5", got)
+	}
+	if FractionAbove(nil, 0) != 0 {
+		t.Error("empty FractionAbove != 0")
+	}
+}
+
+// Property: Min ≤ Mean ≤ Max and P0 = Min, P100 = Max.
+func TestOrderingProperty(t *testing.T) {
+	if err := quick.Check(func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make([]float64, len(raw))
+		for i, x := range raw {
+			v[i] = float64(x)
+		}
+		m := Mean(v)
+		return Min(v) <= m+1e-9 && m <= Max(v)+1e-9 &&
+			Percentile(v, 0) == Min(v) && Percentile(v, 100) == Max(v)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

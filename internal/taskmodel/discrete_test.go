@@ -1,0 +1,104 @@
+package taskmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/autoe2e/autoe2e/internal/simtime"
+)
+
+// discreteSystem has one subtask restricted to the 0.25-step precision grid
+// and one continuous subtask.
+func discreteSystem(t *testing.T) *System {
+	t.Helper()
+	sys := &System{
+		NumECUs: 1,
+		Tasks: []*Task{
+			{
+				Name: "discrete",
+				Subtasks: []Subtask{
+					{Name: "d", ECU: 0, NominalExec: simtime.FromMillis(10), MinRatio: 0.25, Weight: 1, RatioStep: 0.25},
+				},
+				RateMin: 10, RateMax: 20,
+			},
+			{
+				Name: "continuous",
+				Subtasks: []Subtask{
+					{Name: "c", ECU: 0, NominalExec: simtime.FromMillis(10), MinRatio: 0.3, Weight: 1},
+				},
+				RateMin: 10, RateMax: 20,
+			},
+		},
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestDiscreteRatioFloors(t *testing.T) {
+	sys := discreteSystem(t)
+	st := NewState(sys)
+	d := SubtaskRef{Task: 0, Index: 0}
+	tests := []struct{ in, want float64 }{
+		{0.9, 0.75},  // floored to the grid
+		{0.75, 0.75}, // exactly on the grid
+		{0.74, 0.5},
+		{0.3, 0.25},
+		{0.1, 0.25}, // clamped up to MinRatio
+		{1.0, 1.0},  // full precision always allowed
+	}
+	for _, tt := range tests {
+		if got := st.SetRatio(d, tt.in); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("SetRatio(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+	// Continuous subtask untouched by quantization.
+	c := SubtaskRef{Task: 1, Index: 0}
+	if got := st.SetRatio(c, 0.77); got != 0.77 {
+		t.Errorf("continuous SetRatio = %v, want exact 0.77", got)
+	}
+}
+
+func TestDiscreteRatioValidation(t *testing.T) {
+	sys := discreteSystem(t)
+	sys.Tasks[0].Subtasks[0].RatioStep = 1.0
+	if err := sys.Validate(); err == nil {
+		t.Error("RatioStep = 1 accepted")
+	}
+	sys.Tasks[0].Subtasks[0].RatioStep = -0.1
+	if err := sys.Validate(); err == nil {
+		t.Error("negative RatioStep accepted")
+	}
+}
+
+// Property: quantized ratios always land on the grid (or MinRatio/1) and
+// never exceed the request — flooring preserves schedulability.
+func TestDiscreteRatioGridProperty(t *testing.T) {
+	sys := discreteSystem(t)
+	d := SubtaskRef{Task: 0, Index: 0}
+	step := sys.Subtask(d).RatioStep
+	if err := quick.Check(func(raw uint16) bool {
+		req := float64(raw) / 65535 * 1.2 // includes out-of-range requests
+		st := NewState(sys)
+		got := st.SetRatio(d, req)
+		if got > 1 || got < sys.Subtask(d).MinRatio {
+			return false
+		}
+		if got < 1 && got != sys.Subtask(d).MinRatio {
+			// Must be a grid multiple.
+			k := got / step
+			if math.Abs(k-math.Round(k)) > 1e-9 {
+				return false
+			}
+		}
+		// Never above the (clamped) request.
+		if req >= sys.Subtask(d).MinRatio && got > req+1e-12 && req < 1 {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

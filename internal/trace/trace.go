@@ -1,0 +1,255 @@
+// Package trace records named time series during simulation runs and
+// renders them as CSV (for external plotting) or compact ASCII charts (for
+// terminal inspection). Every figure-reproduction harness in this
+// repository emits its data through a Recorder.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named time series.
+type Series struct {
+	Name string
+	T    []float64 // seconds
+	V    []float64
+}
+
+// Add appends one sample.
+func (s *Series) Add(t, v float64) {
+	s.T = append(s.T, t)
+	s.V = append(s.V, v)
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.T) }
+
+// Last returns the most recent value, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	return s.V[len(s.V)-1]
+}
+
+// Values returns the raw values slice (not a copy; callers must not
+// mutate).
+func (s *Series) Values() []float64 { return s.V }
+
+// Window returns the values sampled in the half-open time interval
+// [from, to).
+func (s *Series) Window(from, to float64) []float64 {
+	var out []float64
+	for i, t := range s.T {
+		if t >= from && t < to {
+			out = append(out, s.V[i])
+		}
+	}
+	return out
+}
+
+// Recorder collects named series in insertion order.
+type Recorder struct {
+	series map[string]*Series
+	order  []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*Series)}
+}
+
+// Add appends a sample to the named series, creating it on first use.
+func (r *Recorder) Add(name string, t, v float64) {
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.series[name] = s
+		r.order = append(r.order, name)
+	}
+	s.Add(t, v)
+}
+
+// Series returns the named series, or nil if never written.
+func (r *Recorder) Series(name string) *Series { return r.series[name] }
+
+// Names returns the series names in insertion order.
+func (r *Recorder) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// WriteCSV emits the recorder in long format: series,t,value — one row per
+// sample, series in insertion order.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "series,t,value"); err != nil {
+		return err
+	}
+	for _, name := range r.order {
+		s := r.series[name]
+		for i := range s.T {
+			if _, err := fmt.Fprintf(w, "%s,%.6f,%.6g\n", name, s.T[i], s.V[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteWideCSV emits t plus one column per selected series, aligning rows
+// on the union of timestamps (missing samples are left empty). Pass no
+// names to include every series.
+func (r *Recorder) WriteWideCSV(w io.Writer, names ...string) error {
+	if len(names) == 0 {
+		names = r.order
+	}
+	stamps := map[float64]bool{}
+	for _, name := range names {
+		if s := r.series[name]; s != nil {
+			for _, t := range s.T {
+				stamps[t] = true
+			}
+		}
+	}
+	ts := make([]float64, 0, len(stamps))
+	for t := range stamps {
+		ts = append(ts, t)
+	}
+	sort.Float64s(ts)
+	if _, err := fmt.Fprintf(w, "t,%s\n", strings.Join(names, ",")); err != nil {
+		return err
+	}
+	// Per-series cursor advances monotonically with sorted timestamps.
+	cursor := make(map[string]int, len(names))
+	for _, t := range ts {
+		row := make([]string, 0, len(names)+1)
+		row = append(row, fmt.Sprintf("%.6f", t))
+		for _, name := range names {
+			s := r.series[name]
+			cell := ""
+			if s != nil {
+				i := cursor[name]
+				for i < len(s.T) && s.T[i] < t {
+					i++
+				}
+				// Several samples can share a timestamp; emit the
+				// last one so none is silently dropped on later rows.
+				for i < len(s.T) && s.T[i] == t {
+					cell = fmt.Sprintf("%.6g", s.V[i])
+					i++
+				}
+				cursor[name] = i
+			}
+			row = append(row, cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sparkline renders the series as a one-line ASCII chart of the given
+// width, downsampling by bucket means. It returns "" for an empty series.
+func Sparkline(s *Series, width int) string {
+	if s == nil || len(s.V) == 0 || width <= 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range s.V {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	span := hi - lo
+	var b strings.Builder
+	n := len(s.V)
+	for i := 0; i < width; i++ {
+		start := i * n / width
+		end := (i + 1) * n / width
+		if end <= start {
+			end = start + 1
+		}
+		if start >= n {
+			break
+		}
+		sum := 0.0
+		cnt := 0
+		for j := start; j < end && j < n; j++ {
+			sum += s.V[j]
+			cnt++
+		}
+		mean := sum / float64(cnt)
+		idx := 0
+		if span > 0 {
+			idx = int((mean - lo) / span * float64(len(levels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// PlotASCII renders the series as a multi-row ASCII chart with a value
+// axis, for quick terminal inspection of figure shapes.
+func PlotASCII(s *Series, width, height int) string {
+	if s == nil || len(s.V) == 0 || width <= 0 || height <= 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range s.V {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	n := len(s.V)
+	for i := 0; i < width; i++ {
+		start := i * n / width
+		end := (i + 1) * n / width
+		if end <= start {
+			end = start + 1
+		}
+		if start >= n {
+			break
+		}
+		sum := 0.0
+		cnt := 0
+		for j := start; j < end && j < n; j++ {
+			sum += s.V[j]
+			cnt++
+		}
+		mean := sum / float64(cnt)
+		row := int((hi - mean) / (hi - lo) * float64(height-1))
+		grid[row][i] = '*'
+	}
+	var b strings.Builder
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.3f ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.3f ", lo)
+		default:
+			label = strings.Repeat(" ", 9)
+		}
+		b.WriteString(label)
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

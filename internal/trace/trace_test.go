@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	r.Add("u0", 0, 0.5)
+	r.Add("u0", 1, 0.6)
+	r.Add("u1", 0, 0.2)
+	s := r.Series("u0")
+	if s == nil || s.Len() != 2 || s.Last() != 0.6 {
+		t.Fatalf("u0 series wrong: %+v", s)
+	}
+	if r.Series("missing") != nil {
+		t.Error("missing series not nil")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "u0" || names[1] != "u1" {
+		t.Errorf("Names = %v, want insertion order", names)
+	}
+}
+
+func TestSeriesWindow(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i)*10)
+	}
+	w := s.Window(3, 6)
+	if len(w) != 3 || w[0] != 30 || w[2] != 50 {
+		t.Errorf("Window = %v", w)
+	}
+	if got := s.Window(100, 200); len(got) != 0 {
+		t.Errorf("empty window = %v", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Add("a", 0, 1)
+	r.Add("a", 1, 2)
+	r.Add("b", 0, 3)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "series,t,value\na,0.000000,1\na,1.000000,2\nb,0.000000,3\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestWriteWideCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Add("a", 0, 1)
+	r.Add("a", 2, 2)
+	r.Add("b", 0, 3)
+	r.Add("b", 1, 4)
+	var sb strings.Builder
+	if err := r.WriteWideCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "t,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("rows = %d, want 4 (union of timestamps)", len(lines))
+	}
+	if !strings.HasPrefix(lines[2], "1.000000,,4") {
+		t.Errorf("row at t=1 = %q, want empty cell for a", lines[2])
+	}
+}
+
+func TestWriteWideCSVSubset(t *testing.T) {
+	r := NewRecorder()
+	r.Add("a", 0, 1)
+	r.Add("b", 0, 2)
+	var sb strings.Builder
+	if err := r.WriteWideCSV(&sb, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "t,b\n") {
+		t.Errorf("subset header wrong: %q", sb.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	line := Sparkline(s, 10)
+	if len([]rune(line)) != 10 {
+		t.Errorf("width = %d, want 10", len([]rune(line)))
+	}
+	runes := []rune(line)
+	// Bucket means of a ramp rise monotonically; the first bucket is the
+	// lowest level and the last is above the middle.
+	if runes[0] != '▁' || runes[9] <= runes[0] {
+		t.Errorf("ramp = %q, want rising", line)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("ramp not monotone: %q", line)
+		}
+	}
+	if Sparkline(nil, 10) != "" || Sparkline(&Series{}, 10) != "" {
+		t.Error("empty sparkline should be empty string")
+	}
+}
+
+func TestSparklineConstant(t *testing.T) {
+	s := &Series{}
+	s.Add(0, 5)
+	s.Add(1, 5)
+	if line := Sparkline(s, 4); line == "" {
+		t.Error("constant series produced empty sparkline")
+	}
+}
+
+func TestPlotASCII(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 50; i++ {
+		s.Add(float64(i), float64(i%10))
+	}
+	plot := PlotASCII(s, 40, 8)
+	if plot == "" {
+		t.Fatal("empty plot")
+	}
+	lines := strings.Split(strings.TrimRight(plot, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Errorf("height = %d, want 8", len(lines))
+	}
+	if !strings.Contains(plot, "*") {
+		t.Error("plot has no marks")
+	}
+	if PlotASCII(nil, 10, 5) != "" {
+		t.Error("nil plot should be empty")
+	}
+}
+
+// failWriter errors after n successful writes.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	w.left--
+	return len(p), nil
+}
+
+func TestWriteCSVPropagatesErrors(t *testing.T) {
+	r := NewRecorder()
+	r.Add("a", 0, 1)
+	r.Add("a", 1, 2)
+	if err := r.WriteCSV(&failWriter{left: 0}); err == nil {
+		t.Error("header write error not propagated")
+	}
+	if err := r.WriteCSV(&failWriter{left: 1}); err == nil {
+		t.Error("row write error not propagated")
+	}
+	if err := r.WriteWideCSV(&failWriter{left: 0}); err == nil {
+		t.Error("wide header write error not propagated")
+	}
+	if err := r.WriteWideCSV(&failWriter{left: 1}); err == nil {
+		t.Error("wide row write error not propagated")
+	}
+}
+
+func TestWriteWideCSVDuplicateTimestamps(t *testing.T) {
+	r := NewRecorder()
+	r.Add("a", 0, 1)
+	r.Add("a", 0, 2) // same timestamp: the last value wins, none dangle
+	r.Add("a", 1, 3)
+	var sb strings.Builder
+	if err := r.WriteWideCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rows = %v", lines)
+	}
+	if lines[1] != "0.000000,2" {
+		t.Errorf("row at t=0 = %q, want last duplicate (2)", lines[1])
+	}
+	if lines[2] != "1.000000,3" {
+		t.Errorf("row at t=1 = %q, want 3 (not dropped)", lines[2])
+	}
+}

@@ -1,0 +1,88 @@
+// Package acc implements the adaptive-cruise-control speed controller of
+// the paper's Figure 10(b) experiment: a PI speed regulator with
+// anti-windup, whose command is applied by the speed-and-stability task of
+// the testbed workload. When that task misses its end-to-end deadline the
+// actuator holds the previous command, and the accumulated error is
+// corrected abruptly on the next update — the spikes the paper attributes
+// to EUCON's deadline misses.
+package acc
+
+import "fmt"
+
+// Config tunes the PI regulator.
+type Config struct {
+	// Kp and Ki are the proportional and integral gains. Defaults 2.0 and
+	// 0.5.
+	Kp, Ki float64
+	// MaxAccel and MaxBrake bound the command in m/s². Defaults 1.5 and
+	// 2.5 (the scaled car's limits).
+	MaxAccel, MaxBrake float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Kp == 0 {
+		c.Kp = 2.0
+	}
+	if c.Ki == 0 {
+		c.Ki = 0.5
+	}
+	if c.MaxAccel == 0 {
+		c.MaxAccel = 1.5
+	}
+	if c.MaxBrake == 0 {
+		c.MaxBrake = 2.5
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Kp <= 0 || c.Ki < 0 {
+		return fmt.Errorf("acc: gains Kp=%v Ki=%v invalid", c.Kp, c.Ki)
+	}
+	if c.MaxAccel <= 0 || c.MaxBrake <= 0 {
+		return fmt.Errorf("acc: limits MaxAccel=%v MaxBrake=%v invalid", c.MaxAccel, c.MaxBrake)
+	}
+	return nil
+}
+
+// Controller is a PI speed regulator with conditional anti-windup: the
+// integrator freezes while the command saturates.
+type Controller struct {
+	cfg   Config
+	integ float64
+}
+
+// New validates the configuration and returns a controller.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// Accel returns the acceleration command for the current speed error,
+// advancing the integrator by dt seconds.
+func (c *Controller) Accel(vref, v, dt float64) float64 {
+	if dt <= 0 {
+		panic(fmt.Sprintf("acc: non-positive dt %v", dt))
+	}
+	err := vref - v
+	raw := c.cfg.Kp*err + c.cfg.Ki*(c.integ+err*dt)
+	cmd := raw
+	if cmd > c.cfg.MaxAccel {
+		cmd = c.cfg.MaxAccel
+	}
+	if cmd < -c.cfg.MaxBrake {
+		cmd = -c.cfg.MaxBrake
+	}
+	// Conditional anti-windup: integrate only when unsaturated or when
+	// the error drives the command back toward the feasible range.
+	if cmd == raw || err*raw < 0 {
+		c.integ += err * dt
+	}
+	return cmd
+}
+
+// Reset clears the integrator (e.g. on mode changes).
+func (c *Controller) Reset() { c.integ = 0 }

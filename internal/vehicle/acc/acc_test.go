@@ -1,0 +1,104 @@
+package acc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+	bad := []Config{
+		{Kp: -1},
+		{Kp: 1, Ki: -1},
+		{Kp: 1, MaxAccel: -1},
+		{Kp: 1, MaxAccel: 1, MaxBrake: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestProportionalResponse(t *testing.T) {
+	c, err := New(Config{Kp: 2, Ki: 0.0001, MaxAccel: 10, MaxBrake: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positive error → accelerate; negative → brake.
+	if got := c.Accel(1.0, 0.5, 0.1); got <= 0 {
+		t.Errorf("accel = %v for positive error, want > 0", got)
+	}
+	c.Reset()
+	if got := c.Accel(0.5, 1.0, 0.1); got >= 0 {
+		t.Errorf("accel = %v for negative error, want < 0", got)
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	c, err := New(Config{Kp: 100, Ki: 1, MaxAccel: 1.5, MaxBrake: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Accel(10, 0, 0.1); got != 1.5 {
+		t.Errorf("accel = %v, want clamp at 1.5", got)
+	}
+	c.Reset()
+	if got := c.Accel(0, 10, 0.1); got != -2.5 {
+		t.Errorf("brake = %v, want clamp at -2.5", got)
+	}
+}
+
+func TestAntiWindup(t *testing.T) {
+	c, err := New(Config{Kp: 1, Ki: 10, MaxAccel: 1, MaxBrake: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate hard for a long time.
+	for i := 0; i < 1000; i++ {
+		c.Accel(100, 0, 0.1)
+	}
+	// After the error flips, the command must leave saturation quickly —
+	// within a few updates, not after unwinding 100 s of integral.
+	var cmd float64
+	for i := 0; i < 5; i++ {
+		cmd = c.Accel(0, 100, 0.1)
+	}
+	if cmd != -1 {
+		t.Errorf("cmd = %v after error flip, want brake at limit (no windup)", cmd)
+	}
+}
+
+func TestIntegralEliminatesSteadyStateError(t *testing.T) {
+	c, err := New(Config{Kp: 2, Ki: 1, MaxAccel: 3, MaxBrake: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant with drag: v' = u − 0.5·v. Pure P control would leave a
+	// steady-state error; PI must converge to vref.
+	v := 0.0
+	const vref = 1.0
+	const dt = 0.01
+	for i := 0; i < 20000; i++ {
+		u := c.Accel(vref, v, dt)
+		v += (u - 0.5*v) * dt
+	}
+	if math.Abs(v-vref) > 0.01 {
+		t.Errorf("steady-state speed = %v, want %v", v, vref)
+	}
+}
+
+func TestInvalidDtPanics(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dt <= 0 did not panic")
+		}
+	}()
+	c.Accel(1, 0, 0)
+}

@@ -1,0 +1,188 @@
+package cosim
+
+import (
+	"testing"
+
+	"github.com/autoe2e/autoe2e/internal/core"
+	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/vehicle"
+)
+
+// TestLaneChangeArms is the Figure 10(a) regression: OPEN diverges under
+// the icy-road execution-time growth, EUCON misses and tracks poorly, and
+// AutoE2E stays within centimeters of the reference.
+func TestLaneChangeArms(t *testing.T) {
+	open, err := LaneChange(LaneChangeConfig{Mode: core.ModeOpen, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eucon, err := LaneChange(LaneChangeConfig{Mode: core.ModeEUCON, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := LaneChange(LaneChangeConfig{Mode: core.ModeAutoE2E, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's ordering: AutoE2E ≪ EUCON ≤ OPEN in tracking error.
+	if auto.MaxAbsErr >= eucon.MaxAbsErr {
+		t.Errorf("AutoE2E max error %v not below EUCON %v", auto.MaxAbsErr, eucon.MaxAbsErr)
+	}
+	if auto.MaxAbsErr > 0.10 {
+		t.Errorf("AutoE2E max error = %vm, want <= 10cm on the scaled car", auto.MaxAbsErr)
+	}
+	if eucon.MaxAbsErr < 0.2 {
+		t.Errorf("EUCON max error = %vm, want large (sustained misses)", eucon.MaxAbsErr)
+	}
+	if open.MaxAbsErr < 0.2 {
+		t.Errorf("OPEN max error = %vm, want divergence", open.MaxAbsErr)
+	}
+	// Miss ratios drive the errors.
+	if auto.SteerMissRatio >= eucon.SteerMissRatio {
+		t.Errorf("AutoE2E steer miss %v not below EUCON %v", auto.SteerMissRatio, eucon.SteerMissRatio)
+	}
+	if open.SteerMissRatio < 0.5 {
+		t.Errorf("OPEN steer miss = %v, want heavy", open.SteerMissRatio)
+	}
+	// Trajectories were actually recorded.
+	if len(auto.Samples) < 1000 {
+		t.Errorf("only %d trajectory samples", len(auto.Samples))
+	}
+}
+
+// TestCruiseArms is the Figure 10(b) regression: the rate-only arm misses
+// intermittently and corrects abruptly (larger command spikes), while
+// AutoE2E misses less.
+func TestCruiseArms(t *testing.T) {
+	eucon, err := Cruise(CruiseConfig{Mode: core.ModeEUCON, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Cruise(CruiseConfig{Mode: core.ModeAutoE2E, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := Cruise(CruiseConfig{Mode: core.ModeOpen, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.SpeedMissRatio >= eucon.SpeedMissRatio {
+		t.Errorf("AutoE2E speed miss %v not below EUCON %v", auto.SpeedMissRatio, eucon.SpeedMissRatio)
+	}
+	if auto.MaxJerk > eucon.MaxJerk {
+		t.Errorf("AutoE2E steady-state jerk %v above EUCON %v", auto.MaxJerk, eucon.MaxJerk)
+	}
+	// OPEN barely ever updates: its speed error is large.
+	if open.RMSErr < auto.RMSErr {
+		t.Errorf("OPEN RMS error %v below AutoE2E %v", open.RMSErr, auto.RMSErr)
+	}
+	if len(auto.Samples) < 1000 {
+		t.Errorf("only %d speed samples", len(auto.Samples))
+	}
+}
+
+// TestTradeoffUShape is the Figure 4(b) regression: tracking error is high
+// at starved precision, minimal at a mid budget, and high again once the
+// budget is unschedulable.
+func TestTradeoffUShape(t *testing.T) {
+	short, err := Tradeoff(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := Tradeoff(24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := Tradeoff(30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(short.MaxAbsErr > mid.MaxAbsErr && over.MaxAbsErr > mid.MaxAbsErr) {
+		t.Errorf("no U-shape: short %v, mid %v, over %v",
+			short.MaxAbsErr, mid.MaxAbsErr, over.MaxAbsErr)
+	}
+	// The two failure modes are distinct: the short budget never misses
+	// (pure precision loss), the over budget misses heavily.
+	if short.MissRatio > 0.01 {
+		t.Errorf("short budget miss ratio = %v, want ~0", short.MissRatio)
+	}
+	if over.MissRatio < 0.5 {
+		t.Errorf("over budget miss ratio = %v, want heavy", over.MissRatio)
+	}
+	// Horizon mapping is monotone in the budget.
+	if !(short.Horizon < mid.Horizon && mid.Horizon < over.Horizon) {
+		t.Errorf("horizons not monotone: %d, %d, %d", short.Horizon, mid.Horizon, over.Horizon)
+	}
+}
+
+func TestTradeoffInvalidBudget(t *testing.T) {
+	if _, err := Tradeoff(0, 1); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestCosimDeterminism(t *testing.T) {
+	a, err := LaneChange(LaneChangeConfig{Mode: core.ModeAutoE2E, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LaneChange(LaneChangeConfig{Mode: core.ModeAutoE2E, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxAbsErr != b.MaxAbsErr || a.SteerMissRatio != b.SteerMissRatio {
+		t.Error("same seed produced different co-simulation results")
+	}
+}
+
+func TestStateLog(t *testing.T) {
+	var l stateLog
+	for i := 0; i < 300; i++ {
+		l.add(simtime.At(float64(i)), vehicle.State{X: float64(i)})
+	}
+	// Capped history.
+	if len(l.ts) > 256 {
+		t.Errorf("log grew to %d entries", len(l.ts))
+	}
+	// Lookup returns the latest sample ≤ t.
+	got := l.at(simtime.At(250.5))
+	if got.X != 250 {
+		t.Errorf("at(250.5).X = %v, want 250", got.X)
+	}
+	// Before the oldest entry: the oldest is returned.
+	got = l.at(0)
+	if got.X != 300-256 {
+		t.Errorf("at(0).X = %v, want oldest %d", got.X, 300-256)
+	}
+}
+
+// TestMotivationTrajectory is the Figure 3(b) regression: under a static
+// schedule the icy-road execution-time growth produces continuous misses
+// and a trajectory deviation far beyond a lane width — the paper's
+// collision argument. At the nominal execution time the same car tracks
+// the maneuver comfortably.
+func TestMotivationTrajectory(t *testing.T) {
+	nominal, err := MotivationTrajectory(MotivationConfig{ExecFactor: 1.0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nominal.MissRatio > 0.01 {
+		t.Errorf("nominal miss ratio = %v, want ~0", nominal.MissRatio)
+	}
+	if nominal.MaxAbsErr > 0.5 {
+		t.Errorf("nominal max error = %vm, want < 0.5m", nominal.MaxAbsErr)
+	}
+	icy, err := MotivationTrajectory(MotivationConfig{}) // defaults: ×1.94
+	if err != nil {
+		t.Fatal(err)
+	}
+	if icy.MissRatio < 0.5 {
+		t.Errorf("icy miss ratio = %v, want continuous misses", icy.MissRatio)
+	}
+	if icy.MaxAbsErr < 2.0 {
+		t.Errorf("icy max error = %vm, want beyond a lane width", icy.MaxAbsErr)
+	}
+	if len(icy.Samples) < 1000 {
+		t.Errorf("only %d samples", len(icy.Samples))
+	}
+}

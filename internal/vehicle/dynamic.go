@@ -1,0 +1,145 @@
+package vehicle
+
+import (
+	"fmt"
+	"math"
+)
+
+// DynamicParams extends the kinematic car with the lateral-dynamics
+// quantities of the single-track ("dynamic bicycle") model with a linear
+// tire: mass, yaw inertia, axle distances and cornering stiffnesses. The
+// paper's steering MPC is derived on exactly this model class (the LTV-MPC
+// of [24]); simulating the plant with it while the controller assumes the
+// kinematic model exercises the controller's robustness to model mismatch.
+type DynamicParams struct {
+	// Params are the shared geometric and limit parameters. Wheelbase
+	// must equal Lf + Lr.
+	Params
+	// Mass is the vehicle mass in kg.
+	Mass float64
+	// Inertia is the yaw moment of inertia in kg·m².
+	Inertia float64
+	// Lf and Lr are the distances from the center of gravity to the
+	// front and rear axles in meters.
+	Lf, Lr float64
+	// CorneringFront and CorneringRear are the axle cornering
+	// stiffnesses in N/rad.
+	CorneringFront, CorneringRear float64
+}
+
+// ScaledCarDynamic returns single-track parameters for the 1:16 scaled
+// testbed car (mass and stiffness scaled from a typical RC chassis).
+func ScaledCarDynamic() DynamicParams {
+	p := ScaledCar()
+	return DynamicParams{
+		Params:         p,
+		Mass:           1.9,
+		Inertia:        0.013,
+		Lf:             0.055,
+		Lr:             0.055,
+		CorneringFront: 35,
+		CorneringRear:  40,
+	}
+}
+
+// FullSizeDynamic returns single-track parameters for a typical passenger
+// car.
+func FullSizeDynamic() DynamicParams {
+	p := FullSize()
+	return DynamicParams{
+		Params:         p,
+		Mass:           1500,
+		Inertia:        2500,
+		Lf:             1.2,
+		Lr:             1.5,
+		CorneringFront: 80000,
+		CorneringRear:  100000,
+	}
+}
+
+// Validate rejects physically meaningless parameter sets.
+func (p DynamicParams) Validate() error {
+	if err := p.Params.Validate(); err != nil {
+		return err
+	}
+	if p.Mass <= 0 || p.Inertia <= 0 {
+		return fmt.Errorf("vehicle: Mass/Inertia must be positive")
+	}
+	if p.Lf <= 0 || p.Lr <= 0 {
+		return fmt.Errorf("vehicle: axle distances must be positive")
+	}
+	if math.Abs(p.Lf+p.Lr-p.Wheelbase) > 1e-9 {
+		return fmt.Errorf("vehicle: Lf + Lr = %v != Wheelbase %v", p.Lf+p.Lr, p.Wheelbase)
+	}
+	if p.CorneringFront <= 0 || p.CorneringRear <= 0 {
+		return fmt.Errorf("vehicle: cornering stiffnesses must be positive")
+	}
+	return nil
+}
+
+// DynamicState is the single-track model state: position and heading as in
+// the kinematic model, plus lateral velocity and yaw rate.
+type DynamicState struct {
+	X, Y float64
+	Yaw  float64
+	// Vx is the longitudinal speed (body frame), Vy the lateral speed.
+	Vx, Vy float64
+	// YawRate is the angular velocity about the vertical axis.
+	YawRate float64
+}
+
+// Kinematic projects the dynamic state onto the kinematic State (position,
+// heading, speed), for controllers that assume the simpler model.
+func (s *DynamicState) Kinematic() State {
+	return State{X: s.X, Y: s.Y, Yaw: s.Yaw, V: s.Vx}
+}
+
+// Step advances the single-track model by dt seconds. Steering and
+// acceleration commands are clamped to the car's limits; tire lateral
+// forces are linear in slip angle and saturate at the friction budget
+// μ·g·m/2 per axle (a crude but standard friction circle).
+func (s *DynamicState) Step(p DynamicParams, steer, accel, dt float64) {
+	if dt <= 0 {
+		panic(fmt.Sprintf("vehicle: non-positive dt %v", dt))
+	}
+	steer = clamp(steer, -p.MaxSteer, p.MaxSteer)
+	accel = clamp(accel, -p.MaxBrake, p.MaxAccel)
+
+	vx := s.Vx
+	if vx < 0.1 {
+		// Near standstill the slip-angle model degenerates; fall back to
+		// kinematic rolling.
+		k := s.Kinematic()
+		k.Step(p.Params, steer, accel, dt)
+		s.X, s.Y, s.Yaw, s.Vx = k.X, k.Y, k.Yaw, k.V
+		s.Vy, s.YawRate = 0, 0
+		return
+	}
+
+	// Slip angles (small-angle convention).
+	alphaF := steer - math.Atan2(s.Vy+p.Lf*s.YawRate, vx)
+	alphaR := -math.Atan2(s.Vy-p.Lr*s.YawRate, vx)
+	maxAxleForce := p.Friction * Gravity * p.Mass / 2
+	fyf := clamp(p.CorneringFront*alphaF, -maxAxleForce, maxAxleForce)
+	fyr := clamp(p.CorneringRear*alphaR, -maxAxleForce, maxAxleForce)
+
+	// Body-frame dynamics.
+	ay := (fyf*math.Cos(steer)+fyr)/p.Mass - vx*s.YawRate
+	yawAcc := (p.Lf*fyf*math.Cos(steer) - p.Lr*fyr) / p.Inertia
+
+	s.X += (vx*math.Cos(s.Yaw) - s.Vy*math.Sin(s.Yaw)) * dt
+	s.Y += (vx*math.Sin(s.Yaw) + s.Vy*math.Cos(s.Yaw)) * dt
+	s.Yaw = normalizeAngle(s.Yaw + s.YawRate*dt)
+	s.Vy += ay * dt
+	s.YawRate += yawAcc * dt
+	s.Vx += accel * dt
+	if s.Vx < 0 {
+		s.Vx = 0
+	}
+}
+
+// UndersteerGradient returns the steady-state understeer gradient
+// K = m/L·(Lr/Cf − Lf/Cr) in rad·s²/m; positive means the car understeers.
+func (p DynamicParams) UndersteerGradient() float64 {
+	return p.Mass / p.Wheelbase * (p.Lr/p.CorneringFront - p.Lf/p.CorneringRear)
+}

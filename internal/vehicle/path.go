@@ -1,0 +1,103 @@
+package vehicle
+
+import (
+	"fmt"
+	"math"
+)
+
+// Path is a reference trajectory parameterized by longitudinal position x.
+type Path interface {
+	// Y returns the reference lateral position at x.
+	Y(x float64) float64
+	// Heading returns the reference heading angle (atan of the slope) at
+	// x.
+	Heading(x float64) float64
+	// Curvature returns the signed path curvature at x, used as the
+	// MPC's feed-forward term.
+	Curvature(x float64) float64
+}
+
+// StraightPath is y = offset: the lane-keeping reference.
+type StraightPath struct{ Offset float64 }
+
+// Y implements Path.
+func (p StraightPath) Y(float64) float64 { return p.Offset }
+
+// Heading implements Path.
+func (p StraightPath) Heading(float64) float64 { return 0 }
+
+// Curvature implements Path.
+func (p StraightPath) Curvature(float64) float64 { return 0 }
+
+// DoubleLaneChange is the passing maneuver of Figures 1 and 10(a): shift by
+// LaneWidth starting at Start over Length meters, hold for Hold meters,
+// then return to the original lane over Length meters. The transitions are
+// smooth sigmoids, matching the ISO 3888-style references used in MPC
+// path-tracking studies.
+type DoubleLaneChange struct {
+	// Start is where the first transition begins (m).
+	Start float64
+	// Length is the longitudinal extent of each transition (m).
+	Length float64
+	// Hold is the distance driven in the passing lane (m).
+	Hold float64
+	// LaneWidth is the lateral shift (m).
+	LaneWidth float64
+}
+
+// ScaledDoubleLaneChange returns the maneuver sized for the 1:16 scaled
+// car: a 0.40 m lane shift beginning after 5 m (so runtime adaptation has
+// settled when the transition starts), each transition 3 m long with 2 m
+// in the passing lane. The peak reference heading stays below ~22°, within
+// the linear MPC's small-angle validity.
+func ScaledDoubleLaneChange() DoubleLaneChange {
+	return DoubleLaneChange{Start: 5, Length: 3, Hold: 2, LaneWidth: 0.40}
+}
+
+// Validate rejects degenerate geometry.
+func (p DoubleLaneChange) Validate() error {
+	if p.Length <= 0 || p.LaneWidth == 0 || p.Hold < 0 {
+		return fmt.Errorf("vehicle: degenerate lane change %+v", p)
+	}
+	return nil
+}
+
+// sigmoid is the smooth 0→1 transition used for both lane shifts.
+func sigmoid(u float64) float64 {
+	// Scaled so the transition effectively completes within u ∈ [0, 1].
+	return 1 / (1 + math.Exp(-12*(u-0.5)))
+}
+
+// Y implements Path.
+func (p DoubleLaneChange) Y(x float64) float64 {
+	switch {
+	case x < p.Start:
+		return 0
+	case x < p.Start+p.Length:
+		return p.LaneWidth * sigmoid((x-p.Start)/p.Length)
+	case x < p.Start+p.Length+p.Hold:
+		return p.LaneWidth
+	case x < p.Start+2*p.Length+p.Hold:
+		return p.LaneWidth * (1 - sigmoid((x-p.Start-p.Length-p.Hold)/p.Length))
+	default:
+		return 0
+	}
+}
+
+// Heading implements Path via a central difference.
+func (p DoubleLaneChange) Heading(x float64) float64 {
+	const h = 1e-3
+	return math.Atan2(p.Y(x+h)-p.Y(x-h), 2*h)
+}
+
+// Curvature implements Path via finite differences of the heading.
+func (p DoubleLaneChange) Curvature(x float64) float64 {
+	const h = 1e-3
+	return (p.Heading(x+h) - p.Heading(x-h)) / (2 * h)
+}
+
+// TrackingError returns the lateral deviation of the position from the
+// path.
+func TrackingError(p Path, x, y float64) float64 {
+	return y - p.Y(x)
+}

@@ -1,0 +1,133 @@
+// Package vehicle models the physical plant of the paper's experiments: a
+// bicycle-model car (the 1:16 scaled testbed car of Figure 6 or a full-size
+// vehicle), reference paths such as the double lane change of Figures 1, 3
+// and 10, and road conditions (friction) that limit the achievable yaw
+// rate — the icy-road condition that motivates the execution-time increase
+// in Section III.
+package vehicle
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gravity is the gravitational acceleration used for friction limits.
+const Gravity = 9.81
+
+// Params are the physical parameters of the car.
+type Params struct {
+	// Wheelbase is the axle distance L in meters.
+	Wheelbase float64
+	// MaxSteer is the steering-angle limit in radians.
+	MaxSteer float64
+	// MaxAccel and MaxBrake limit longitudinal acceleration in m/s².
+	MaxAccel, MaxBrake float64
+	// Friction is the road friction coefficient μ; lateral acceleration
+	// is limited to μ·g. Dry asphalt ≈ 0.9, ice ≈ 0.15.
+	Friction float64
+}
+
+// ScaledCar returns the 1:16 scaled testbed car of Section V.A: ~11 cm
+// wheelbase, driven at 0.70 m/s (25 mph full-scale equivalent).
+func ScaledCar() Params {
+	return Params{
+		Wheelbase: 0.11,
+		MaxSteer:  0.45, // ~26°
+		MaxAccel:  1.5,
+		MaxBrake:  2.5,
+		Friction:  0.9,
+	}
+}
+
+// FullSize returns a typical passenger-car parameter set.
+func FullSize() Params {
+	return Params{
+		Wheelbase: 2.7,
+		MaxSteer:  0.52,
+		MaxAccel:  3.0,
+		MaxBrake:  8.0,
+		Friction:  0.9,
+	}
+}
+
+// Validate rejects physically meaningless parameters.
+func (p Params) Validate() error {
+	if p.Wheelbase <= 0 {
+		return fmt.Errorf("vehicle: Wheelbase = %v, want > 0", p.Wheelbase)
+	}
+	if p.MaxSteer <= 0 || p.MaxSteer >= math.Pi/2 {
+		return fmt.Errorf("vehicle: MaxSteer = %v, want (0, π/2)", p.MaxSteer)
+	}
+	if p.MaxAccel <= 0 || p.MaxBrake <= 0 {
+		return fmt.Errorf("vehicle: acceleration limits must be positive")
+	}
+	if p.Friction <= 0 || p.Friction > 1.5 {
+		return fmt.Errorf("vehicle: Friction = %v, want (0, 1.5]", p.Friction)
+	}
+	return nil
+}
+
+// State is the kinematic bicycle-model state.
+type State struct {
+	// X, Y is the rear-axle position in meters.
+	X, Y float64
+	// Yaw is the heading in radians.
+	Yaw float64
+	// V is the longitudinal speed in m/s.
+	V float64
+}
+
+// Step advances the state by dt seconds under the given steering angle and
+// longitudinal acceleration command. Commands are clamped to the car's
+// limits; the steering angle is additionally limited so the lateral
+// acceleration v²·tan(δ)/L never exceeds the friction budget μ·g — on ice
+// the same steering command yields less yaw, which is why the paper's MPC
+// needs a longer prediction horizon there.
+func (s *State) Step(p Params, steer, accel, dt float64) {
+	if dt <= 0 {
+		panic(fmt.Sprintf("vehicle: non-positive dt %v", dt))
+	}
+	steer = clamp(steer, -p.MaxSteer, p.MaxSteer)
+	accel = clamp(accel, -p.MaxBrake, p.MaxAccel)
+	// Friction-limited steering: |v²·tanδ/L| ≤ μ·g.
+	if s.V > 0.01 {
+		maxTan := p.Friction * Gravity * p.Wheelbase / (s.V * s.V)
+		maxSteerFriction := math.Atan(maxTan)
+		steer = clamp(steer, -maxSteerFriction, maxSteerFriction)
+	}
+	s.X += s.V * math.Cos(s.Yaw) * dt
+	s.Y += s.V * math.Sin(s.Yaw) * dt
+	s.Yaw += s.V / p.Wheelbase * math.Tan(steer) * dt
+	s.Yaw = normalizeAngle(s.Yaw)
+	s.V += accel * dt
+	if s.V < 0 {
+		s.V = 0
+	}
+}
+
+// YawRateFor returns the yaw rate the car would experience at the given
+// steering angle and current speed.
+func (s *State) YawRateFor(p Params, steer float64) float64 {
+	return s.V / p.Wheelbase * math.Tan(clamp(steer, -p.MaxSteer, p.MaxSteer))
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// normalizeAngle wraps an angle into (−π, π].
+func normalizeAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}

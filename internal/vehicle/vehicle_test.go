@@ -1,0 +1,189 @@
+package vehicle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := ScaledCar().Validate(); err != nil {
+		t.Errorf("ScaledCar invalid: %v", err)
+	}
+	if err := FullSize().Validate(); err != nil {
+		t.Errorf("FullSize invalid: %v", err)
+	}
+	bad := []Params{
+		{Wheelbase: 0, MaxSteer: 0.4, MaxAccel: 1, MaxBrake: 1, Friction: 0.9},
+		{Wheelbase: 1, MaxSteer: 2, MaxAccel: 1, MaxBrake: 1, Friction: 0.9},
+		{Wheelbase: 1, MaxSteer: 0.4, MaxAccel: 0, MaxBrake: 1, Friction: 0.9},
+		{Wheelbase: 1, MaxSteer: 0.4, MaxAccel: 1, MaxBrake: 1, Friction: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestStraightLineMotion(t *testing.T) {
+	p := FullSize()
+	s := State{V: 10}
+	for i := 0; i < 100; i++ {
+		s.Step(p, 0, 0, 0.01)
+	}
+	if math.Abs(s.X-10) > 1e-9 || math.Abs(s.Y) > 1e-9 || s.Yaw != 0 {
+		t.Errorf("straight drive ended at (%v, %v, yaw %v), want (10, 0, 0)", s.X, s.Y, s.Yaw)
+	}
+}
+
+func TestAcceleration(t *testing.T) {
+	p := FullSize()
+	s := State{V: 0}
+	for i := 0; i < 100; i++ {
+		s.Step(p, 0, 1.0, 0.01)
+	}
+	if math.Abs(s.V-1.0) > 1e-9 {
+		t.Errorf("V = %v after 1s at 1 m/s², want 1", s.V)
+	}
+	// Braking never reverses.
+	for i := 0; i < 1000; i++ {
+		s.Step(p, 0, -5, 0.01)
+	}
+	if s.V != 0 {
+		t.Errorf("V = %v after heavy braking, want 0 (no reverse)", s.V)
+	}
+}
+
+func TestTurningCircle(t *testing.T) {
+	// Constant steering yields a circle of radius L/tan(δ).
+	p := FullSize()
+	s := State{V: 5}
+	steer := 0.1
+	radius := p.Wheelbase / math.Tan(steer)
+	// Drive half the circumference.
+	halfCircle := math.Pi * radius / s.V
+	dt := 1e-4
+	for i := 0; i < int(halfCircle/dt); i++ {
+		s.Step(p, steer, 0, dt)
+	}
+	// After half a circle the car faces the opposite direction and sits
+	// 2·radius to the left.
+	if math.Abs(math.Abs(s.Yaw)-math.Pi) > 0.01 {
+		t.Errorf("yaw = %v after half circle, want ±π", s.Yaw)
+	}
+	if math.Abs(s.Y-2*radius) > 0.05*radius {
+		t.Errorf("Y = %v, want ~%v (2R)", s.Y, 2*radius)
+	}
+}
+
+func TestFrictionLimitsYaw(t *testing.T) {
+	dry := FullSize()
+	ice := FullSize()
+	ice.Friction = 0.1
+	sDry := State{V: 20}
+	sIce := State{V: 20}
+	for i := 0; i < 100; i++ {
+		sDry.Step(dry, 0.2, 0, 0.01)
+		sIce.Step(ice, 0.2, 0, 0.01)
+	}
+	if math.Abs(sIce.Yaw) >= math.Abs(sDry.Yaw) {
+		t.Errorf("icy yaw %v not below dry yaw %v", sIce.Yaw, sDry.Yaw)
+	}
+	// The icy lateral acceleration respects μ·g.
+	maxYawRate := ice.Friction * Gravity / sIce.V
+	if got := sIce.YawRateFor(ice, 0.2); got > maxYawRate*1.01 {
+		// YawRateFor does not apply the friction clamp (it reports the
+		// command's kinematic effect), but Step must have.
+		t.Logf("kinematic yaw rate %v, friction limit %v", got, maxYawRate)
+	}
+	if yawRate := math.Abs(sIce.Yaw) / 1.0; yawRate > maxYawRate*1.05 {
+		t.Errorf("icy average yaw rate %v exceeds friction limit %v", yawRate, maxYawRate)
+	}
+}
+
+func TestStepClampsCommands(t *testing.T) {
+	p := ScaledCar()
+	s := State{V: 0.7}
+	s.Step(p, 10, 100, 0.01) // absurd commands
+	if s.V > 0.7+p.MaxAccel*0.01+1e-12 {
+		t.Error("acceleration not clamped")
+	}
+	maxYawStep := s.V / p.Wheelbase * math.Tan(p.MaxSteer) * 0.01
+	if s.Yaw > maxYawStep*1.01 {
+		t.Error("steering not clamped")
+	}
+}
+
+func TestStepInvalidDtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dt <= 0 did not panic")
+		}
+	}()
+	s := State{}
+	s.Step(FullSize(), 0, 0, 0)
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi / 2, math.Pi / 2},
+		{2 * math.Pi, 0},
+		{3 * math.Pi, math.Pi},
+		{-3 * math.Pi, math.Pi},
+	}
+	for _, tt := range tests {
+		if got := normalizeAngle(tt.in); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("normalizeAngle(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestDoubleLaneChangeGeometry(t *testing.T) {
+	p := ScaledDoubleLaneChange()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Y(0); got != 0 {
+		t.Errorf("Y before start = %v, want 0", got)
+	}
+	mid := p.Start + p.Length + p.Hold/2
+	if got := p.Y(mid); math.Abs(got-p.LaneWidth) > 0.01*p.LaneWidth {
+		t.Errorf("Y in passing lane = %v, want %v", got, p.LaneWidth)
+	}
+	after := p.Start + 2*p.Length + p.Hold + 1
+	if got := p.Y(after); math.Abs(got) > 0.01*p.LaneWidth {
+		t.Errorf("Y after return = %v, want ~0", got)
+	}
+	// Heading is positive during the first transition, negative in the
+	// second.
+	if p.Heading(p.Start+p.Length/2) <= 0 {
+		t.Error("first transition heading not positive")
+	}
+	if p.Heading(p.Start+p.Length+p.Hold+p.Length/2) >= 0 {
+		t.Error("second transition heading not negative")
+	}
+}
+
+func TestDoubleLaneChangeContinuityProperty(t *testing.T) {
+	p := ScaledDoubleLaneChange()
+	// No jumps: |Y(x+h) − Y(x)| bounded by a Lipschitz constant.
+	if err := quick.Check(func(xRaw uint16) bool {
+		x := float64(xRaw) / 65535 * 15 // covers the whole maneuver
+		const h = 1e-4
+		return math.Abs(p.Y(x+h)-p.Y(x)) < 1e-2
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStraightPath(t *testing.T) {
+	p := StraightPath{Offset: 1.5}
+	if p.Y(100) != 1.5 || p.Heading(3) != 0 || p.Curvature(7) != 0 {
+		t.Error("StraightPath wrong")
+	}
+	if got := TrackingError(p, 5, 2.0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("TrackingError = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+)
+
+func TestTestbedShape(t *testing.T) {
+	sys := Testbed()
+	if sys.NumECUs != 3 {
+		t.Errorf("NumECUs = %d, want 3", sys.NumECUs)
+	}
+	if len(sys.Tasks) != 4 {
+		t.Errorf("tasks = %d, want 4", len(sys.Tasks))
+	}
+	// T3/T4 carry four times the computation of T1/T2 (Section V.A.3).
+	t1 := sys.Tasks[TestbedSteerByWire].Subtasks[0].NominalExec
+	var t3 simtime.Duration
+	for _, s := range sys.Tasks[TestbedSteerCtrl].Subtasks {
+		t3 += s.NominalExec
+	}
+	ratio := float64(t3) / float64(t1)
+	if ratio < 2.5 || ratio > 4.5 {
+		t.Errorf("T3/T1 computation ratio = %v, want ~4", ratio)
+	}
+	// Deadline structure: 50 ms single-stage (20 Hz) vs 200 ms two-stage
+	// (100 ms subdeadlines, 10 Hz).
+	if sys.Tasks[TestbedSteerByWire].RateMin != 20 || sys.Tasks[TestbedSteerCtrl].RateMin != 10 {
+		t.Error("determined rates do not match the 50 ms / 200 ms deadlines")
+	}
+	// The chains span computation → actuator ECUs.
+	if sys.Tasks[TestbedSteerCtrl].Subtasks[0].ECU != TestbedComputationECU ||
+		sys.Tasks[TestbedSteerCtrl].Subtasks[1].ECU != TestbedSteeringECU {
+		t.Error("steering control chain on wrong ECUs")
+	}
+	// Speed controller outweighs steering controller (Section IV.C.1).
+	if sys.Tasks[TestbedSpeedCtrl].Subtasks[0].Weight <= sys.Tasks[TestbedSteerCtrl].Subtasks[0].Weight {
+		t.Error("speed controller should carry more precision weight")
+	}
+}
+
+func TestTestbedInitiallyFeasible(t *testing.T) {
+	sys := Testbed()
+	st := taskmodel.NewState(sys)
+	for j := 0; j < sys.NumECUs; j++ {
+		if u := st.EstimatedUtilization(j); u > sys.UtilBound[j] {
+			t.Errorf("ECU%d initial utilization %v above bound %v", j, u, sys.UtilBound[j])
+		}
+	}
+}
+
+func TestSimulationShape(t *testing.T) {
+	sys := Simulation()
+	if sys.NumECUs != 6 {
+		t.Errorf("NumECUs = %d, want 6", sys.NumECUs)
+	}
+	if len(sys.Tasks) != 11 {
+		t.Errorf("tasks = %d, want 11", len(sys.Tasks))
+	}
+	// T8_2 is the variable-horizon steering MPC at 12.1 ms.
+	mpc := sys.Subtask(PathTrackingMPCRef)
+	if mpc.NominalExec != simtime.FromMillis(12.1) {
+		t.Errorf("T8_2 exec = %v, want 12.1ms", mpc.NominalExec)
+	}
+	if !mpc.Adjustable() {
+		t.Error("T8_2 must be precision-adjustable")
+	}
+	// Path tracking cycle: 40 ms determined period shrinking to 20 ms.
+	t8 := sys.Tasks[SimPathTracking]
+	if t8.RateMin != 25 || t8.RateMax != 50 {
+		t.Errorf("T8 rate range = [%v, %v], want [25, 50]", t8.RateMin, t8.RateMax)
+	}
+	if len(t8.Subtasks) != 3 {
+		t.Errorf("T8 chain length = %d, want 3 (detect → MPC → actuate)", len(t8.Subtasks))
+	}
+	// Safety-critical classics are not precision-adjustable.
+	for _, id := range []taskmodel.TaskID{SimABS, SimTraction, SimESC} {
+		for si, sub := range sys.Tasks[id].Subtasks {
+			if sub.Adjustable() {
+				t.Errorf("%s subtask %d must not be adjustable", sys.Tasks[id].Name, si)
+			}
+		}
+	}
+}
+
+func TestSimulationInitiallyFeasible(t *testing.T) {
+	sys := Simulation()
+	st := taskmodel.NewState(sys)
+	for j := 0; j < sys.NumECUs; j++ {
+		if u := st.EstimatedUtilization(j); u > sys.UtilBound[j] {
+			t.Errorf("ECU%d initial utilization %v above bound %v", j, u, sys.UtilBound[j])
+		}
+	}
+}
+
+func TestSyntheticValidAndDeterministic(t *testing.T) {
+	a := Synthetic(7, 4, 12)
+	b := Synthetic(7, 4, 12)
+	if len(a.Tasks) != 12 || a.NumECUs != 4 {
+		t.Fatalf("shape = %d ECUs, %d tasks", a.NumECUs, len(a.Tasks))
+	}
+	for i := range a.Tasks {
+		if len(a.Tasks[i].Subtasks) != len(b.Tasks[i].Subtasks) {
+			t.Fatal("same seed produced different workloads")
+		}
+		for l := range a.Tasks[i].Subtasks {
+			if a.Tasks[i].Subtasks[l] != b.Tasks[i].Subtasks[l] {
+				t.Fatal("same seed produced different subtasks")
+			}
+		}
+	}
+	c := Synthetic(8, 4, 12)
+	same := true
+	for i := range a.Tasks {
+		if len(a.Tasks[i].Subtasks) != len(c.Tasks[i].Subtasks) {
+			same = false
+			break
+		}
+		for l := range a.Tasks[i].Subtasks {
+			if a.Tasks[i].Subtasks[l] != c.Tasks[i].Subtasks[l] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestSyntheticInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid shape did not panic")
+		}
+	}()
+	Synthetic(1, 0, 5)
+}

@@ -1,0 +1,35 @@
+# The full verification gate. `make ci` is exactly what GitHub Actions
+# runs (.github/workflows/ci.yml), so the gate is identical locally and
+# in CI.
+
+GO ?= go
+
+.PHONY: all build test race lint fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# autoe2e-lint is this repository's own invariant checker (internal/lint):
+# determinism, simtime-only durations, float equality, map-iteration
+# order, and panic discipline. See the Invariants section of DESIGN.md.
+lint:
+	$(GO) run ./cmd/autoe2e-lint ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet lint build test race

@@ -1,0 +1,82 @@
+// Command autoe2e-lint runs the repository's custom invariant-checking
+// analyzers (internal/lint) over every package in the module and reports
+// violations with file:line:col positions. It exits non-zero when any
+// violation is found, so it can gate CI.
+//
+// Usage:
+//
+//	autoe2e-lint [-only name,name] [-list] [packages]
+//
+// The package arguments are accepted for familiarity ("./...") but the
+// tool always loads the whole module containing the working directory:
+// the invariants are module-wide by design.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/autoe2e/autoe2e/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("autoe2e-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*only, ","))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "autoe2e-lint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(stderr, "autoe2e-lint:", err)
+		return 2
+	}
+	pkgs, err := lint.NewLoader().LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "autoe2e-lint:", err)
+		return 2
+	}
+
+	violations := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.RunAnalyzers(pkg, analyzers) {
+			fmt.Fprintln(stdout, d)
+			violations++
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(stderr, "autoe2e-lint: %d violation(s) in %d package(s) checked\n", violations, len(pkgs))
+		return 1
+	}
+	return 0
+}

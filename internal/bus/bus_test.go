@@ -76,3 +76,77 @@ func TestDeadlineBudget(t *testing.T) {
 		t.Error("delay == deadline should error")
 	}
 }
+
+func TestDeadlineBudgetEdges(t *testing.T) {
+	e2e := simtime.FromMillis(50)
+	// worstCaseDelay == e2e: the delay consumes the whole deadline.
+	got, err := DeadlineBudget(e2e, e2e)
+	if err == nil {
+		t.Error("worstCaseDelay == e2e must error")
+	}
+	if got != 0 {
+		t.Errorf("budget on error = %v, want 0", got)
+	}
+	// worstCaseDelay == e2e-1: the smallest representable budget survives.
+	got, err = DeadlineBudget(e2e, e2e-1)
+	if err != nil {
+		t.Fatalf("e2e-1: unexpected error %v", err)
+	}
+	if got != 1 {
+		t.Errorf("budget = %v, want exactly 1µs", got)
+	}
+	// Zero delay returns the full deadline.
+	got, err = DeadlineBudget(e2e, 0)
+	if err != nil || got != e2e {
+		t.Errorf("zero delay: budget = %v, err = %v, want full %v", got, err, e2e)
+	}
+}
+
+func TestTopologyExplicitLinkPrecedence(t *testing.T) {
+	// An explicit zero-latency link must beat a nonzero default: the map
+	// lookup, not the value, decides precedence.
+	tp := NewTopology(simtime.FromMillis(3)).SetLink(0, 1, 0)
+	d := tp.Delay()
+	if got := d(0, 1); got != 0 {
+		t.Errorf("explicit zero link = %v, want 0 (explicit beats default)", got)
+	}
+	if got := d(1, 0); got != simtime.FromMillis(3) {
+		t.Errorf("reverse direction = %v, want default 3ms (links are directed)", got)
+	}
+	// Re-setting a link replaces the previous explicit value.
+	tp.SetLink(0, 1, simtime.FromMillis(7))
+	if got := d(0, 1); got != simtime.FromMillis(7) {
+		t.Errorf("re-set link = %v, want latest value 7ms", got)
+	}
+}
+
+func TestCANSeedDeterminismSequences(t *testing.T) {
+	// Two CAN funcs with the same seed must produce identical delay
+	// sequences across an interleaved mix of link queries — the replay
+	// guarantee EXPERIMENTS.md depends on.
+	mk := func(seed int64) []simtime.Duration {
+		d := CAN(simtime.Millisecond, simtime.Millisecond, seed)
+		var seq []simtime.Duration
+		for i := 0; i < 200; i++ {
+			seq = append(seq, d(i%3, (i+1)%3), d(1, 1), d(2, 0))
+		}
+		return seq
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at step %d: %v != %v", i, a[i], b[i])
+		}
+	}
+	c := mk(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 600-delay sequences")
+	}
+}

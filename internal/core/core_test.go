@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
 
+	"github.com/autoe2e/autoe2e/internal/eucon"
 	"github.com/autoe2e/autoe2e/internal/exectime"
 	"github.com/autoe2e/autoe2e/internal/sched"
 	"github.com/autoe2e/autoe2e/internal/simtime"
@@ -341,5 +343,40 @@ func TestDecentralizedInnerConverges(t *testing.T) {
 	}
 	if res.OverallMissRatio() > 0.01 {
 		t.Errorf("miss ratio = %v", res.OverallMissRatio())
+	}
+}
+
+// failingController triggers the middleware's error path on first use.
+type failingController struct{}
+
+func (failingController) Step([]float64) (eucon.Result, error) {
+	return eucon.Result{}, errors.New("injected controller failure")
+}
+
+// TestMiddlewareSurfacesControllerError locks in the hot-path contract the
+// panicguard lint analyzer enforces: a controller failure during the run
+// must stop the engine and surface through Err(), not panic.
+func TestMiddlewareSurfacesControllerError(t *testing.T) {
+	sys := testSystem(t)
+	eng := simtime.NewEngine()
+	state := taskmodel.NewState(sys)
+	scheduler := sched.New(eng, state, sched.Config{Exec: exectime.Nominal{}})
+	mw, err := NewMiddleware(eng, scheduler, Config{Mode: ModeEUCON}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw.inner = failingController{}
+	scheduler.Start()
+	mw.Start()
+	eng.Run(simtime.At(10))
+
+	if mw.Err() == nil {
+		t.Fatal("Err() = nil after injected controller failure")
+	}
+	if !strings.Contains(mw.Err().Error(), "injected controller failure") {
+		t.Errorf("Err() = %v, want the injected cause preserved", mw.Err())
+	}
+	if got := eng.Now(); got > simtime.At(2) {
+		t.Errorf("engine ran to %v after failure at the first inner tick; want an early stop", got)
 	}
 }

@@ -114,6 +114,7 @@ type Middleware struct {
 	innerCount   int
 	lastCounters []sched.TaskCounter
 	started      bool
+	err          error
 }
 
 // NewMiddleware wires the controllers to a scheduler. The recorder may be
@@ -155,6 +156,20 @@ func NewMiddleware(eng *simtime.Engine, sch *sched.Scheduler, cfg Config, rec *t
 // Recorder exposes the time series collected by the middleware.
 func (m *Middleware) Recorder() *trace.Recorder { return m.rec }
 
+// Err returns the first controller failure encountered during the run, or
+// nil. A non-nil error means the middleware stopped the engine early and
+// the collected traces cover only the prefix of the run.
+func (m *Middleware) Err() error { return m.err }
+
+// fail records the first controller failure and stops the engine so the
+// run surfaces the error instead of coasting on a broken control loop.
+func (m *Middleware) fail(err error) {
+	if m.err == nil {
+		m.err = err
+	}
+	m.eng.Stop()
+}
+
 // Start schedules the periodic control ticks. Call once, before running the
 // engine.
 func (m *Middleware) Start() {
@@ -176,8 +191,9 @@ func (m *Middleware) innerTick(now simtime.Time) {
 	if m.inner != nil {
 		if _, err := m.inner.Step(utils); err != nil {
 			// The MPC can only fail on programmer error (dimension
-			// mismatch); surfacing it loudly beats silently coasting.
-			panic(fmt.Sprintf("core: inner loop at %v: %v", now, err))
+			// mismatch); stopping the run loudly beats silently coasting.
+			m.fail(fmt.Errorf("core: inner loop at %v: %w", now, err))
+			return
 		}
 	}
 	if m.onInner != nil {
@@ -189,7 +205,8 @@ func (m *Middleware) innerTick(now simtime.Time) {
 		if m.innerCount%m.cfg.OuterEvery == 0 {
 			res, err := m.outer.Step(utils)
 			if err != nil {
-				panic(fmt.Sprintf("core: outer loop at %v: %v", now, err))
+				m.fail(fmt.Errorf("core: outer loop at %v: %w", now, err))
+				return
 			}
 			for j := range res.Reclaimed {
 				if res.Reclaimed[j] > 0 {

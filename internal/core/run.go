@@ -117,6 +117,9 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	scheduler.Start()
 	mw.Start()
 	eng.Run(simtime.Time(cfg.Duration))
+	if err := mw.Err(); err != nil {
+		return nil, err
+	}
 
 	return &RunResult{
 		Trace:    mw.Recorder(),

@@ -109,11 +109,11 @@ func (s *Script) FactorAt(ref taskmodel.SubtaskRef, now simtime.Time) float64 {
 // Demand implements Model.
 func (s *Script) Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, now simtime.Time, ratio float64) simtime.Duration {
 	d := s.inner.Demand(sys, ref, now, ratio)
-	if f := s.FactorAt(ref, now); f != 1 {
-		d = simtime.Duration(float64(d) * f)
-		if d < 1 {
-			d = 1
-		}
+	// Applied unconditionally: durations stay far below 2^53 µs, so the
+	// round-trip through float64 is exact when the factor is 1.
+	d = simtime.Duration(float64(d) * s.FactorAt(ref, now))
+	if d < 1 {
+		d = 1
 	}
 	return d
 }

@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// FloatEq flags == and != between floating-point operands outside test
+// files. Controller gains, utilizations, and precision ratios accumulate
+// rounding error; exact comparison silently turns into "never equal" (or
+// worse, "equal on this architecture only"). Use an epsilon comparison —
+// stats.ApproxEqual — or compare in integer units instead.
+//
+// Two exemptions keep the check focused on real hazards: comparisons where
+// both operands are compile-time constants (exact by construction), and
+// comparisons against the constant zero — the idiomatic Go zero-value
+// sentinel for "field left unset" (`if cfg.Gain == 0 { cfg.Gain = … }`) and
+// for exact-zero guards before division. Anything else that is deliberately
+// exact carries a //lint:allow floateq annotation with a reason.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floating-point operands outside tests",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		// The figure/CLI harnesses post-process results; the invariant
+		// protects the simulation library surface.
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.Info.TypeOf(be.X)) && !isFloat(pass.Info.TypeOf(be.Y)) {
+				return true
+			}
+			// Both sides constant: the comparison is exact by construction.
+			if isConst(pass, be.X) && isConst(pass, be.Y) {
+				return true
+			}
+			// Zero-value sentinel: comparing against the constant 0 is the
+			// idiomatic unset-field check and the exact-zero division guard.
+			if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison; use stats.ApproxEqual or an explicit epsilon", be.Op)
+			return true
+		})
+	}
+}
+
+func isConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	return v.Kind() != constant.Unknown && constant.Sign(v) == 0
+}

@@ -1,0 +1,202 @@
+// Package lint implements AutoE2E's custom invariant-checking analyzers.
+//
+// The reproduction rests on invariants the Go compiler cannot see: every
+// simulation run must be bit-for-bit deterministic (EXPERIMENTS.md replays
+// figures from seeds), all simulated durations must flow through
+// simtime.Duration rather than wall-clock time.Duration, and the hot path
+// of the event loop must surface failures as errors rather than panics.
+// Each analyzer in this package enforces one such invariant mechanically,
+// so that the invariants survive refactors, new contributors, and the
+// ROADMAP's move toward sharded/parallel execution.
+//
+// The analyzers are built directly on the standard go/ast and go/types
+// packages with a small self-contained driver (see Loader and
+// cmd/autoe2e-lint), keeping the module free of external dependencies.
+//
+// Deliberate exceptions are annotated in the source with a comment of the
+// form
+//
+//	//lint:allow <analyzer> [reason]
+//
+// placed on the offending line or on the line directly above it. Multiple
+// analyzers may be listed separated by commas.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	PkgPath string
+
+	analyzer *Analyzer
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name is the identifier used in reports and //lint:allow annotations.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects the package and reports violations via pass.Reportf.
+	Run func(*Pass)
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoDeterminism,
+		SimtimeMix,
+		FloatEq,
+		MapIter,
+		PanicGuard,
+	}
+}
+
+// ByName returns the named analyzers, or an error naming the first unknown.
+func ByName(names []string) ([]*Analyzer, error) {
+	index := make(map[string]*Analyzer)
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := index[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// surviving diagnostics, sorted by position. Diagnostics suppressed by a
+// //lint:allow annotation (same line or the line directly above) are
+// dropped.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	allow := collectAllows(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Pkg,
+			Info:     pkg.Info,
+			PkgPath:  pkg.Path,
+			analyzer: a,
+		}
+		pass.report = func(d Diagnostic) {
+			if allow.allows(d.Pos, d.Analyzer) {
+				return
+			}
+			out = append(out, d)
+		}
+		a.Run(pass)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		if out[i].Pos.Column != out[j].Pos.Column {
+			return out[i].Pos.Column < out[j].Pos.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// allowSet records, per file and line, which analyzers are suppressed.
+type allowSet map[string]map[int]map[string]bool
+
+const allowPrefix = "lint:allow"
+
+// collectAllows scans every comment for //lint:allow annotations.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := make(allowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				// First whitespace-delimited token is the analyzer list;
+				// anything after it is a free-form reason.
+				names := rest
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					names = rest[:i]
+				}
+				pos := fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					set[pos.Filename] = lines
+				}
+				byName := lines[pos.Line]
+				if byName == nil {
+					byName = make(map[string]bool)
+					lines[pos.Line] = byName
+				}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						byName[n] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// allows reports whether an annotation on the diagnostic's line or the line
+// directly above suppresses the named analyzer.
+func (s allowSet) allows(pos token.Position, analyzer string) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if byName := lines[line]; byName != nil && (byName[analyzer] || byName["all"]) {
+			return true
+		}
+	}
+	return false
+}

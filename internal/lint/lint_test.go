@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Fixture files live under testdata/<analyzer>/ and are compiled one file
+// at a time as standalone packages. Two comment directives drive the
+// harness:
+//
+//   - a first-line "//lintpath:<import path>" sets the package's import
+//     path, so fixtures can sit inside or outside the internal/ tree and
+//     exercise the analyzers' scoping rules;
+//   - a trailing `// want` (optionally `// want "substring"`) marks a line
+//     where the analyzer under test must report, with the substring
+//     required to appear in the message.
+//
+// Diagnostics on unmarked lines fail the test, so every unmarked
+// construct in a fixture is a negative case.
+
+var wantRe = regexp.MustCompile(`// want(?: "([^"]*)")?\s*$`)
+
+const defaultFixturePath = "example.com/fixture"
+
+func runFixtures(t *testing.T, analyzer *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", analyzer.Name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixtures: %v", err)
+	}
+	loader := NewLoader()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			path := filepath.Join(dir, e.Name())
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			importPath := defaultFixturePath
+			lines := strings.Split(string(src), "\n")
+			if rest, ok := strings.CutPrefix(lines[0], "//lintpath:"); ok {
+				importPath = strings.TrimSpace(rest)
+			}
+
+			wants := make(map[int]string) // line -> required substring ("" = any)
+			for i, line := range lines {
+				if m := wantRe.FindStringSubmatch(line); m != nil {
+					wants[i+1] = m[1]
+				}
+			}
+
+			pkg, err := loader.LoadFile(path, importPath)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			diags := RunAnalyzers(pkg, []*Analyzer{analyzer})
+
+			got := make(map[int][]string)
+			for _, d := range diags {
+				got[d.Pos.Line] = append(got[d.Pos.Line], d.Message)
+			}
+			for line, substr := range wants {
+				msgs, ok := got[line]
+				if !ok {
+					t.Errorf("line %d: want a %s diagnostic, got none", line, analyzer.Name)
+					continue
+				}
+				if substr != "" && !anyContains(msgs, substr) {
+					t.Errorf("line %d: no diagnostic contains %q; got %v", line, substr, msgs)
+				}
+			}
+			var unexpected []string
+			for line, msgs := range got {
+				if _, ok := wants[line]; !ok {
+					for _, m := range msgs {
+						unexpected = append(unexpected, fmt.Sprintf("line %d: %s", line, m))
+					}
+				}
+			}
+			sort.Strings(unexpected)
+			for _, u := range unexpected {
+				t.Errorf("unexpected diagnostic at %s", u)
+			}
+		})
+	}
+}
+
+func anyContains(msgs []string, substr string) bool {
+	for _, m := range msgs {
+		if strings.Contains(m, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestNoDeterminism(t *testing.T) { runFixtures(t, NoDeterminism) }
+func TestSimtimeMix(t *testing.T)    { runFixtures(t, SimtimeMix) }
+func TestFloatEq(t *testing.T)       { runFixtures(t, FloatEq) }
+func TestMapIter(t *testing.T)       { runFixtures(t, MapIter) }
+func TestPanicGuard(t *testing.T)    { runFixtures(t, PanicGuard) }
+
+// TestFixtureCoverage enforces the suite's own quality bar: every analyzer
+// ships at least 3 positive fixture cases (want markers) and at least 2
+// annotated negative cases (NEG markers on constructs that must NOT be
+// flagged — scoping exemptions, sorted map iteration, allow annotations).
+func TestFixtureCoverage(t *testing.T) {
+	for _, a := range All() {
+		dir := filepath.Join("testdata", a.Name)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		positives, negatives := 0, 0
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, line := range strings.Split(string(src), "\n") {
+				if wantRe.MatchString(line) {
+					positives++
+				}
+				if strings.Contains(line, "// NEG") {
+					negatives++
+				}
+			}
+		}
+		if positives < 3 {
+			t.Errorf("%s: %d positive fixture cases, want >= 3", a.Name, positives)
+		}
+		if negatives < 2 {
+			t.Errorf("%s: %d negative fixture cases, want >= 2", a.Name, negatives)
+		}
+	}
+}
+
+// TestAllowSuppression checks the escape hatch end to end on an in-memory
+// view of the fixture set: a //lint:allow on the same line or the line
+// above must drop the diagnostic, and unrelated analyzers must be
+// unaffected.
+func TestAllowSuppression(t *testing.T) {
+	loader := NewLoader()
+	pkg, err := loader.LoadFile(filepath.Join("testdata", "nodeterminism", "allow.go"),
+		"github.com/autoe2e/autoe2e/internal/fixtureallow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := RunAnalyzers(pkg, []*Analyzer{NoDeterminism}); len(diags) != 0 {
+		t.Errorf("allow.go: want every diagnostic suppressed, got %v", diags)
+	}
+}
+
+func TestByName(t *testing.T) {
+	got, err := ByName([]string{"floateq", "mapiter"})
+	if err != nil || len(got) != 2 || got[0] != FloatEq || got[1] != MapIter {
+		t.Errorf("ByName = %v, %v", got, err)
+	}
+	if _, err := ByName([]string{"nope"}); err == nil {
+		t.Error("ByName(nope): want error")
+	}
+}

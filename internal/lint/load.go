@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	// Path is the full import path.
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset positions every file in the package.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files, sorted by file name.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's expression and object facts.
+	Info *types.Info
+}
+
+// Loader parses and type-checks packages without any dependency outside the
+// standard library: the module's own packages are discovered by walking the
+// file tree, and imports (standard library and module-internal alike) are
+// resolved by the go/types "source" importer, which compiles straight from
+// source and therefore works offline.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a loader with a fresh file set.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// LoadModule discovers every non-test package in the module rooted at root
+// (the directory containing go.mod), parses it, type-checks it, and returns
+// the packages sorted by import path. Directories named testdata or vendor
+// and hidden/underscore directories are skipped, matching the go tool.
+func (l *Loader) LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the non-test files of one directory as the
+// package with the given import path.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go source in %s", dir)
+	}
+	return l.check(importPath, dir, files)
+}
+
+// LoadFile parses and type-checks a single file as its own package — the
+// fixture-loading path used by the analyzer tests.
+func (l *Loader) LoadFile(path, importPath string) (*Package, error) {
+	f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(importPath, filepath.Dir(path), []*ast.File{f})
+}
+
+func (l *Loader) check(importPath, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l.imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, firstErr)
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotPathSegments are CamelCase name segments that mark a function as part
+// of the simulation's run/step hot path: panics there abort a whole
+// experiment run and must be errors instead.
+var hotPathSegments = map[string]bool{
+	"run":     true,
+	"step":    true,
+	"tick":    true,
+	"loop":    true,
+	"advance": true,
+}
+
+// PanicGuard restricts panic in library packages to constructor/validation
+// paths (the bus.CAN / bus.NewTopology style: reject an impossible
+// configuration at assembly time). It flags panic statements that run on
+// the hot path instead — inside functions named after the run/step cycle
+// (Run, Step, innerTick, ...) or inside function literals, which in this
+// codebase are almost always event callbacks executed by the simtime
+// engine. Hot-path failures must be returned as errors so a caller can
+// surface them with the run context attached. Deliberate assertion-style
+// exceptions carry a //lint:allow panicguard annotation with a reason.
+var PanicGuard = &Analyzer{
+	Name: "panicguard",
+	Doc:  "restrict panic to constructor/validation paths; hot paths return errors",
+	Run:  runPanicGuard,
+}
+
+func runPanicGuard(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		// CLI mains may panic freely; the invariant protects the library.
+		return
+	}
+	walkWithFuncCtx(pass.Files, func(n ast.Node, ctx funcCtx) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if b, ok := pass.Info.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "panic" {
+			return
+		}
+		switch {
+		case ctx.inFlit:
+			pass.Reportf(call.Pos(), "panic inside a function literal runs on the simulation hot path; return or record an error instead")
+		case ctx.decl != nil && isHotPathName(ctx.decl.Name.Name):
+			pass.Reportf(call.Pos(), "panic in hot-path function %s; return an error instead (panics are reserved for constructor/validation paths)", ctx.decl.Name.Name)
+		}
+	})
+}
+
+func isHotPathName(name string) bool {
+	for _, seg := range camelSegments(name) {
+		if hotPathSegments[seg] {
+			return true
+		}
+	}
+	return false
+}

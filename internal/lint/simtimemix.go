@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimtimeMix forbids time.Duration in the exported API surface — function
+// signatures and struct fields — of the simulation packages (sched, core,
+// eucon, precision, bus, vehicle, workload). Inside the simulation,
+// simtime.Duration is the only duration currency; a stray time.Duration in
+// an exported signature invites callers to mix nanosecond wall-clock spans
+// with microsecond simulated spans.
+var SimtimeMix = &Analyzer{
+	Name: "simtimemix",
+	Doc:  "forbid time.Duration in exported signatures and struct fields of simulation packages",
+	Run:  runSimtimeMix,
+}
+
+func runSimtimeMix(pass *Pass) {
+	if !isSimPkg(pass.PkgPath) {
+		return
+	}
+	isStdDuration := func(t types.Type) bool {
+		return containsType(t, func(t types.Type) bool {
+			return isNamed(t, "time", "Duration")
+		})
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedRecv(d) {
+					continue
+				}
+				checkFieldList(pass, d.Type.Params, isStdDuration, "parameter of exported %s", d.Name.Name)
+				checkFieldList(pass, d.Type.Results, isStdDuration, "result of exported %s", d.Name.Name)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if !anyExportedName(field) {
+							continue
+						}
+						if isStdDuration(pass.Info.TypeOf(field.Type)) {
+							pass.Reportf(field.Pos(), "exported field of %s uses time.Duration; simulation packages must use simtime.Duration", ts.Name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether the method's receiver type (if any) is
+// exported; functions have no receiver and count as exported surface.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr:
+			t = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// anyExportedName reports whether the field declares at least one exported
+// name (or is an embedded field, which is part of the API).
+func anyExportedName(field *ast.Field) bool {
+	if len(field.Names) == 0 {
+		return true
+	}
+	for _, n := range field.Names {
+		if n.IsExported() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFieldList reports every field in the list whose type matches.
+func checkFieldList(pass *Pass, fl *ast.FieldList, match func(types.Type) bool, format, name string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		if match(pass.Info.TypeOf(field.Type)) {
+			pass.Reportf(field.Pos(), format+" uses time.Duration; simulation packages must use simtime.Duration", name)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+//lintpath:github.com/autoe2e/autoe2e/cmd/fixturemain
+
+// Negative case: the figure/CLI harnesses (package main) post-process
+// results and are outside the invariant's scope.
+package main
+
+// NEG float equality in package main is not flagged.
+func thresholdHit(v, threshold float64) bool {
+	return v == threshold
+}
+
+func main() {
+	_ = thresholdHit(1, 1)
+}

@@ -1,0 +1,45 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/fixtureneg
+
+// Negative cases: exemptions that keep the analyzer focused on real
+// rounding hazards.
+package fixtureneg
+
+// NEG the zero-value sentinel idiom for unset config fields.
+func withDefaults(gain float64) float64 {
+	if gain == 0 {
+		gain = 0.8
+	}
+	return gain
+}
+
+// NEG exact-zero guard before a division.
+func normalize(v []float64, norm float64) {
+	if norm == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= norm
+	}
+}
+
+// NEG integer comparison is exact by nature.
+func ints(a, b int) bool {
+	return a == b
+}
+
+// NEG both operands are compile-time constants.
+func constants() bool {
+	const half = 0.5
+	return half == 0.5
+}
+
+// NEG ordered comparisons carry no exact-equality hazard.
+func ordered(a, b float64) bool {
+	return a < b || a >= b*2
+}
+
+// NEG deliberate exact comparison carries an allow annotation.
+func clampCheck(cmd, raw float64) bool {
+	//lint:allow floateq cmd is either raw itself or a clamp limit
+	return cmd == raw
+}

@@ -1,0 +1,25 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/fixture
+
+// Positive cases: exact equality between floating-point values that
+// accumulate rounding error.
+package fixture
+
+func compare(a, b float64, f float32) int {
+	if a == b { // want "floating-point =="
+		return 1
+	}
+	if a != b*2 { // want "floating-point !="
+		return 2
+	}
+	if f == 0.1 { // want "floating-point =="
+		return 3
+	}
+	return 0
+}
+
+func sentinelNonZero(factor float64) float64 {
+	if factor != 1 { // want "floating-point !="
+		return factor * 2
+	}
+	return factor
+}

@@ -1,0 +1,15 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/fixtureallow
+
+// Negative case: a deliberate unordered emission carries an allow
+// annotation with its justification.
+package fixtureallow
+
+import "fmt"
+
+// NEG annotated: debug dump where ordering genuinely does not matter.
+func debugDump(m map[string]int) {
+	for k, v := range m {
+		//lint:allow mapiter debug-only dump, order is irrelevant
+		fmt.Println(k, v)
+	}
+}

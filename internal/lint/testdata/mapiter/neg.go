@@ -1,0 +1,67 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/fixtureneg
+
+// Negative cases: map iteration whose effects are order-independent, and
+// the sanctioned collect-sort-use pattern.
+package fixtureneg
+
+import "sort"
+
+// NEG collect keys, then sort before use — the sanctioned pattern.
+func appendSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// NEG sort.Slice also counts as the downstream sort.
+func appendSortSlice(m map[int]float64) []float64 {
+	var vs []float64
+	for _, v := range m {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// NEG commutative accumulation does not depend on iteration order.
+func sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// NEG writing another map is order-independent.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// NEG appending to a slice local to the loop body leaks no order.
+func perEntry(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		n += len(doubled)
+	}
+	return n
+}
+
+// NEG ranging over a slice is always ordered.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

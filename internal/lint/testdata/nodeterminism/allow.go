@@ -1,0 +1,18 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/fixtureallow
+
+// Negative cases: the //lint:allow escape hatch, on the preceding line and
+// on the same line.
+package fixtureallow
+
+import "time"
+
+// NEG allow annotation on the line above suppresses the diagnostic.
+func sanctioned() time.Time {
+	//lint:allow nodeterminism fixture demonstrates the escape hatch
+	return time.Now()
+}
+
+// NEG inline allow annotation on the same line suppresses the diagnostic.
+func sanctionedInline() {
+	time.Sleep(time.Microsecond) //lint:allow nodeterminism fixture demonstrates the escape hatch
+}

@@ -1,0 +1,29 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/fixtureneg
+
+// Negative cases: determinism-safe uses inside an internal/ package that
+// must not be flagged.
+package fixtureneg
+
+import (
+	"os"
+	"time"
+)
+
+// NEG time.Duration as a type and duration constants are wall-clock-free.
+func format(d time.Duration) string {
+	d = d.Round(time.Millisecond)
+	return d.String()
+}
+
+// NEG reading an env var without branching on it (e.g. for a log banner).
+func banner() string {
+	return "HOME=" + os.Getenv("HOME")
+}
+
+// NEG branching on explicit configuration, not the environment.
+func branchOnConfig(fast bool) int {
+	if fast {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,14 @@
+//lintpath:github.com/autoe2e/autoe2e/cmd/fixturecli
+
+// Negative case: the analyzer only protects internal/ simulation packages;
+// a CLI harness may measure real wall-clock cost.
+package fixturecli
+
+import "time"
+
+// NEG wall-clock use outside internal/ is not the analyzer's business.
+func measure(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,39 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/fixture
+
+// Positive cases: wall-clock time, global math/rand, and env-driven
+// branching inside an internal/ package.
+package fixture
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want "time.Now"
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+	return time.Since(start)     // want "time.Since"
+}
+
+func timers() {
+	_ = time.After(time.Second)     // want "time.After"
+	_ = time.NewTicker(time.Second) // want "time.NewTicker"
+}
+
+func globalRand() float64 {
+	n := rand.Intn(10) // want "math/rand"
+	_ = n
+	return rand.Float64() // want "math/rand"
+}
+
+func envBranch() int {
+	if os.Getenv("AUTOE2E_FAST") != "" { // want "os.Getenv"
+		return 1
+	}
+	switch os.Getenv("AUTOE2E_MODE") { // want "os.Getenv"
+	case "quick":
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,17 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/fixtureallow
+
+// Negative case: a deliberate hot-path assertion carries an allow
+// annotation with its justification.
+package fixtureallow
+
+type Plant struct{ x float64 }
+
+// NEG annotated: dt is a static config constant, a bad value is caller
+// misconfiguration.
+func (p *Plant) Step(dt float64) {
+	if dt <= 0 {
+		//lint:allow panicguard dt is a static config constant
+		panic("non-positive dt")
+	}
+	p.x += dt
+}

@@ -1,0 +1,14 @@
+//lintpath:github.com/autoe2e/autoe2e/cmd/fixturemain
+
+// Negative case: CLI mains may panic freely; the invariant protects the
+// library packages.
+package main
+
+// NEG hot-path panic in package main is not the analyzer's business.
+func run() {
+	panic("cli is allowed to crash")
+}
+
+func main() {
+	run()
+}

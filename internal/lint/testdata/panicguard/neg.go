@@ -1,0 +1,40 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/fixtureneg
+
+// Negative cases: constructor/validation panics — the bus.CAN /
+// bus.NewTopology style — are the sanctioned use.
+package fixtureneg
+
+import "fmt"
+
+type Topology struct{ def int }
+
+// NEG constructor rejecting an impossible configuration.
+func NewTopology(def int) *Topology {
+	if def < 0 {
+		panic("negative default latency")
+	}
+	return &Topology{def: def}
+}
+
+// NEG Must-style helper for compile-time-known inputs.
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty input")
+	}
+	return len(s)
+}
+
+// NEG validation helper.
+func ValidateShape(rows, cols int) {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("invalid shape %dx%d", rows, cols))
+	}
+}
+
+// NEG contract assertion in an ordinary accessor (linalg.Dot style).
+func (t *Topology) Link(from, to int) int {
+	if from < 0 || to < 0 {
+		panic("negative ECU index")
+	}
+	return t.def
+}

@@ -1,0 +1,40 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/fixture
+
+// Positive cases: panic on the run/step hot path and inside function
+// literals (event callbacks).
+package fixture
+
+// Engine stands in for the simtime engine.
+type Engine struct{ events []func(int) }
+
+func (e *Engine) After(d int, fn func(int)) { e.events = append(e.events, fn) }
+
+type Worker struct{ n int }
+
+func (w *Worker) Run() error {
+	if w.n < 0 {
+		panic("negative") // want "hot-path function Run"
+	}
+	return nil
+}
+
+func (w *Worker) Step(utils []float64) {
+	if len(utils) == 0 {
+		panic("no samples") // want "hot-path function Step"
+	}
+}
+
+// innerTick matches via its CamelCase segment "tick".
+func (w *Worker) innerTick(now int) {
+	if now < 0 {
+		panic("time went backwards") // want "hot-path function innerTick"
+	}
+}
+
+func (w *Worker) Attach(e *Engine) {
+	e.After(10, func(now int) {
+		if w.n == 0 {
+			panic("uninitialised") // want "function literal"
+		}
+	})
+}

@@ -1,0 +1,36 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/core/fixtureneg
+
+// Negative cases: unexported surface and simtime.Duration are both fine in
+// a simulation package.
+package fixtureneg
+
+import (
+	"time"
+
+	"github.com/autoe2e/autoe2e/internal/simtime"
+)
+
+// NEG simtime.Duration is the required currency — never flagged.
+type Config struct {
+	Timeout simtime.Duration
+}
+
+// NEG unexported struct: not API surface.
+type internalState struct {
+	lastWake time.Duration
+}
+
+// NEG unexported function: not API surface.
+func wait(d time.Duration) time.Duration {
+	return d
+}
+
+// NEG unexported field of an exported struct: not API surface.
+type Monitor struct {
+	Window  simtime.Duration
+	elapsed time.Duration
+}
+
+func use(s internalState, m Monitor) (time.Duration, simtime.Duration) {
+	return s.lastWake + m.elapsed, m.Window
+}

@@ -1,0 +1,12 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/trace/fixture
+
+// Negative case: internal/trace is not a simulation package — it renders
+// output and may use wall-clock durations in its exported API.
+package fixture
+
+import "time"
+
+// NEG exported time.Duration outside the simulation packages is allowed.
+type FlushConfig struct {
+	Interval time.Duration
+}

@@ -1,0 +1,26 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/sched/fixture
+
+// Positive cases: time.Duration leaking into the exported API surface of a
+// simulation package (anything under internal/sched).
+package fixture
+
+import "time"
+
+// Config is exported, so its exported fields are API surface.
+type Config struct {
+	Timeout time.Duration // want "time.Duration"
+	Retries int
+}
+
+// Budgets smuggles time.Duration through a composite type.
+type Budgets struct {
+	PerECU map[int]time.Duration // want "time.Duration"
+}
+
+func Delay(d time.Duration) { // want "time.Duration"
+	_ = d
+}
+
+func Window() (w time.Duration) { // want "time.Duration"
+	return 0
+}

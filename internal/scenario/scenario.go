@@ -135,6 +135,7 @@ func TestbedRestoreDirectIncrease(seed int64, step float64) core.RunConfig {
 		if di == nil {
 			d, err := baseline.NewDirectIncrease(st, step)
 			if err != nil {
+				//lint:allow panicguard setup-time assertion: scenario configs are compile-time constants
 				panic(err) // static misconfiguration of the scenario
 			}
 			di = d
@@ -279,6 +280,7 @@ func SimRestoreDirectIncrease(seed int64, step float64) core.RunConfig {
 		if di == nil {
 			d, err := baseline.NewDirectIncrease(st, step)
 			if err != nil {
+				//lint:allow panicguard setup-time assertion: scenario configs are compile-time constants
 				panic(err)
 			}
 			di = d
@@ -323,6 +325,7 @@ func Motivation(execFactor float64, seed int64) core.RunConfig {
 		System: sys,
 		Setup: func(st *taskmodel.State) {
 			if err := baseline.OpenLoop(st); err != nil {
+				//lint:allow panicguard setup-time assertion on a compile-time-known workload
 				panic(err) // built-in workload is always solvable
 			}
 		},

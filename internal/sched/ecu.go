@@ -135,6 +135,7 @@ func (e *ecuRunner) sampleWindow(now simtime.Time) float64 {
 // subdeadline first, then earlier release, then admission order. The strict
 // order makes preemption decisions deterministic.
 func (j *job) higherPriorityThan(other *job) bool {
+	//lint:allow floateq exact tie-break keeps the priority order total and deterministic
 	if j.priority != other.priority {
 		return j.priority < other.priority
 	}

@@ -121,10 +121,12 @@ func (e *Engine) Pending() int { return e.queue.Len() }
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Run executes events in timestamp order until the queue is empty or the
-// next event is strictly after `until`. The clock is left at the time of the
-// last executed event, or at `until` if the queue drained earlier (so that
-// periodic samplers observe a full window).
+// Run executes events in timestamp order until the queue is empty, the
+// next event is strictly after `until`, or Stop is called. The clock is
+// left at the time of the last executed event, or at `until` if the queue
+// drained earlier (so that periodic samplers observe a full window). After
+// a Stop the clock stays at the stopping event's instant: the run did not
+// cover the full window and the clock must not pretend it did.
 func (e *Engine) Run(until Time) {
 	e.stopped = false
 	for !e.stopped && e.queue.Len() > 0 {
@@ -137,7 +139,7 @@ func (e *Engine) Run(until Time) {
 		e.now = next.at
 		next.fn(e.now)
 	}
-	if e.now < until {
+	if !e.stopped && e.now < until {
 		e.now = until
 	}
 }

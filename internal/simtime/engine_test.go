@@ -163,6 +163,9 @@ func TestEngineStop(t *testing.T) {
 	if count != 2 {
 		t.Errorf("count = %d, want 2 after Stop", count)
 	}
+	if e.Now() != At(2) {
+		t.Errorf("Now() = %v after Stop at t=2s, want the stopping instant, not the full window", e.Now())
+	}
 }
 
 func TestSchedulePastPanics(t *testing.T) {

@@ -108,3 +108,21 @@ func FractionAbove(v []float64, threshold float64) float64 {
 	}
 	return float64(n) / float64(len(v))
 }
+
+// ApproxEqual reports whether a and b agree within tol, comparing the
+// absolute difference for values near zero and the relative difference
+// otherwise. It is the comparison the floateq lint analyzer points to:
+// controller gains, utilizations, and precision ratios accumulate rounding
+// error, so exact == / != on them is almost always a bug.
+func ApproxEqual(a, b, tol float64) bool {
+	//lint:allow floateq exact shortcut makes equal infinities compare equal
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}

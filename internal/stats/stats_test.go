@@ -95,3 +95,24 @@ func TestOrderingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		name      string
+		a, b, tol float64
+		want      bool
+	}{
+		{"exact", 1.5, 1.5, 1e-9, true},
+		{"within absolute tol near zero", 1e-12, -1e-12, 1e-9, true},
+		{"within relative tol when large", 1e9, 1e9 * (1 + 1e-10), 1e-9, true},
+		{"outside tol", 1.0, 1.001, 1e-9, false},
+		{"accumulated rounding", 0.1 + 0.2, 0.3, 1e-12, true},
+		{"nan never equal", math.NaN(), math.NaN(), 1e-9, false},
+		{"inf equal to itself", math.Inf(1), math.Inf(1), 1e-9, true},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("%s: ApproxEqual(%v, %v, %v) = %v, want %v", c.name, c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}

@@ -137,6 +137,9 @@ func (r *Recorder) WriteWideCSV(w io.Writer, names ...string) error {
 				}
 				// Several samples can share a timestamp; emit the
 				// last one so none is silently dropped on later rows.
+				// Exact match is intended: t is drawn from the same
+				// stored values it is compared against.
+				//lint:allow floateq matching identical stored values, not computed ones
 				for i < len(s.T) && s.T[i] == t {
 					cell = fmt.Sprintf("%.6g", s.V[i])
 					i++
@@ -209,6 +212,7 @@ func PlotASCII(s *Series, width, height int) string {
 		lo = math.Min(lo, v)
 		hi = math.Max(hi, v)
 	}
+	//lint:allow floateq exact degenerate-range guard; any nonzero span plots fine
 	if hi == lo {
 		hi = lo + 1
 	}

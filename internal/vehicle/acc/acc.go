@@ -78,6 +78,7 @@ func (c *Controller) Accel(vref, v, dt float64) float64 {
 	}
 	// Conditional anti-windup: integrate only when unsaturated or when
 	// the error drives the command back toward the feasible range.
+	//lint:allow floateq cmd is either raw itself or a clamp limit; equality is exact
 	if cmd == raw || err*raw < 0 {
 		c.integ += err * dt
 	}

@@ -150,6 +150,7 @@ func LaneChange(cfg LaneChangeConfig) (*LaneChangeResult, error) {
 	if cfg.Mode == core.ModeOpen {
 		runCfg.Setup = func(st *taskmodel.State) {
 			if err := baseline.OpenLoop(st); err != nil {
+				//lint:allow panicguard setup-time assertion on a compile-time-known workload
 				panic(fmt.Sprintf("cosim: OPEN setup: %v", err))
 			}
 		}
@@ -315,6 +316,7 @@ func Cruise(cfg CruiseConfig) (*CruiseResult, error) {
 	if cfg.Mode == core.ModeOpen {
 		runCfg.Setup = func(st *taskmodel.State) {
 			if err := baseline.OpenLoop(st); err != nil {
+				//lint:allow panicguard setup-time assertion on a compile-time-known workload
 				panic(fmt.Sprintf("cosim: OPEN setup: %v", err))
 			}
 		}

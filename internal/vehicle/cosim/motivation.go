@@ -87,6 +87,7 @@ func MotivationTrajectory(cfg MotivationConfig) (*MotivationResult, error) {
 		System: sys,
 		Setup: func(st *taskmodel.State) {
 			if err := baseline.OpenLoop(st); err != nil {
+				//lint:allow panicguard setup-time assertion on a compile-time-known workload
 				panic(err) // the built-in workload is always solvable
 			}
 		},

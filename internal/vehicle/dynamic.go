@@ -100,6 +100,7 @@ func (s *DynamicState) Kinematic() State {
 // μ·g·m/2 per axle (a crude but standard friction circle).
 func (s *DynamicState) Step(p DynamicParams, steer, accel, dt float64) {
 	if dt <= 0 {
+		//lint:allow panicguard dt is a static config constant; a bad value is caller misconfiguration
 		panic(fmt.Sprintf("vehicle: non-positive dt %v", dt))
 	}
 	steer = clamp(steer, -p.MaxSteer, p.MaxSteer)

@@ -85,6 +85,7 @@ type State struct {
 // needs a longer prediction horizon there.
 func (s *State) Step(p Params, steer, accel, dt float64) {
 	if dt <= 0 {
+		//lint:allow panicguard dt is a static config constant; a bad value is caller misconfiguration
 		panic(fmt.Sprintf("vehicle: non-positive dt %v", dt))
 	}
 	steer = clamp(steer, -p.MaxSteer, p.MaxSteer)

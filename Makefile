@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet ci
+.PHONY: all build test race lint fmt vet bench ci
 
 all: build
 
@@ -19,9 +19,28 @@ race:
 
 # autoe2e-lint is this repository's own invariant checker (internal/lint):
 # determinism, simtime-only durations, float equality, map-iteration
-# order, and panic discipline. See the Invariants section of DESIGN.md.
+# order, panic discipline, and typed physical units. See the Invariants
+# section of DESIGN.md.
 lint:
 	$(GO) run ./cmd/autoe2e-lint ./...
+
+# bench times the two control-plane hot paths — one combined inner+outer
+# controller tick and the Equation-8 knapsack ablation — and records their
+# ns/op in BENCH_control.json so perf changes show up in review diffs.
+bench:
+	@out="$$($(GO) test -run '^$$' -bench '^(BenchmarkControllerOverhead|BenchmarkAblationKnapsackOrder)$$' .)"; \
+	echo "$$out"; \
+	echo "$$out" | awk '\
+	/^Benchmark/ { \
+		name=$$1; sub(/-[0-9]+$$/, "", name); \
+		ns=""; for (i=2; i<NF; i++) if ($$(i+1)=="ns/op") ns=$$i; \
+		if (ns=="") next; \
+		if (n++) printf ",\n"; else printf "{\n  \"benchmarks\": [\n"; \
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $$2, ns; \
+	} \
+	END { if (n) printf "\n  ]\n}\n"; else { print "no benchmark lines parsed" > "/dev/stderr"; exit 1 } }' \
+	> BENCH_control.json; \
+	echo "wrote BENCH_control.json"
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -47,6 +47,7 @@ import (
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
 	"github.com/autoe2e/autoe2e/internal/trace"
+	"github.com/autoe2e/autoe2e/internal/units"
 	"github.com/autoe2e/autoe2e/internal/workload"
 )
 
@@ -69,6 +70,16 @@ type (
 	// State is the mutable operating point: current rates, rate floors,
 	// and execution-time ratios.
 	State = taskmodel.State
+
+	// Rate is a task invocation rate r_i in Hz. Untyped constants assign
+	// directly (RateMin: 20); wrap runtime float64 values with RawRate.
+	Rate = units.Rate
+	// Util is a CPU-utilization fraction (a measurement u_j or a bound
+	// B_j); wrap runtime float64 values with RawUtil.
+	Util = units.Util
+	// Ratio is an execution-time (computation precision) ratio a_il; wrap
+	// runtime float64 values with RawRatio.
+	Ratio = units.Ratio
 
 	// Mode selects the middleware arm: ModeOpen, ModeEUCON or
 	// ModeAutoE2E.
@@ -135,7 +146,16 @@ func NewState(sys *System) *State { return taskmodel.NewState(sys) }
 
 // RMSBound returns the Liu & Layland rate-monotonic schedulable utilization
 // bound n·(2^{1/n} − 1).
-func RMSBound(n int) float64 { return taskmodel.RMSBound(n) }
+func RMSBound(n int) Util { return taskmodel.RMSBound(n) }
+
+// RawRate wraps a raw float64 in Hz as a typed Rate.
+func RawRate(x float64) Rate { return units.RawRate(x) }
+
+// RawUtil wraps a raw float64 utilization fraction as a typed Util.
+func RawUtil(x float64) Util { return units.RawUtil(x) }
+
+// RawRatio wraps a raw float64 precision ratio as a typed Ratio.
+func RawRatio(x float64) Ratio { return units.RawRatio(x) }
 
 // FromMillis converts milliseconds to a simulated Duration.
 func FromMillis(ms float64) Duration { return simtime.FromMillis(ms) }

@@ -68,7 +68,7 @@ func TestPublicAPICustomSystem(t *testing.T) {
 }
 
 func TestPublicHelpers(t *testing.T) {
-	if got := autoe2e.RMSBound(2); math.Abs(got-0.828) > 0.001 {
+	if got := autoe2e.RMSBound(2); math.Abs(got.Float()-0.828) > 0.001 {
 		t.Errorf("RMSBound(2) = %v", got)
 	}
 	if autoe2e.FromMillis(1500) != autoe2e.FromSeconds(1.5) {

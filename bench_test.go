@@ -26,6 +26,7 @@ import (
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/stats"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 	"github.com/autoe2e/autoe2e/internal/vehicle/cosim"
 	"github.com/autoe2e/autoe2e/internal/workload"
 )
@@ -317,7 +318,7 @@ func BenchmarkAblationKnapsackOrder(b *testing.B) {
 		for ti := range sys.Tasks {
 			st2.SetRate(taskmodel.TaskID(ti), sys.Tasks[ti].RateMax)
 		}
-		reclaimProportional(st2, workload.SimECU4, got)
+		reclaimProportional(st2, workload.SimECU4, got.Float())
 		proportional = st2.TotalPrecision()
 	}
 	b.ReportMetric(greedy, "greedy_precision")
@@ -334,10 +335,10 @@ func reclaimProportional(st *taskmodel.State, ecu int, reclaim float64) {
 		mid := (lo + hi) / 2
 		for _, ref := range sys.OnECU(ecu) {
 			if sys.Subtask(ref).Adjustable() {
-				st.SetRatio(ref, mid)
+				st.SetRatio(ref, units.RawRatio(mid))
 			}
 		}
-		if before-st.EstimatedUtilization(ecu) > reclaim {
+		if (before - st.EstimatedUtilization(ecu)).Float() > reclaim {
 			lo = mid
 		} else {
 			hi = mid
@@ -385,7 +386,7 @@ func BenchmarkAblationMPCHorizon(b *testing.B) {
 					}
 					worst := 0.0
 					for j, u := range st.EstimatedUtilizations() {
-						if d := math.Abs(u - sys.UtilBound[j]); d > worst {
+						if d := math.Abs((u - sys.UtilBound[j]).Float()); d > worst {
 							worst = d
 						}
 					}
@@ -410,7 +411,7 @@ func BenchmarkAblationOuterMargin(b *testing.B) {
 			var precisionKept, reclaimEvents float64
 			for i := 0; i < b.N; i++ {
 				cfg := scenario.TestbedAcceleration(core.ModeAutoE2E, 1)
-				cfg.Middleware.Precision.ReclaimMargin = margin
+				cfg.Middleware.Precision.ReclaimMargin = units.RawUtil(margin)
 				res := mustRun(b, cfg)
 				precisionKept = res.State.TotalPrecision()
 				reclaimEvents = 0
@@ -461,7 +462,7 @@ func BenchmarkAblationSyncPolicy(b *testing.B) {
 				st := taskmodel.NewState(workload.Testbed())
 				// High-rate regime with heavy noise: burstiness matters.
 				for ti := range st.System().Tasks {
-					st.SetRateFloor(taskmodel.TaskID(ti), st.System().Tasks[ti].RateMax*0.8)
+					st.SetRateFloor(taskmodel.TaskID(ti), st.System().Tasks[ti].RateMax.Scale(0.8))
 				}
 				s := sched.New(eng, st, sched.Config{
 					Exec: exectime.NewNoise(exectime.Nominal{}, 0.4, 1),
@@ -578,7 +579,7 @@ func BenchmarkScalability(b *testing.B) {
 				worstExcess = 0
 				for j := 0; j < sys.NumECUs; j++ {
 					u := stats.Mean(res.Trace.Series(fmt.Sprintf("util.ecu%d", j)).Window(45, 60))
-					if v := u - sys.UtilBound[j]; v > worstExcess {
+					if v := u - sys.UtilBound[j].Float(); v > worstExcess {
 						worstExcess = v
 					}
 				}

@@ -212,7 +212,7 @@ func fig9(dir string, seed int64) error {
 		m := 0.0
 		for j := 0; j < 3; j++ {
 			u := r.Trace.Series(fmt.Sprintf("util.ecu%d", j)).Window(10, 120)
-			b := workload.Testbed().UtilBound[j]
+			b := workload.Testbed().UtilBound[j].Float()
 			if v := stats.Max(u) - b; v > m {
 				m = v
 			}

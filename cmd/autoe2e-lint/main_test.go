@@ -25,7 +25,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exit %d: %s", code, errb.String())
 	}
-	for _, name := range []string{"nodeterminism", "simtimemix", "floateq", "mapiter", "panicguard"} {
+	for _, name := range []string{"nodeterminism", "simtimemix", "floateq", "mapiter", "panicguard", "unitsafe"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}

@@ -19,7 +19,7 @@ func main() {
 		NumECUs: 2,
 		// Leave headroom below the theoretical bounds, as a production
 		// deployment would (the default is the per-ECU RMS bound).
-		UtilBound: []float64{0.70, 0.75},
+		UtilBound: []autoe2e.Util{0.70, 0.75},
 		Tasks: []*autoe2e.Task{
 			{
 				Name: "perception-control",

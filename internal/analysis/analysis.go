@@ -23,6 +23,7 @@ import (
 	"github.com/autoe2e/autoe2e/internal/sched"
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // Options tunes the analysis.
@@ -100,7 +101,7 @@ type Report struct {
 	Tasks    []TaskReport
 	// Utilizations is the estimated per-ECU utilization (Equation 2,
 	// scaled by the WCET margin).
-	Utilizations []float64
+	Utilizations []units.Util
 	// Schedulable reports that every task is schedulable.
 	Schedulable bool
 }
@@ -133,7 +134,7 @@ func Analyze(st *taskmodel.State, opts Options) (*Report, error) {
 			sub := sys.Subtask(ref)
 			it := &item{
 				ref:    ref,
-				wcet:   simtime.Duration(float64(sub.NominalExec) * st.Ratio(ref) * opts.WCETMargin),
+				wcet:   simtime.Duration(float64(sub.NominalExec) * st.Ratio(ref).Float() * opts.WCETMargin),
 				period: period,
 			}
 			items[ref] = it
@@ -212,9 +213,9 @@ func Analyze(st *taskmodel.State, opts Options) (*Report, error) {
 	}
 
 	// Assemble the report.
-	rep := &Report{Schedulable: true, Utilizations: make([]float64, sys.NumECUs)}
+	rep := &Report{Schedulable: true, Utilizations: make([]units.Util, sys.NumECUs)}
 	for j := 0; j < sys.NumECUs; j++ {
-		rep.Utilizations[j] = st.EstimatedUtilization(j) * opts.WCETMargin
+		rep.Utilizations[j] = st.EstimatedUtilization(j).Scale(opts.WCETMargin)
 	}
 	for ti, task := range sys.Tasks {
 		id := taskmodel.TaskID(ti)

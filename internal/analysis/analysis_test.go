@@ -8,6 +8,7 @@ import (
 	"github.com/autoe2e/autoe2e/internal/sched"
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 	"github.com/autoe2e/autoe2e/internal/workload"
 )
 
@@ -22,11 +23,11 @@ func single(t *testing.T, specs ...[2]float64) *taskmodel.State {
 			Subtasks: []taskmodel.Subtask{
 				{Name: "s", ECU: 0, NominalExec: simtime.FromMillis(sp[0]), MinRatio: 1, Weight: 1},
 			},
-			RateMin: sp[1], RateMax: sp[1],
+			RateMin: units.RawRate(sp[1]), RateMax: units.RawRate(sp[1]),
 		})
 		_ = i
 	}
-	sys := &taskmodel.System{NumECUs: 1, UtilBound: []float64{1}, Tasks: tasks}
+	sys := &taskmodel.System{NumECUs: 1, UtilBound: []units.Util{1}, Tasks: tasks}
 	if err := sys.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestChainE2ELatencyBound(t *testing.T) {
 	// period + last stage's response.
 	sys := &taskmodel.System{
 		NumECUs:   2,
-		UtilBound: []float64{1, 1},
+		UtilBound: []units.Util{1, 1},
 		Tasks: []*taskmodel.Task{{
 			Name: "chain",
 			Subtasks: []taskmodel.Subtask{
@@ -144,7 +145,7 @@ func TestGreedyJitterInflatesInterference(t *testing.T) {
 	build := func() *taskmodel.State {
 		sys := &taskmodel.System{
 			NumECUs:   2,
-			UtilBound: []float64{1, 1},
+			UtilBound: []units.Util{1, 1},
 			Tasks: []*taskmodel.Task{
 				{
 					Name: "chain",

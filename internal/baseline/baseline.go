@@ -21,6 +21,7 @@ import (
 
 	"github.com/autoe2e/autoe2e/internal/linalg"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // OpenLoop assigns static task rates by solving F·r = B in least squares
@@ -40,15 +41,15 @@ func OpenLoop(st *taskmodel.State) error {
 	lo := make([]float64, m)
 	hi := make([]float64, m)
 	for ti, task := range sys.Tasks {
-		lo[ti] = st.RateFloor(taskmodel.TaskID(ti))
-		hi[ti] = task.RateMax
+		lo[ti] = st.RateFloor(taskmodel.TaskID(ti)).Float()
+		hi[ti] = task.RateMax.Float()
 	}
-	r, err := linalg.BoxLSQ(f, sys.UtilBound, lo, hi, st.Rates(), linalg.DefaultBoxLSQOptions())
+	r, err := linalg.BoxLSQ(f, units.Floats(sys.UtilBound), lo, hi, units.Floats(st.Rates()), linalg.DefaultBoxLSQOptions())
 	if err != nil {
 		return fmt.Errorf("baseline: OPEN rate assignment: %w", err)
 	}
 	for ti := range sys.Tasks {
-		st.SetRate(taskmodel.TaskID(ti), r[ti])
+		st.SetRate(taskmodel.TaskID(ti), units.RawRate(r[ti]))
 	}
 	return nil
 }
@@ -70,8 +71,9 @@ func OptimalPrecision(st *taskmodel.State, trueExec TrueExec) float64 {
 	for j := 0; j < sys.NumECUs; j++ {
 		refs := sys.OnECU(j)
 		// Fixed load: every subtask at its minimum ratio, rates at
-		// floors.
-		capacity := sys.UtilBound[j]
+		// floors. The oracle kernel below is raw float64 arithmetic on
+		// the unwrapped quantities.
+		capacity := sys.UtilBound[j].Float()
 		type item struct {
 			ref    taskmodel.SubtaskRef
 			cost   float64 // true c·r_min per unit ratio
@@ -82,11 +84,11 @@ func OptimalPrecision(st *taskmodel.State, trueExec TrueExec) float64 {
 		for _, ref := range refs {
 			sub := sys.Subtask(ref)
 			rate := st.RateFloor(ref.Task)
-			cost := trueExec(ref) * rate
-			capacity -= cost * sub.MinRatio
-			total += sub.Weight * sub.MinRatio
+			cost := trueExec(ref) * rate.Float()
+			capacity -= cost * sub.MinRatio.Float()
+			total += sub.Weight * sub.MinRatio.Float()
 			if sub.Adjustable() {
-				list = append(list, item{ref: ref, cost: cost, profit: sub.Weight, span: 1 - sub.MinRatio})
+				list = append(list, item{ref: ref, cost: cost, profit: sub.Weight, span: 1 - sub.MinRatio.Float()})
 			}
 		}
 		if capacity <= 0 {
@@ -119,14 +121,14 @@ func OptimalPrecision(st *taskmodel.State, trueExec TrueExec) float64 {
 // paper's restorer avoids by leaving slack.
 type DirectIncrease struct {
 	state *taskmodel.State
-	step  float64
+	step  units.Ratio
 	// active is true between OnFloorDrop and saturation.
 	active bool
 }
 
 // NewDirectIncrease builds the baseline with the given per-period ratio
 // step (e.g. 0.1).
-func NewDirectIncrease(st *taskmodel.State, step float64) (*DirectIncrease, error) {
+func NewDirectIncrease(st *taskmodel.State, step units.Ratio) (*DirectIncrease, error) {
 	if step <= 0 || step > 1 {
 		return nil, fmt.Errorf("baseline: DirectIncrease step = %v, want (0, 1]", step)
 	}
@@ -151,7 +153,7 @@ func (d *DirectIncrease) Active() bool { return d.active }
 // bound the baseline stops (the step that caused the excess is the
 // Figure 9(b) peak — it is not undone); otherwise every adjustable ratio
 // rises by the fixed step. It reports whether the baseline is done.
-func (d *DirectIncrease) Step(utils []float64) bool {
+func (d *DirectIncrease) Step(utils []units.Util) bool {
 	if !d.active {
 		return true
 	}

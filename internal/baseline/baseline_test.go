@@ -6,13 +6,14 @@ import (
 
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 func mkSystem(t *testing.T) (*taskmodel.System, *taskmodel.State) {
 	t.Helper()
 	sys := &taskmodel.System{
 		NumECUs:   2,
-		UtilBound: []float64{0.7, 0.7},
+		UtilBound: []units.Util{0.7, 0.7},
 		Tasks: []*taskmodel.Task{
 			{
 				Name: "chain",
@@ -43,7 +44,7 @@ func TestOpenLoopHitsBoundsWithAccurateEstimates(t *testing.T) {
 		t.Fatal(err)
 	}
 	for j := 0; j < sys.NumECUs; j++ {
-		if u := st.EstimatedUtilization(j); math.Abs(u-0.7) > 0.01 {
+		if u := st.EstimatedUtilization(j); math.Abs(u.Float()-0.7) > 0.01 {
 			t.Errorf("u[%d] = %v, want ~0.7", j, u)
 		}
 	}
@@ -159,12 +160,12 @@ func TestDirectIncreaseStepsUntilSaturation(t *testing.T) {
 	if done {
 		t.Fatal("done too early")
 	}
-	if a := st.Ratio(taskmodel.SubtaskRef{Task: 0, Index: 0}); math.Abs(a-0.6) > 1e-12 {
+	if a := st.Ratio(taskmodel.SubtaskRef{Task: 0, Index: 0}); math.Abs(a.Float()-0.6) > 1e-12 {
 		t.Errorf("ratio after one step = %v, want 0.6", a)
 	}
 	// Saturation stops it immediately, leaving the overshoot in place.
 	aBefore := st.Ratio(taskmodel.SubtaskRef{Task: 0, Index: 0})
-	done = di.Step([]float64{0.9, 0.5})
+	done = di.Step([]units.Util{0.9, 0.5})
 	if !done || di.Active() {
 		t.Error("saturation did not stop the baseline")
 	}
@@ -183,7 +184,7 @@ func TestDirectIncreaseFinishesAtFullPrecision(t *testing.T) {
 	}
 	di.OnFloorDrop()
 	steps := 0
-	for !di.Step([]float64{0.1, 0.1}) {
+	for !di.Step([]units.Util{0.1, 0.1}) {
 		steps++
 		if steps > 10 {
 			t.Fatal("never finished")

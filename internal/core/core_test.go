@@ -11,6 +11,7 @@ import (
 	"github.com/autoe2e/autoe2e/internal/sched"
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // testSystem: one ECU, two tasks with room to adapt both rate and
@@ -19,7 +20,7 @@ func testSystem(t *testing.T) *taskmodel.System {
 	t.Helper()
 	sys := &taskmodel.System{
 		NumECUs:   1,
-		UtilBound: []float64{0.7},
+		UtilBound: []units.Util{0.7},
 		Tasks: []*taskmodel.Task{
 			{
 				Name:     "adjustable",
@@ -209,7 +210,7 @@ func TestRunOnInnerTick(t *testing.T) {
 		Exec:       exectime.Nominal{},
 		Middleware: Config{Mode: ModeEUCON, InnerPeriod: simtime.Second},
 		Duration:   5 * simtime.Second,
-		OnInnerTick: func(now simtime.Time, utils []float64, st *taskmodel.State) {
+		OnInnerTick: func(now simtime.Time, utils []units.Util, st *taskmodel.State) {
 			sawUtils = append(sawUtils, len(utils))
 		},
 	})
@@ -349,7 +350,7 @@ func TestDecentralizedInnerConverges(t *testing.T) {
 // failingController triggers the middleware's error path on first use.
 type failingController struct{}
 
-func (failingController) Step([]float64) (eucon.Result, error) {
+func (failingController) Step([]units.Util) (eucon.Result, error) {
 	return eucon.Result{}, errors.New("injected controller failure")
 }
 

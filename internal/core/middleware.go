@@ -16,6 +16,7 @@ import (
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
 	"github.com/autoe2e/autoe2e/internal/trace"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // Mode selects how much of the middleware is active, matching the paper's
@@ -94,7 +95,7 @@ func (c Config) validate() error {
 // rateController is the inner-loop contract both the centralized MPC and
 // the decentralized variant satisfy.
 type rateController interface {
-	Step(utils []float64) (eucon.Result, error)
+	Step(utils []units.Util) (eucon.Result, error)
 }
 
 // Middleware is the assembled two-tier controller attached to a scheduler.
@@ -109,7 +110,7 @@ type Middleware struct {
 	// onInner, if set, observes every inner tick after the controllers
 	// have acted (used by baselines and co-simulations that piggyback on
 	// the monitoring cadence).
-	onInner func(now simtime.Time, utils []float64, st *taskmodel.State)
+	onInner func(now simtime.Time, utils []units.Util, st *taskmodel.State)
 
 	innerCount   int
 	lastCounters []sched.TaskCounter
@@ -210,10 +211,10 @@ func (m *Middleware) innerTick(now simtime.Time) {
 			}
 			for j := range res.Reclaimed {
 				if res.Reclaimed[j] > 0 {
-					m.rec.Add(fmt.Sprintf("outer.reclaimed.ecu%d", j), now.Seconds(), res.Reclaimed[j])
+					m.rec.Add(fmt.Sprintf("outer.reclaimed.ecu%d", j), now.Seconds(), res.Reclaimed[j].Float())
 				}
 				if res.Restored[j] > 0 {
-					m.rec.Add(fmt.Sprintf("outer.restored.ecu%d", j), now.Seconds(), res.Restored[j])
+					m.rec.Add(fmt.Sprintf("outer.restored.ecu%d", j), now.Seconds(), res.Restored[j].Float())
 				}
 			}
 			if res.RestoreRound > 0 {
@@ -227,16 +228,16 @@ func (m *Middleware) innerTick(now simtime.Time) {
 // recordMetrics appends the per-period observability series: utilization
 // per ECU, rate per task, windowed miss ratio per task and overall, and the
 // total computation precision.
-func (m *Middleware) recordMetrics(now simtime.Time, utils []float64) {
+func (m *Middleware) recordMetrics(now simtime.Time, utils []units.Util) {
 	t := now.Seconds()
 	for j, u := range utils {
-		m.rec.Add(fmt.Sprintf("util.ecu%d", j), t, u)
+		m.rec.Add(fmt.Sprintf("util.ecu%d", j), t, u.Float())
 	}
 	sys := m.state.System()
 	counters := m.sch.Counters()
 	var windowMissed, windowResolved uint64
 	for i := range sys.Tasks {
-		m.rec.Add(fmt.Sprintf("rate.t%d", i+1), t, m.state.Rate(taskmodel.TaskID(i)))
+		m.rec.Add(fmt.Sprintf("rate.t%d", i+1), t, m.state.Rate(taskmodel.TaskID(i)).Float())
 		d := counters[i].Sub(m.lastCounters[i])
 		m.rec.Add(fmt.Sprintf("missratio.t%d", i+1), t, d.MissRatio())
 		windowMissed += d.Missed

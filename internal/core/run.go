@@ -8,6 +8,7 @@ import (
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
 	"github.com/autoe2e/autoe2e/internal/trace"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // Event is a scripted state change applied at an absolute simulation time —
@@ -44,7 +45,7 @@ type RunConfig struct {
 	// OnInnerTick optionally observes every inner control period after
 	// the middleware has acted, with the same utilization samples the
 	// controllers saw. Baselines such as Direct Increase hook here.
-	OnInnerTick func(now simtime.Time, utils []float64, st *taskmodel.State)
+	OnInnerTick func(now simtime.Time, utils []units.Util, st *taskmodel.State)
 }
 
 // RunResult carries everything the harnesses report on.

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // Decentralized is a DEUCON-inspired variant of the inner rate loop (Wang,
@@ -39,7 +40,7 @@ type DecentralizedConfig struct {
 	Gain float64
 	// BoundMargin shifts the per-ECU set-point below the bound, as in the
 	// centralized controller. Default 0.
-	BoundMargin float64
+	BoundMargin units.Util
 }
 
 func (c DecentralizedConfig) withDefaults() DecentralizedConfig {
@@ -72,7 +73,7 @@ func NewDecentralized(state *taskmodel.State, cfg DecentralizedConfig) (*Decentr
 // Step runs one control period: every task adjusts its rate from its
 // neighbor ECUs' measured utilizations. It returns the same Result shape as
 // the centralized controller.
-func (d *Decentralized) Step(utils []float64) (Result, error) {
+func (d *Decentralized) Step(utils []units.Util) (Result, error) {
 	sys := d.state.System()
 	n, m := sys.NumECUs, len(sys.Tasks)
 	if len(utils) != n {
@@ -92,7 +93,7 @@ func (d *Decentralized) Step(utils []float64) (Result, error) {
 		for si := range task.Subtasks {
 			sub := &task.Subtasks[si]
 			ref := taskmodel.SubtaskRef{Task: taskmodel.TaskID(ti), Index: si}
-			load[ti][sub.ECU] += sub.NominalExec.Seconds() * d.state.Ratio(ref)
+			load[ti][sub.ECU] += sub.NominalExec.Seconds() * d.state.Ratio(ref).Float()
 			if !counted[sub.ECU] {
 				counted[sub.ECU] = true
 				tasksOn[sub.ECU]++
@@ -101,8 +102,8 @@ func (d *Decentralized) Step(utils []float64) (Result, error) {
 	}
 
 	res := Result{
-		Rates:     make([]float64, m),
-		Delta:     make([]float64, m),
+		Rates:     make([]units.Rate, m),
+		Delta:     make([]units.Rate, m),
 		Saturated: make([]bool, m),
 	}
 	for ti := 0; ti < m; ti++ {
@@ -115,8 +116,8 @@ func (d *Decentralized) Step(utils []float64) (Result, error) {
 				continue
 			}
 			touches = true
-			slack := (sys.UtilBound[j] - d.cfg.BoundMargin) - utils[j]
-			share := slack / (float64(tasksOn[j]) * f)
+			slack := utils[j].Headroom(sys.UtilBound[j] - d.cfg.BoundMargin)
+			share := slack.Float() / (float64(tasksOn[j]) * f)
 			if share < delta {
 				delta = share
 			}
@@ -125,7 +126,7 @@ func (d *Decentralized) Step(utils []float64) (Result, error) {
 			res.Rates[ti] = d.state.Rate(id)
 			continue
 		}
-		move := d.cfg.Gain * delta
+		move := units.RawRate(d.cfg.Gain * delta)
 		res.Delta[ti] = move
 		res.Rates[ti] = d.state.SetRate(id, d.state.Rate(id)+move)
 		res.Saturated[ti] = d.state.RateSaturated(id, 1e-9)

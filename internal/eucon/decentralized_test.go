@@ -6,17 +6,18 @@ import (
 	"testing/quick"
 
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // runDecentralizedLoop iterates the analytic closed loop (measured =
 // gain × estimated) for the decentralized controller.
-func runDecentralizedLoop(t *testing.T, ctl *Decentralized, st *taskmodel.State, gain float64, periods int) []float64 {
+func runDecentralizedLoop(t *testing.T, ctl *Decentralized, st *taskmodel.State, gain float64, periods int) []units.Util {
 	t.Helper()
-	var utils []float64
+	var utils []units.Util
 	for k := 0; k <= periods; k++ {
 		utils = st.EstimatedUtilizations()
 		for j := range utils {
-			utils[j] *= gain
+			utils[j] = utils[j].Scale(gain)
 		}
 		if k == periods {
 			break
@@ -43,7 +44,7 @@ func TestDecentralizedConvergesNearBounds(t *testing.T) {
 		if u > sys.UtilBound[j]+0.01 {
 			t.Errorf("u[%d] = %v above bound %v", j, u, sys.UtilBound[j])
 		}
-		if math.Abs(u-sys.UtilBound[j]) < 0.02 {
+		if math.Abs((u - sys.UtilBound[j]).Float()) < 0.02 {
 			reached = true
 		}
 	}
@@ -89,7 +90,7 @@ func TestDecentralizedRatesStayInBox(t *testing.T) {
 		for k := 0; k < 60; k++ {
 			utils := st.EstimatedUtilizations()
 			for j := range utils {
-				utils[j] *= g
+				utils[j] = utils[j].Scale(g)
 			}
 			res, err := ctl.Step(utils)
 			if err != nil {
@@ -123,7 +124,7 @@ func TestDecentralizedValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ctl.Step([]float64{0.5}); err == nil {
+	if _, err := ctl.Step([]units.Util{0.5}); err == nil {
 		t.Error("wrong utilization vector length accepted")
 	}
 }
@@ -155,7 +156,7 @@ func TestDecentralizedVsCentralizedOperatingPoint(t *testing.T) {
 		}
 	}
 	// The binding ECU is fully used by both.
-	if u := stD.EstimatedUtilization(1); math.Abs(u-sys.UtilBound[1]) > 0.03 {
+	if u := stD.EstimatedUtilization(1); math.Abs((u - sys.UtilBound[1]).Float()) > 0.03 {
 		t.Errorf("decentralized binding ECU at %v, want ~%v", u, sys.UtilBound[1])
 	}
 }

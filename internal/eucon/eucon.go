@@ -29,6 +29,7 @@ import (
 
 	"github.com/autoe2e/autoe2e/internal/linalg"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // Config tunes the MPC.
@@ -48,7 +49,7 @@ type Config struct {
 	// BoundMargin shifts the utilization set-point slightly below the
 	// bound (B_j − BoundMargin) so the settled system has schedulable
 	// slack. Default 0.
-	BoundMargin float64
+	BoundMargin units.Util
 	// OverloadWeight multiplies the tracking-error weight of ECUs whose
 	// measured utilization exceeds the set-point. Equation (1) treats the
 	// bounds as hard constraints; in the least-squares MPC this asymmetry
@@ -126,9 +127,9 @@ func New(state *taskmodel.State, cfg Config) (*Controller, error) {
 // Result reports what one control step did.
 type Result struct {
 	// Rates are the applied task rates r(k+1).
-	Rates []float64
+	Rates []units.Rate
 	// Delta is the applied first move Δr(k|k) before rate clamping.
-	Delta []float64
+	Delta []units.Rate
 	// Saturated[i] reports that task i's rate is pinned at its floor.
 	Saturated []bool
 }
@@ -142,7 +143,7 @@ func (c *Controller) loadMatrix() *linalg.Matrix {
 		for si := range task.Subtasks {
 			sub := &task.Subtasks[si]
 			ref := taskmodel.SubtaskRef{Task: taskmodel.TaskID(ti), Index: si}
-			f.Add(sub.ECU, ti, sub.NominalExec.Seconds()*c.state.Ratio(ref))
+			f.Add(sub.ECU, ti, sub.NominalExec.Seconds()*c.state.Ratio(ref).Float())
 		}
 	}
 	return f
@@ -150,7 +151,7 @@ func (c *Controller) loadMatrix() *linalg.Matrix {
 
 // Step runs one control period with the measured utilizations and applies
 // the resulting rates. len(utils) must equal the number of ECUs.
-func (c *Controller) Step(utils []float64) (Result, error) {
+func (c *Controller) Step(utils []units.Util) (Result, error) {
 	sys := c.state.System()
 	n, m := sys.NumECUs, len(sys.Tasks)
 	if len(utils) != n {
@@ -185,7 +186,7 @@ func (c *Controller) Step(utils []float64) (Result, error) {
 				w = c.cfg.OverloadWeight
 			}
 			// ref(k+i) − u(k) = (1 − decay)·(target − u(k))
-			b[row] = w * (1 - decay) * (target - utils[j])
+			b[row] = w * (1 - decay) * utils[j].Headroom(target).Float()
 			for l := 0; l < active; l++ {
 				for ti := 0; ti < m; ti++ {
 					a.Set(row, l*m+ti, w*f.At(j, ti))
@@ -230,9 +231,9 @@ func (c *Controller) Step(utils []float64) (Result, error) {
 	hi := make([]float64, cols)
 	for ti := 0; ti < m; ti++ {
 		r := c.state.Rate(taskmodel.TaskID(ti))
-		lo[ti] = c.state.RateFloor(taskmodel.TaskID(ti)) - r
-		hi[ti] = sys.Tasks[ti].RateMax - r
-		span := sys.Tasks[ti].RateMax - sys.Tasks[ti].RateMin
+		lo[ti] = (c.state.RateFloor(taskmodel.TaskID(ti)) - r).Float()
+		hi[ti] = (sys.Tasks[ti].RateMax - r).Float()
+		span := (sys.Tasks[ti].RateMax - sys.Tasks[ti].RateMin).Float()
 		for l := 1; l < mh; l++ {
 			lo[l*m+ti] = -span
 			hi[l*m+ti] = span
@@ -245,14 +246,14 @@ func (c *Controller) Step(utils []float64) (Result, error) {
 	}
 
 	res := Result{
-		Rates:     make([]float64, m),
-		Delta:     make([]float64, m),
+		Rates:     make([]units.Rate, m),
+		Delta:     make([]units.Rate, m),
 		Saturated: make([]bool, m),
 	}
 	for ti := 0; ti < m; ti++ {
 		id := taskmodel.TaskID(ti)
-		res.Delta[ti] = x[ti]
-		res.Rates[ti] = c.state.SetRate(id, c.state.Rate(id)+x[ti])
+		res.Delta[ti] = units.RawRate(x[ti])
+		res.Rates[ti] = c.state.SetRate(id, c.state.Rate(id)+units.RawRate(x[ti]))
 		res.Saturated[ti] = c.state.RateSaturated(id, 1e-9)
 		c.prevDelta[ti] = x[ti]
 	}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // makeSystem builds a 2-ECU, 2-task system with generous rate ranges.
@@ -14,7 +15,7 @@ func makeSystem(t *testing.T) *taskmodel.System {
 	t.Helper()
 	sys := &taskmodel.System{
 		NumECUs:   2,
-		UtilBound: []float64{0.7, 0.7},
+		UtilBound: []units.Util{0.7, 0.7},
 		Tasks: []*taskmodel.Task{
 			{
 				Name: "chain",
@@ -42,13 +43,13 @@ func makeSystem(t *testing.T) *taskmodel.System {
 // runClosedLoop iterates the analytic closed loop u(k) = gain·û(k) for the
 // given number of periods, where û is the model-estimated utilization. This
 // tests the controller against Equation (4) without scheduler noise.
-func runClosedLoop(t *testing.T, ctl *Controller, st *taskmodel.State, gain float64, periods int) []float64 {
+func runClosedLoop(t *testing.T, ctl *Controller, st *taskmodel.State, gain float64, periods int) []units.Util {
 	t.Helper()
-	var utils []float64
+	var utils []units.Util
 	for k := 0; k < periods; k++ {
 		utils = st.EstimatedUtilizations()
 		for j := range utils {
-			utils[j] *= gain
+			utils[j] = utils[j].Scale(gain)
 		}
 		if _, err := ctl.Step(utils); err != nil {
 			t.Fatal(err)
@@ -56,7 +57,7 @@ func runClosedLoop(t *testing.T, ctl *Controller, st *taskmodel.State, gain floa
 	}
 	utils = st.EstimatedUtilizations()
 	for j := range utils {
-		utils[j] *= gain
+		utils[j] = utils[j].Scale(gain)
 	}
 	return utils
 }
@@ -70,7 +71,7 @@ func TestConvergesToBound(t *testing.T) {
 	}
 	utils := runClosedLoop(t, ctl, st, 1.0, 40)
 	for j, u := range utils {
-		if math.Abs(u-sys.UtilBound[j]) > 0.02 {
+		if math.Abs((u - sys.UtilBound[j]).Float()) > 0.02 {
 			t.Errorf("u[%d] = %v, want ~%v", j, u, sys.UtilBound[j])
 		}
 	}
@@ -87,7 +88,7 @@ func TestConvergesFromAbove(t *testing.T) {
 	}
 	utils := runClosedLoop(t, ctl, st, 1.0, 40)
 	for j, u := range utils {
-		if math.Abs(u-sys.UtilBound[j]) > 0.02 {
+		if math.Abs((u - sys.UtilBound[j]).Float()) > 0.02 {
 			t.Errorf("u[%d] = %v, want ~%v", j, u, sys.UtilBound[j])
 		}
 	}
@@ -161,7 +162,7 @@ func TestGainRobustnessProperty(t *testing.T) {
 		}
 		utils := runClosedLoop(t, ctl, st, g, 60)
 		for j, u := range utils {
-			if math.Abs(u-sys.UtilBound[j]) > 0.05 {
+			if math.Abs((u - sys.UtilBound[j]).Float()) > 0.05 {
 				return false
 			}
 		}
@@ -185,7 +186,7 @@ func TestPrecisionChangeShiftsOperatingPoint(t *testing.T) {
 	st.SetRatio(taskmodel.SubtaskRef{Task: 0, Index: 0}, 0.8)
 	utils := runClosedLoop(t, ctl, st, 1.0, 40)
 	for j, u := range utils {
-		if math.Abs(u-sys.UtilBound[j]) > 0.02 {
+		if math.Abs((u - sys.UtilBound[j]).Float()) > 0.02 {
 			t.Errorf("u[%d] = %v after ratio change, want ~%v", j, u, sys.UtilBound[j])
 		}
 	}
@@ -203,7 +204,7 @@ func TestBoundMargin(t *testing.T) {
 	}
 	utils := runClosedLoop(t, ctl, st, 1.0, 40)
 	for j, u := range utils {
-		if math.Abs(u-(sys.UtilBound[j]-0.1)) > 0.02 {
+		if math.Abs((u - (sys.UtilBound[j] - 0.1)).Float()) > 0.02 {
 			t.Errorf("u[%d] = %v, want ~%v with margin", j, u, sys.UtilBound[j]-0.1)
 		}
 	}
@@ -233,7 +234,7 @@ func TestStepDimensionMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ctl.Step([]float64{0.5}); err == nil {
+	if _, err := ctl.Step([]units.Util{0.5}); err == nil {
 		t.Fatal("wrong utilization vector length accepted")
 	}
 }
@@ -243,7 +244,7 @@ func TestFixedRateTasksDegenerateBox(t *testing.T) {
 	// single point and Step must be a clean no-op on the rates.
 	sys := &taskmodel.System{
 		NumECUs:   1,
-		UtilBound: []float64{0.9},
+		UtilBound: []units.Util{0.9},
 		Tasks: []*taskmodel.Task{
 			{
 				Name:     "fixed",

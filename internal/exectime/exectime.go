@@ -18,6 +18,7 @@ import (
 
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // Model produces the actual execution demand of one job.
@@ -25,7 +26,7 @@ type Model interface {
 	// Demand returns the CPU time one instance of the subtask consumes
 	// when released at `now` with execution-time ratio `ratio`. The
 	// result must be positive.
-	Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, now simtime.Time, ratio float64) simtime.Duration
+	Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, now simtime.Time, ratio units.Ratio) simtime.Duration
 }
 
 // Nominal charges exactly c_il·a_il — the controllers' own estimate
@@ -33,8 +34,8 @@ type Model interface {
 type Nominal struct{}
 
 // Demand implements Model.
-func (Nominal) Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, _ simtime.Time, ratio float64) simtime.Duration {
-	d := simtime.Duration(float64(sys.Subtask(ref).NominalExec) * ratio)
+func (Nominal) Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, _ simtime.Time, ratio units.Ratio) simtime.Duration {
+	d := simtime.Duration(float64(sys.Subtask(ref).NominalExec) * ratio.Float())
 	if d < 1 {
 		d = 1
 	}
@@ -52,7 +53,7 @@ type Gain struct {
 }
 
 // Demand implements Model.
-func (g Gain) Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, now simtime.Time, ratio float64) simtime.Duration {
+func (g Gain) Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, now simtime.Time, ratio units.Ratio) simtime.Duration {
 	d := g.Inner.Demand(sys, ref, now, ratio)
 	if f, ok := g.PerECU[sys.Subtask(ref).ECU]; ok {
 		d = simtime.Duration(float64(d) * f)
@@ -107,7 +108,7 @@ func (s *Script) FactorAt(ref taskmodel.SubtaskRef, now simtime.Time) float64 {
 }
 
 // Demand implements Model.
-func (s *Script) Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, now simtime.Time, ratio float64) simtime.Duration {
+func (s *Script) Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, now simtime.Time, ratio units.Ratio) simtime.Duration {
 	d := s.inner.Demand(sys, ref, now, ratio)
 	// Applied unconditionally: durations stay far below 2^53 µs, so the
 	// round-trip through float64 is exact when the factor is 1.
@@ -138,7 +139,7 @@ func NewNoise(inner Model, spread float64, seed int64) *Noise {
 }
 
 // Demand implements Model.
-func (n *Noise) Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, now simtime.Time, ratio float64) simtime.Duration {
+func (n *Noise) Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, now simtime.Time, ratio units.Ratio) simtime.Duration {
 	d := n.inner.Demand(sys, ref, now, ratio)
 	f := n.rng.Uniform(1-n.spread, 1+n.spread)
 	d = simtime.Duration(float64(d) * f)

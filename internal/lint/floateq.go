@@ -39,6 +39,15 @@ func runFloatEq(pass *Pass) {
 			if !isFloat(pass.Info.TypeOf(be.X)) && !isFloat(pass.Info.TypeOf(be.Y)) {
 				return true
 			}
+			// Comparing against math.NaN() deserves its own message: by
+			// IEEE 754 semantics NaN compares unequal to everything,
+			// including itself, so == is always false and != always true.
+			// This check precedes the exemptions — a NaN comparison is
+			// wrong even where an exact comparison would be tolerated.
+			if isMathNaNCall(pass, be.X) || isMathNaNCall(pass, be.Y) {
+				pass.Reportf(be.OpPos, "%s against math.NaN() is always %v; use math.IsNaN", be.Op, be.Op == token.NEQ)
+				return true
+			}
 			// Both sides constant: the comparison is exact by construction.
 			if isConst(pass, be.X) && isConst(pass, be.Y) {
 				return true
@@ -52,6 +61,20 @@ func runFloatEq(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// isMathNaNCall reports whether e is a call of math.NaN().
+func isMathNaNCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgPath, name, ok := qualified(pass.Info, sel)
+	return ok && pkgPath == "math" && name == "NaN"
 }
 
 func isConst(pass *Pass, e ast.Expr) bool {

@@ -82,6 +82,7 @@ func All() []*Analyzer {
 		FloatEq,
 		MapIter,
 		PanicGuard,
+		Unitsafe,
 	}
 }
 

@@ -109,6 +109,7 @@ func TestSimtimeMix(t *testing.T)    { runFixtures(t, SimtimeMix) }
 func TestFloatEq(t *testing.T)       { runFixtures(t, FloatEq) }
 func TestMapIter(t *testing.T)       { runFixtures(t, MapIter) }
 func TestPanicGuard(t *testing.T)    { runFixtures(t, PanicGuard) }
+func TestUnitsafe(t *testing.T)      { runFixtures(t, Unitsafe) }
 
 // TestFixtureCoverage enforces the suite's own quality bar: every analyzer
 // ships at least 3 positive fixture cases (want markers) and at least 2

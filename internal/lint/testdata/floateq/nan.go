@@ -1,0 +1,29 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/fixturenan
+
+// NaN comparisons: always-false/always-true by IEEE 754; the fix is
+// math.IsNaN, and the check fires even where the exemptions would
+// otherwise tolerate an exact comparison.
+package fixturenan
+
+import "math"
+
+func nanChecks(x float64) int {
+	if x == math.NaN() { // want "math.IsNaN"
+		return 1
+	}
+	if math.NaN() != x { // want "math.IsNaN"
+		return 2
+	}
+	// The zero-sentinel exemption must not swallow a NaN comparison:
+	// 0.0 == math.NaN() is still always false.
+	if 0.0 == math.NaN() { // want "math.IsNaN"
+		return 3
+	}
+	if math.IsNaN(x) { // NEG the correct spelling
+		return 4
+	}
+	if x == 0 { // NEG zero-value sentinel stays exempt
+		return 5
+	}
+	return 0
+}

@@ -1,0 +1,18 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/sched/fixtureallow
+
+// The escape hatch: //lint:allow unitsafe on the line or the line above
+// suppresses the diagnostic.
+package fixtureallow
+
+import "github.com/autoe2e/autoe2e/internal/units"
+
+// Row mirrors an external CSV schema at the I/O boundary.
+type Row struct {
+	// NEG allow on the line above the field suppresses the surface rule.
+	//lint:allow unitsafe boundary struct mirrored from a CSV schema
+	Rate float64
+}
+
+func strip(r units.Rate) float64 {
+	return float64(r) //lint:allow unitsafe NEG exercising the same-line form
+}

@@ -1,0 +1,21 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/precision/fixtureconv
+
+// Positive and negative cases, rules 2 and 3: conversion discipline and
+// laundered unit mixing apply module-wide.
+package fixtureconv
+
+import "github.com/autoe2e/autoe2e/internal/units"
+
+func conversions(r units.Rate, u units.Util, x float64) {
+	_ = float64(r)               // want "strips units.Rate"
+	_ = units.Util(r)            // want "mixes dimensions"
+	_ = units.Rate(x)            // want "use units.RawRate"
+	_ = units.RawRate(x)         // NEG the sanctioned constructor
+	_ = r.Float()                // NEG the sanctioned unwrap
+	_ = units.Ratio(1)           // NEG untyped constants are exact and idiomatic
+	_ = units.RawUtil(r.Float()) // want "launders"
+	_ = units.RawRate(r.Float()) // NEG same-unit round trip is only redundant
+	_ = r.Float() > u.Float()    // want "mixes units.Rate and units.Util"
+	_ = r.Float() * u.Float()    // NEG products of different units are derived quantities
+	_ = x * u.Float()            // NEG only two unwrapped units mix
+}

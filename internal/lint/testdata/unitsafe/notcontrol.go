@@ -1,0 +1,12 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/linalg/fixture
+
+// Negative case, rule 1 scoping: linalg (and any package outside the
+// control list) is the fenced-off numeric kernel — raw float64 is its
+// contract even when parameter names sound dimensional.
+package fixture
+
+// NEG not a control package: the surface rule does not apply.
+func Solve(rates []float64, util float64) []float64 {
+	_ = util
+	return rates
+}

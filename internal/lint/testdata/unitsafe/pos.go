@@ -1,0 +1,36 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/eucon/fixture
+
+// Positive cases, rule 1: raw float64 on exported surface of a control
+// package where the name says the value is a rate, utilization, or ratio.
+package fixture
+
+import "github.com/autoe2e/autoe2e/internal/units"
+
+// Config is exported, so its exported fields are API surface.
+type Config struct {
+	TargetRate float64 // want "units.Rate"
+	Retries    int
+}
+
+// Result smuggles utilizations through a composite type.
+type Result struct {
+	Utilizations []float64 // want "units.Util"
+}
+
+func SetRatio(ratio float64) { // want "units.Ratio"
+	_ = ratio
+}
+
+func SampleUtils() []float64 { // want "units.Util"
+	return nil
+}
+
+// Stepper is an exported interface: its method surface counts too.
+type Stepper interface {
+	Step(rates []float64) error // want "units.Rate"
+}
+
+// Typed surface is what the rule asks for.
+func Bound(u units.Util) units.Util { // NEG already a units type
+	return u
+}

@@ -1,0 +1,350 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Unitsafe enforces the dimensional discipline of internal/units across the
+// control stack. The three quantities the paper's two control loops move —
+// invocation rates r_i (Hz), ECU utilizations u_j and bounds B_j, and
+// precision ratios a_il — are defined types (units.Rate, units.Util,
+// units.Ratio), and this analyzer closes the loopholes the Go compiler
+// leaves open:
+//
+//  1. In the control packages (taskmodel, eucon, precision, sched,
+//     exectime, baseline, workload, core, analysis), exported signatures
+//     and struct fields whose names say "rate", "util(ization)" or "ratio"
+//     must use the corresponding units type, not raw float64 — the same
+//     surface rule simtimemix applies to time.Duration.
+//  2. Module-wide (outside internal/units itself), crossing between a
+//     units type and float64 — or between two units types — must go
+//     through the sanctioned constructors: units.Raw* in, .Float() out.
+//     Direct conversions like float64(r), units.Util(x) on a variable, or
+//     units.Rate(u) are flagged, as is laundering one unit into another
+//     via units.RawRate(u.Float()).
+//  3. Arithmetic or comparisons whose two operands are .Float() unwraps of
+//     different units types mix dimensions; the unwrap only hides what the
+//     compiler would otherwise reject.
+//
+// Names containing a "miss" segment (MissRatio and friends) are exempt
+// from rule 1: a deadline-miss ratio is an outcome statistic, not a
+// precision ratio. Deliberate exceptions carry //lint:allow unitsafe.
+var Unitsafe = &Analyzer{
+	Name: "unitsafe",
+	Doc:  "enforce units.Rate/Util/Ratio across the control stack and forbid raw conversions between them",
+	Run:  runUnitsafe,
+}
+
+// unitsPkgSuffix identifies the units package by import-path suffix so the
+// rule applies to fixtures as well as the real module path.
+const unitsPkgSuffix = "internal/units"
+
+// controlPkgSegments are the internal packages whose exported float64
+// surface must speak units types (rule 1). linalg is deliberately absent:
+// it is the fenced-off raw numeric kernel.
+var controlPkgSegments = map[string]bool{
+	"taskmodel": true,
+	"eucon":     true,
+	"precision": true,
+	"sched":     true,
+	"exectime":  true,
+	"baseline":  true,
+	"workload":  true,
+	"core":      true,
+	"analysis":  true,
+}
+
+// isControlPkg reports whether the import path is one of the control
+// packages (or a subpackage of one).
+func isControlPkg(path string) bool {
+	_, rest, ok := strings.Cut(path, "/internal/")
+	if !ok {
+		return false
+	}
+	seg, _, _ := strings.Cut(rest, "/")
+	return controlPkgSegments[seg]
+}
+
+// unitTypeName returns "Rate", "Util" or "Ratio" if t is (or contains,
+// through composite types) one of the units defined types, else "".
+func unitTypeName(t types.Type) string {
+	name := ""
+	containsType(t, func(t types.Type) bool {
+		n, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := n.Obj()
+		if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), unitsPkgSuffix) {
+			return false
+		}
+		switch obj.Name() {
+		case "Rate", "Util", "Ratio":
+			name = obj.Name()
+			return true
+		}
+		return false
+	})
+	return name
+}
+
+// directUnitName is unitTypeName restricted to t itself: used for
+// conversions, where composite forms like []units.Rate(nil) are ordinary
+// slice-header conversions, not unit crossings.
+func directUnitName(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), unitsPkgSuffix) {
+		return ""
+	}
+	switch obj.Name() {
+	case "Rate", "Util", "Ratio":
+		return obj.Name()
+	}
+	return ""
+}
+
+// unitForSegment maps an identifier's camel-case segment to the units type
+// its value should carry.
+func unitForSegment(seg string) string {
+	switch seg {
+	case "rate", "rates":
+		return "Rate"
+	case "util", "utils", "utilization", "utilizations":
+		return "Util"
+	case "ratio", "ratios":
+		return "Ratio"
+	}
+	return ""
+}
+
+// unitForName inspects a declared name and returns the units type it
+// implies, or "". Names with a "miss" segment are outcome statistics
+// (MissRatio), never unit quantities.
+func unitForName(name string) string {
+	want := ""
+	for _, seg := range camelSegments(name) {
+		if seg == "miss" {
+			return ""
+		}
+		if u := unitForSegment(seg); u != "" {
+			want = u
+		}
+	}
+	return want
+}
+
+// rawConstructors maps the units.Raw* constructor names to the unit each
+// produces, for the laundering check (rule 2).
+var rawConstructors = map[string]string{
+	"RawRate":   "Rate",
+	"RawRates":  "Rate",
+	"RawUtil":   "Util",
+	"RawUtils":  "Util",
+	"RawRatio":  "Ratio",
+	"RawRatios": "Ratio",
+}
+
+func runUnitsafe(pass *Pass) {
+	if strings.HasSuffix(pass.PkgPath, unitsPkgSuffix) {
+		return // the one place conversions are legitimate by construction
+	}
+	if isControlPkg(pass.PkgPath) {
+		unitsafeSurface(pass)
+	}
+	unitsafeConversions(pass)
+}
+
+// unitsafeSurface implements rule 1: exported API surface of the control
+// packages must not pass unit quantities as raw floats.
+func unitsafeSurface(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedRecv(d) {
+					continue
+				}
+				checkUnitFieldList(pass, d.Type.Params, d.Name.Name, "parameter")
+				checkUnitFieldList(pass, d.Type.Results, d.Name.Name, "result")
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					switch t := ts.Type.(type) {
+					case *ast.StructType:
+						for _, field := range t.Fields.List {
+							if !anyExportedName(field) {
+								continue
+							}
+							checkUnitField(pass, field, "", "field of "+ts.Name.Name)
+						}
+					case *ast.InterfaceType:
+						for _, m := range t.Methods.List {
+							ft, ok := m.Type.(*ast.FuncType)
+							if !ok || !anyExportedName(m) {
+								continue
+							}
+							name := ts.Name.Name
+							if len(m.Names) > 0 {
+								name = m.Names[0].Name
+							}
+							checkUnitFieldList(pass, ft.Params, name, "parameter")
+							checkUnitFieldList(pass, ft.Results, name, "result")
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkUnitFieldList applies the name heuristic to every field of a
+// parameter or result list; unnamed fields fall back to the owning
+// function's name.
+func checkUnitFieldList(pass *Pass, fl *ast.FieldList, owner, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		checkUnitField(pass, field, owner, kind+" of "+owner)
+	}
+}
+
+// checkUnitField reports a field whose declared name (or the fallback
+// owner name) implies a units type while its type is raw floating point.
+func checkUnitField(pass *Pass, field *ast.Field, fallback, where string) {
+	t := pass.Info.TypeOf(field.Type)
+	if !containsType(t, func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}) {
+		return
+	}
+	if unitTypeName(t) != "" {
+		return // already a units type (possibly inside a composite)
+	}
+	names := make([]string, 0, len(field.Names))
+	for _, n := range field.Names {
+		names = append(names, n.Name)
+	}
+	if len(names) == 0 && fallback != "" {
+		names = append(names, fallback)
+	}
+	for _, n := range names {
+		if want := unitForName(n); want != "" {
+			pass.Reportf(field.Pos(), "exported %s names a %s quantity but uses raw float64; use units.%s",
+				where, strings.ToLower(want), want)
+			return
+		}
+	}
+}
+
+// unitsafeConversions implements rules 2 and 3: every crossing between a
+// units type and raw float64 (or another units type) must go through the
+// constructors, and .Float() unwraps of different units must not meet in
+// one expression.
+func unitsafeConversions(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkConversion(pass, e)
+				checkLaundering(pass, e)
+			case *ast.BinaryExpr:
+				checkFloatMix(pass, e)
+			}
+			return true
+		})
+	}
+}
+
+// checkConversion flags direct type conversions that bypass the units
+// constructors: float64(unit), units.T(variable), and unit-to-unit casts.
+func checkConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	funTV, ok := pass.Info.Types[call.Fun]
+	if !ok || !funTV.IsType() {
+		return
+	}
+	dst := funTV.Type
+	arg := call.Args[0]
+	src := pass.Info.TypeOf(arg)
+	srcUnit := directUnitName(src)
+	dstUnit := directUnitName(dst)
+	switch {
+	case dstUnit == "" && srcUnit != "":
+		if b, ok := dst.Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+			pass.Reportf(call.Pos(), "conversion strips units.%s; unwrap with the Float method at a declared boundary", srcUnit)
+		}
+	case dstUnit != "" && srcUnit != "" && srcUnit != dstUnit:
+		pass.Reportf(call.Pos(), "conversion from units.%s to units.%s mixes dimensions; no direct conversion between unit types exists", srcUnit, dstUnit)
+	case dstUnit != "" && srcUnit == "":
+		if tv, ok := pass.Info.Types[arg]; ok && tv.Value != nil {
+			return // untyped constants (units.Ratio(1)) are exact and idiomatic
+		}
+		pass.Reportf(call.Pos(), "conversion units.%s(x) bypasses the constructor; use units.Raw%s", dstUnit, dstUnit)
+	}
+}
+
+// checkLaundering flags units.RawX(y.Float()) where y carries a different
+// unit than X: the round trip through float64 is a disguised unit cast.
+func checkLaundering(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	pkgPath, name, ok := qualified(pass.Info, sel)
+	if !ok || !strings.HasSuffix(pkgPath, unitsPkgSuffix) {
+		return
+	}
+	dstUnit, ok := rawConstructors[name]
+	if !ok {
+		return
+	}
+	if srcUnit := floatUnwrapUnit(pass, call.Args[0]); srcUnit != "" && srcUnit != dstUnit {
+		pass.Reportf(call.Pos(), "units.%s(….Float()) launders units.%s into units.%s; keep the value in its unit type", name, srcUnit, dstUnit)
+	}
+}
+
+// checkFloatMix flags binary expressions whose both operands are .Float()
+// unwraps of different units types (rule 3).
+func checkFloatMix(pass *Pass, be *ast.BinaryExpr) {
+	switch be.Op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+		token.ADD, token.SUB:
+	default:
+		// Products and quotients of different units are legitimate derived
+		// quantities (w/(c·r) profit density); sums and comparisons are not.
+		return
+	}
+	xu := floatUnwrapUnit(pass, be.X)
+	yu := floatUnwrapUnit(pass, be.Y)
+	if xu != "" && yu != "" && xu != yu {
+		pass.Reportf(be.OpPos, "%s mixes units.%s and units.%s via Float unwraps; operate in one unit type", be.Op, xu, yu)
+	}
+}
+
+// floatUnwrapUnit returns the unit type of e when e is a call of the form
+// u.Float() with u a units value, else "".
+func floatUnwrapUnit(pass *Pass, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Float" {
+		return ""
+	}
+	return directUnitName(pass.Info.TypeOf(sel.X))
+}

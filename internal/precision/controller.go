@@ -4,13 +4,14 @@ import (
 	"fmt"
 
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // Config tunes the outer loop.
 type Config struct {
 	// SaturationThreshold is how far above its bound an ECU's settled
 	// utilization must sit to count toward saturation. Default 0.02.
-	SaturationThreshold float64
+	SaturationThreshold units.Util
 	// SaturationPeriods is how many consecutive inner periods must
 	// violate before the outer loop acts. Default 3.
 	SaturationPeriods int
@@ -18,7 +19,7 @@ type Config struct {
 	// ratios, leaving slack so the inner controller settles at rates
 	// slightly above the floors rather than on the edge of saturation
 	// (Section IV.C.1's "margin for variance tolerance"). Default 0.03.
-	ReclaimMargin float64
+	ReclaimMargin units.Util
 	// RestoreLeeway is the relative rate-floor drop that activates the
 	// computation precision restorer, so it does not chase small r_min
 	// fluctuations (Section IV.C.3's "leeway"). Default 0.1.
@@ -26,12 +27,12 @@ type Config struct {
 	// RestoreSlack keeps restored utilization this far below the bound so
 	// the refill itself cannot cause misses (contrast with the Direct
 	// Increase baseline's peaks in Figure 9(b)). Default 0.05.
-	RestoreSlack float64
+	RestoreSlack units.Util
 	// RestoreEpsilon ends a restoration once a bisection round refills
 	// less than this much estimated utilization across all ECUs — the
 	// point of diminishing returns where the rates have effectively
 	// reached their floors. Default 0.01.
-	RestoreEpsilon float64
+	RestoreEpsilon units.Util
 }
 
 func (c Config) withDefaults() Config {
@@ -95,7 +96,7 @@ type Controller struct {
 	det   *Detector
 
 	phase      restorePhase
-	prevFloors []float64
+	prevFloors []units.Rate
 	// dropPending latches an observed rate-floor drop until the restorer
 	// can act on it.
 	dropPending bool
@@ -112,7 +113,7 @@ func New(state *taskmodel.State, cfg Config) (*Controller, error) {
 		return nil, err
 	}
 	sys := state.System()
-	floors := make([]float64, len(sys.Tasks))
+	floors := make([]units.Rate, len(sys.Tasks))
 	for i := range floors {
 		floors[i] = state.RateFloor(taskmodel.TaskID(i))
 	}
@@ -126,7 +127,7 @@ func New(state *taskmodel.State, cfg Config) (*Controller, error) {
 
 // ObserveInner feeds one inner-period utilization sample to the saturation
 // detector. The coordinator calls it every inner control period.
-func (o *Controller) ObserveInner(utils []float64) {
+func (o *Controller) ObserveInner(utils []units.Util) {
 	o.det.Observe(utils, o.state.System().UtilBound)
 }
 
@@ -134,10 +135,10 @@ func (o *Controller) ObserveInner(utils []float64) {
 type Result struct {
 	// Reclaimed is the estimated utilization shed per ECU by ratio
 	// decreases (saturation prevention).
-	Reclaimed []float64
+	Reclaimed []units.Util
 	// Restored is the estimated utilization refilled per ECU by ratio
 	// increases (restoration).
-	Restored []float64
+	Restored []units.Util
 	// RestoreRound is non-zero when a restorer bisection round ran this
 	// period (1-based round number).
 	RestoreRound int
@@ -148,14 +149,14 @@ type Result struct {
 
 // Step runs one outer control period. utils are the latest settled
 // utilization measurements (one per ECU).
-func (o *Controller) Step(utils []float64) (Result, error) {
+func (o *Controller) Step(utils []units.Util) (Result, error) {
 	sys := o.state.System()
 	if len(utils) != sys.NumECUs {
 		return Result{}, fmt.Errorf("precision: got %d utilizations, want %d", len(utils), sys.NumECUs)
 	}
 	res := Result{
-		Reclaimed: make([]float64, sys.NumECUs),
-		Restored:  make([]float64, sys.NumECUs),
+		Reclaimed: make([]units.Util, sys.NumECUs),
+		Restored:  make([]units.Util, sys.NumECUs),
 	}
 
 	// Saturation prevention: shed precision on every latched ECU whose
@@ -220,7 +221,7 @@ func (o *Controller) Step(utils []float64) (Result, error) {
 			res.RestoreDone = true
 		default:
 			o.runRestoreRound(&res)
-			total := 0.0
+			total := units.Util(0)
 			for _, v := range res.Restored {
 				total += v
 			}
@@ -278,7 +279,7 @@ func (o *Controller) ratesSaturatedOn(j int) bool {
 func (o *Controller) floorsDropped() bool {
 	for i := range o.prevFloors {
 		cur := o.state.RateFloor(taskmodel.TaskID(i))
-		if cur < o.prevFloors[i]*(1-o.cfg.RestoreLeeway) {
+		if cur < o.prevFloors[i].Scale(1-o.cfg.RestoreLeeway) {
 			return true
 		}
 	}

@@ -1,12 +1,14 @@
 package precision
 
+import "github.com/autoe2e/autoe2e/internal/units"
+
 // Detector implements the paper's saturation criterion: the outer loop
 // activates for an ECU when its settled utilization has exceeded its bound
 // by a configurable threshold for several consecutive inner-loop control
 // periods — i.e. the inner rate-based controller has demonstrably lost
 // control authority (Section IV.B).
 type Detector struct {
-	threshold float64
+	threshold units.Util
 	needed    int
 	counts    []int
 }
@@ -14,7 +16,7 @@ type Detector struct {
 // NewDetector builds a detector for n ECUs. threshold is the utilization
 // excess over the bound that counts as a violation; needed is how many
 // consecutive inner periods must violate before saturation is latched.
-func NewDetector(n int, threshold float64, needed int) *Detector {
+func NewDetector(n int, threshold units.Util, needed int) *Detector {
 	if threshold < 0 {
 		panic("precision: negative detector threshold")
 	}
@@ -26,7 +28,7 @@ func NewDetector(n int, threshold float64, needed int) *Detector {
 
 // Observe records one inner-period utilization sample per ECU against the
 // bounds. A sample at or below bound+threshold resets that ECU's streak.
-func (d *Detector) Observe(utils, bounds []float64) {
+func (d *Detector) Observe(utils, bounds []units.Util) {
 	for j := range d.counts {
 		if utils[j] > bounds[j]+d.threshold {
 			d.counts[j]++

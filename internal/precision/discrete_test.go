@@ -6,13 +6,14 @@ import (
 
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // discreteKnapsackSystem: two adjustable subtasks on one ECU, one on a
 // 0.2-step precision grid.
 func discreteKnapsackSystem(t *testing.T) *taskmodel.State {
 	t.Helper()
-	mk := func(name string, weight, step float64) *taskmodel.Task {
+	mk := func(name string, weight float64, step units.Ratio) *taskmodel.Task {
 		return &taskmodel.Task{
 			Name: name,
 			Subtasks: []taskmodel.Subtask{
@@ -23,7 +24,7 @@ func discreteKnapsackSystem(t *testing.T) *taskmodel.State {
 	}
 	sys := &taskmodel.System{
 		NumECUs:   1,
-		UtilBound: []float64{0.9},
+		UtilBound: []units.Util{0.9},
 		Tasks: []*taskmodel.Task{
 			mk("gridded", 1, 0.2),
 			mk("smooth", 3, 0),
@@ -43,10 +44,10 @@ func TestReduceRatiosWithDiscreteGrid(t *testing.T) {
 	// 0.04 — more than requested, as Section IV.E.2's floor demands.
 	got := ReduceRatios(st, 0, 0.033)
 	a := st.Ratio(taskmodel.SubtaskRef{Task: 0, Index: 0})
-	if math.Abs(a-0.6) > 1e-12 {
+	if math.Abs(a.Float()-0.6) > 1e-12 {
 		t.Errorf("gridded ratio = %v, want 0.6", a)
 	}
-	if math.Abs(got-0.04) > 1e-12 {
+	if math.Abs(got.Float()-0.04) > 1e-12 {
 		t.Errorf("reclaimed = %v, want 0.04 (floored over-reclaim)", got)
 	}
 	// The smooth task was not needed.
@@ -54,7 +55,7 @@ func TestReduceRatiosWithDiscreteGrid(t *testing.T) {
 		t.Error("smooth task touched unnecessarily")
 	}
 	// Accounting matches the estimated utilization drop exactly.
-	if u := st.EstimatedUtilization(0); math.Abs((0.2-u)-got) > 1e-12 {
+	if u := st.EstimatedUtilization(0); math.Abs((0.2 - u - got).Float()) > 1e-12 {
 		t.Errorf("estimated drop %v != reported %v", 0.2-u, got)
 	}
 }
@@ -72,10 +73,10 @@ func TestRestoreRatiosWithDiscreteGrid(t *testing.T) {
 	if a := st.Ratio(smooth); a != 1 {
 		t.Errorf("smooth ratio = %v, want 1", a)
 	}
-	if a := st.Ratio(gridded); math.Abs(a-0.4) > 1e-12 {
+	if a := st.Ratio(gridded); math.Abs(a.Float()-0.4) > 1e-12 {
 		t.Errorf("gridded ratio = %v, want 0.4", a)
 	}
-	if math.Abs(spent-0.1) > 1e-12 {
+	if math.Abs(spent.Float()-0.1) > 1e-12 {
 		t.Errorf("spent = %v, want 0.1", spent)
 	}
 }
@@ -92,7 +93,7 @@ func TestRestoreNeverExceedsBudgetWithGrid(t *testing.T) {
 	if spent > 0.015+1e-12 {
 		t.Errorf("spent %v exceeds budget", spent)
 	}
-	if a := st.Ratio(gridded); math.Abs(a-0.2) > 1e-12 {
+	if a := st.Ratio(gridded); math.Abs(a.Float()-0.2) > 1e-12 {
 		t.Errorf("gridded ratio = %v, want unchanged 0.2 (sub-step budget)", a)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // ratioItem is one adjustable subtask on the ECU being balanced.
@@ -53,10 +54,12 @@ func items(st *taskmodel.State, ecu int, decrease bool) []ratioItem {
 			continue
 		}
 		out = append(out, ratioItem{
-			ref:      ref,
-			cost:     sub.NominalExec.Seconds() * st.Rate(ref.Task),
+			ref: ref,
+			// One unit of ratio change moves Equation (2)'s estimate by
+			// c_il·r_i — a full-precision Load at the current rate.
+			cost:     units.Load(sub.NominalExec, 1, st.Rate(ref.Task)).Float(),
 			profit:   sub.Weight,
-			headroom: head,
+			headroom: head.Float(),
 		})
 	}
 	return out
@@ -68,7 +71,7 @@ func items(st *taskmodel.State, ecu int, decrease bool) []ratioItem {
 // (w_il / (c_il·r_i)) so the total precision loss is minimal. It mutates
 // the state and returns the utilization actually reclaimed, which is less
 // than requested when every adjustable ratio is already at its floor.
-func ReduceRatios(st *taskmodel.State, ecu int, reclaim float64) float64 {
+func ReduceRatios(st *taskmodel.State, ecu int, reclaim units.Util) units.Util {
 	if reclaim <= 0 {
 		return 0
 	}
@@ -79,7 +82,7 @@ func ReduceRatios(st *taskmodel.State, ecu int, reclaim float64) float64 {
 	sort.SliceStable(list, func(i, j int) bool {
 		return list[i].profit*list[j].cost < list[j].profit*list[i].cost
 	})
-	reclaimed := 0.0
+	reclaimed := units.Util(0)
 	for _, it := range list {
 		if reclaim-reclaimed <= 0 {
 			break
@@ -87,7 +90,7 @@ func ReduceRatios(st *taskmodel.State, ecu int, reclaim float64) float64 {
 		if it.cost <= 0 {
 			continue
 		}
-		da := (reclaim - reclaimed) / it.cost
+		da := (reclaim - reclaimed).Float() / it.cost
 		if da > it.headroom {
 			da = it.headroom
 		}
@@ -95,8 +98,8 @@ func ReduceRatios(st *taskmodel.State, ecu int, reclaim float64) float64 {
 		// floor onto their grid (Section IV.E.2), which can reclaim more
 		// than requested.
 		before := st.Ratio(it.ref)
-		applied := st.SetRatio(it.ref, before-da)
-		reclaimed += (before - applied) * it.cost
+		applied := st.SetRatio(it.ref, before-units.RawRatio(da))
+		reclaimed += units.RawUtil((before - applied).Float() * it.cost)
 	}
 	return reclaimed
 }
@@ -106,7 +109,7 @@ func ReduceRatios(st *taskmodel.State, ecu int, reclaim float64) float64 {
 // most valuable precision returns first (the under-utilization branch of
 // Equation 8, where e_j is negative and Δa_il comes out negative). It
 // mutates the state and returns the utilization actually consumed.
-func RestoreRatios(st *taskmodel.State, ecu int, budget float64) float64 {
+func RestoreRatios(st *taskmodel.State, ecu int, budget units.Util) units.Util {
 	if budget <= 0 {
 		return 0
 	}
@@ -114,7 +117,7 @@ func RestoreRatios(st *taskmodel.State, ecu int, budget float64) float64 {
 	sort.SliceStable(list, func(i, j int) bool {
 		return list[i].profit*list[j].cost > list[j].profit*list[i].cost
 	})
-	spent := 0.0
+	spent := units.Util(0)
 	for _, it := range list {
 		if budget-spent <= 0 {
 			break
@@ -122,15 +125,15 @@ func RestoreRatios(st *taskmodel.State, ecu int, budget float64) float64 {
 		if it.cost <= 0 {
 			continue
 		}
-		da := (budget - spent) / it.cost
+		da := (budget - spent).Float() / it.cost
 		if da > it.headroom {
 			da = it.headroom
 		}
 		// Discrete-ratio subtasks floor onto their grid, restoring less
 		// than the continuous request — never exceeding the budget.
 		before := st.Ratio(it.ref)
-		applied := st.SetRatio(it.ref, before+da)
-		spent += (applied - before) * it.cost
+		applied := st.SetRatio(it.ref, before+units.RawRatio(da))
+		spent += units.RawUtil((applied - before).Float() * it.cost)
 	}
 	return spent
 }

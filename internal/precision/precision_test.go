@@ -7,6 +7,7 @@ import (
 
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // knapsackSystem: one ECU with three subtasks of distinct profit/cost
@@ -18,7 +19,7 @@ import (
 //	T4: c=5ms, non-adjustable
 func knapsackSystem(t *testing.T) (*taskmodel.System, *taskmodel.State) {
 	t.Helper()
-	mk := func(name string, execMs, minRatio, weight float64) *taskmodel.Task {
+	mk := func(name string, execMs float64, minRatio units.Ratio, weight float64) *taskmodel.Task {
 		return &taskmodel.Task{
 			Name: name,
 			Subtasks: []taskmodel.Subtask{
@@ -29,7 +30,7 @@ func knapsackSystem(t *testing.T) (*taskmodel.System, *taskmodel.State) {
 	}
 	sys := &taskmodel.System{
 		NumECUs:   1,
-		UtilBound: []float64{0.9},
+		UtilBound: []units.Util{0.9},
 		Tasks: []*taskmodel.Task{
 			mk("t1", 10, 0.2, 1),
 			mk("t2", 20, 0.2, 4),
@@ -52,10 +53,10 @@ func TestReduceRatiosGreedyOrder(t *testing.T) {
 	// Reclaim 0.05: T1 (cheapest precision per utilization, ratio 10) has
 	// capacity 0.8·0.1 = 0.08 ≥ 0.05, so only T1 moves: Δa = 0.5.
 	got := ReduceRatios(st, 0, 0.05)
-	if math.Abs(got-0.05) > 1e-12 {
+	if math.Abs((got - 0.05).Float()) > 1e-12 {
 		t.Errorf("reclaimed = %v, want 0.05", got)
 	}
-	if a := st.Ratio(ref(0, 0)); math.Abs(a-0.5) > 1e-12 {
+	if a := st.Ratio(ref(0, 0)); math.Abs((a - 0.5).Float()) > 1e-12 {
 		t.Errorf("T1 ratio = %v, want 0.5", a)
 	}
 	for i := 1; i < 4; i++ {
@@ -70,13 +71,13 @@ func TestReduceRatiosSpillsToNextItem(t *testing.T) {
 	// Reclaim 0.12: T1 gives 0.08 (to its floor), remaining 0.04 comes
 	// from T2 (next ratio 20): Δa₂ = 0.04/0.2 = 0.2.
 	got := ReduceRatios(st, 0, 0.12)
-	if math.Abs(got-0.12) > 1e-12 {
+	if math.Abs((got - 0.12).Float()) > 1e-12 {
 		t.Errorf("reclaimed = %v, want 0.12", got)
 	}
-	if a := st.Ratio(ref(0, 0)); math.Abs(a-0.2) > 1e-12 {
+	if a := st.Ratio(ref(0, 0)); math.Abs((a - 0.2).Float()) > 1e-12 {
 		t.Errorf("T1 ratio = %v, want floor 0.2", a)
 	}
-	if a := st.Ratio(ref(1, 0)); math.Abs(a-0.8) > 1e-12 {
+	if a := st.Ratio(ref(1, 0)); math.Abs((a - 0.8).Float()) > 1e-12 {
 		t.Errorf("T2 ratio = %v, want 0.8", a)
 	}
 	if a := st.Ratio(ref(2, 0)); a != 1 {
@@ -89,11 +90,11 @@ func TestReduceRatiosExhaustion(t *testing.T) {
 	// Total adjustable capacity: 0.8·(0.1 + 0.2 + 0.1) = 0.32. Asking for
 	// more returns only what exists; non-adjustable T4 never moves.
 	got := ReduceRatios(st, 0, 1.0)
-	if math.Abs(got-0.32) > 1e-12 {
+	if math.Abs((got - 0.32).Float()) > 1e-12 {
 		t.Errorf("reclaimed = %v, want capacity 0.32", got)
 	}
 	for i := 0; i < 3; i++ {
-		if a := st.Ratio(ref(i, 0)); math.Abs(a-0.2) > 1e-12 {
+		if a := st.Ratio(ref(i, 0)); math.Abs((a - 0.2).Float()) > 1e-12 {
 			t.Errorf("T%d ratio = %v, want floor", i+1, a)
 		}
 	}
@@ -107,7 +108,7 @@ func TestReduceRatiosMatchesUtilizationDrop(t *testing.T) {
 	before := st.EstimatedUtilization(0)
 	got := ReduceRatios(st, 0, 0.1)
 	after := st.EstimatedUtilization(0)
-	if math.Abs((before-after)-got) > 1e-12 {
+	if math.Abs(((before - after) - got).Float()) > 1e-12 {
 		t.Errorf("estimated drop %v != reported reclaim %v", before-after, got)
 	}
 }
@@ -132,16 +133,16 @@ func TestRestoreRatiosMostValuableFirst(t *testing.T) {
 	// 0.8·0.1 = 0.08; the remaining 0.02 goes to T2 (20): Δa = 0.1.
 	ReduceRatios(st, 0, 1)
 	spent := RestoreRatios(st, 0, 0.1)
-	if math.Abs(spent-0.1) > 1e-12 {
+	if math.Abs((spent - 0.1).Float()) > 1e-12 {
 		t.Errorf("spent = %v, want 0.1", spent)
 	}
-	if a := st.Ratio(ref(2, 0)); math.Abs(a-1) > 1e-12 {
+	if a := st.Ratio(ref(2, 0)); math.Abs((a - 1).Float()) > 1e-12 {
 		t.Errorf("T3 ratio = %v, want fully restored", a)
 	}
-	if a := st.Ratio(ref(1, 0)); math.Abs(a-0.3) > 1e-12 {
+	if a := st.Ratio(ref(1, 0)); math.Abs((a - 0.3).Float()) > 1e-12 {
 		t.Errorf("T2 ratio = %v, want 0.3", a)
 	}
-	if a := st.Ratio(ref(0, 0)); math.Abs(a-0.2) > 1e-12 {
+	if a := st.Ratio(ref(0, 0)); math.Abs((a - 0.2).Float()) > 1e-12 {
 		t.Errorf("T1 ratio = %v, want still at floor", a)
 	}
 }
@@ -150,7 +151,7 @@ func TestRestoreThenReduceRoundTrip(t *testing.T) {
 	_, st := knapsackSystem(t)
 	reclaimed := ReduceRatios(st, 0, 0.15)
 	spent := RestoreRatios(st, 0, reclaimed)
-	if math.Abs(spent-reclaimed) > 1e-12 {
+	if math.Abs((spent - reclaimed).Float()) > 1e-12 {
 		t.Errorf("restore spent %v, want %v", spent, reclaimed)
 	}
 	// The same utilization is back, though possibly distributed to more
@@ -168,7 +169,7 @@ func TestReduceRatiosOptimalityProperty(t *testing.T) {
 		st := taskmodel.NewState(sys)
 		reclaim := 0.01 + 0.3*float64(reclaimRaw[0])/255
 		before := st.TotalPrecision()
-		got := ReduceRatios(st, 0, reclaim)
+		got := ReduceRatios(st, 0, units.RawUtil(reclaim)).Float()
 		greedyLoss := before - st.TotalPrecision()
 
 		// Random alternative: scale per-subtask decrements until the
@@ -190,7 +191,7 @@ func TestReduceRatiosOptimalityProperty(t *testing.T) {
 		altLoss := 0.0
 		for i := range fr {
 			da := fr[i] * 0.8 * scale
-			alt.SetRatio(ref(i, 0), 1-da)
+			alt.SetRatio(ref(i, 0), units.RawRatio(1-da))
 			altLoss += weights[i] * da
 		}
 		return altLoss >= greedyLoss-1e-9
@@ -201,8 +202,8 @@ func TestReduceRatiosOptimalityProperty(t *testing.T) {
 
 func TestDetectorLatching(t *testing.T) {
 	d := NewDetector(2, 0.02, 3)
-	bounds := []float64{0.7, 0.7}
-	over := []float64{0.8, 0.6}
+	bounds := []units.Util{0.7, 0.7}
+	over := []units.Util{0.8, 0.6}
 	for i := 0; i < 2; i++ {
 		d.Observe(over, bounds)
 		if s := d.Saturated(); s[0] || s[1] {
@@ -214,7 +215,7 @@ func TestDetectorLatching(t *testing.T) {
 		t.Fatalf("Saturated = %v, want [true false]", s)
 	}
 	// A compliant sample resets the streak.
-	d.Observe([]float64{0.71, 0.6}, bounds) // within threshold
+	d.Observe([]units.Util{0.71, 0.6}, bounds) // within threshold
 	if s := d.Saturated(); s[0] {
 		t.Error("compliant sample did not reset")
 	}
@@ -222,8 +223,8 @@ func TestDetectorLatching(t *testing.T) {
 
 func TestDetectorReset(t *testing.T) {
 	d := NewDetector(1, 0, 2)
-	d.Observe([]float64{0.9}, []float64{0.7})
-	d.Observe([]float64{0.9}, []float64{0.7})
+	d.Observe([]units.Util{0.9}, []units.Util{0.7})
+	d.Observe([]units.Util{0.9}, []units.Util{0.7})
 	if !d.Saturated()[0] {
 		t.Fatal("not latched")
 	}
@@ -255,7 +256,7 @@ func controllerSystem(t *testing.T) (*taskmodel.System, *taskmodel.State) {
 	t.Helper()
 	sys := &taskmodel.System{
 		NumECUs:   1,
-		UtilBound: []float64{0.7},
+		UtilBound: []units.Util{0.7},
 		Tasks: []*taskmodel.Task{
 			{
 				Name:     "steer",
@@ -287,14 +288,14 @@ func TestControllerSheddingOnSaturation(t *testing.T) {
 	}
 	measured := st.EstimatedUtilization(0) // 0.75
 	for i := 0; i < 3; i++ {
-		ctl.ObserveInner([]float64{measured})
+		ctl.ObserveInner([]units.Util{measured})
 	}
-	res, err := ctl.Step([]float64{measured})
+	res, err := ctl.Step([]units.Util{measured})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := measured - 0.7 + 0.03
-	if math.Abs(res.Reclaimed[0]-want) > 1e-9 {
+	if math.Abs((res.Reclaimed[0] - want).Float()) > 1e-9 {
 		t.Errorf("Reclaimed = %v, want %v", res.Reclaimed[0], want)
 	}
 	// The cheaper precision (speed, w/cr = 1/0.25 = 4) is shed before
@@ -302,7 +303,7 @@ func TestControllerSheddingOnSaturation(t *testing.T) {
 	// first in task order but profit/cost equal → stable sort keeps
 	// steer first. Verify the estimated utilization dropped to
 	// bound − margin.
-	if got := st.EstimatedUtilization(0); math.Abs(got-(0.7-0.03)) > 1e-9 {
+	if got := st.EstimatedUtilization(0); math.Abs((got - (0.7 - 0.03)).Float()) > 1e-9 {
 		t.Errorf("estimated util after shed = %v, want %v", got, 0.67)
 	}
 }
@@ -314,9 +315,9 @@ func TestControllerIgnoresUnlatchedExcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Only two violating observations: below the latch requirement.
-	ctl.ObserveInner([]float64{0.9})
-	ctl.ObserveInner([]float64{0.9})
-	res, err := ctl.Step([]float64{0.9})
+	ctl.ObserveInner([]units.Util{0.9})
+	ctl.ObserveInner([]units.Util{0.9})
+	res, err := ctl.Step([]units.Util{0.9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,7 +337,7 @@ func TestRestorerFullCycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Let the controller snapshot the high floors.
-	if _, err := ctl.Step([]float64{0.67}); err != nil {
+	if _, err := ctl.Step([]units.Util{0.67}); err != nil {
 		t.Fatal(err)
 	}
 	if ctl.Restoring() {
@@ -350,7 +351,7 @@ func TestRestorerFullCycle(t *testing.T) {
 	done := false
 	for i := 0; i < 10 && !done; i++ {
 		// Emulate a settled inner loop: measured = estimated.
-		res, err := ctl.Step([]float64{st.EstimatedUtilization(0)})
+		res, err := ctl.Step([]units.Util{st.EstimatedUtilization(0)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -388,12 +389,12 @@ func TestRestorerNotTriggeredBySmallDrop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ctl.Step([]float64{0.67}); err != nil {
+	if _, err := ctl.Step([]units.Util{0.67}); err != nil {
 		t.Fatal(err)
 	}
 	// 10% drop is within the 20% leeway: restorer must not chase it.
 	st.SetRateFloor(0, 22.6)
-	res, err := ctl.Step([]float64{0.67})
+	res, err := ctl.Step([]units.Util{0.67})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +425,7 @@ func TestControllerDimensionMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ctl.Step([]float64{0.5, 0.5}); err == nil {
+	if _, err := ctl.Step([]units.Util{0.5, 0.5}); err == nil {
 		t.Fatal("wrong utilization vector length accepted")
 	}
 }
@@ -439,7 +440,7 @@ func TestRestorerReactivatesOnSecondDrop(t *testing.T) {
 		t.Fatal(err)
 	}
 	step := func() Result {
-		res, err := ctl.Step([]float64{st.EstimatedUtilization(0)})
+		res, err := ctl.Step([]units.Util{st.EstimatedUtilization(0)})
 		if err != nil {
 			t.Fatal(err)
 		}

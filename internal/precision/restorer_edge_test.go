@@ -1,0 +1,171 @@
+package precision
+
+import (
+	"testing"
+
+	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
+)
+
+// TestRestorerReacceleration covers r_min rising again mid-restoration: the
+// vehicle decelerates (floors drop, restoration starts) and then
+// re-accelerates before the restorer converges. The rising floors pull the
+// bisected rates straight back up, which can push utilization above the
+// bound with the partially restored ratios still in place. The restorer
+// must terminate without refilling precision into the overloaded ECU, and
+// the saturation-prevention path must then recover the bound.
+func TestRestorerReacceleration(t *testing.T) {
+	_, st := controllerSystem(t)
+	// High-speed phase: floors 25/25, precision shed so the ECU fits.
+	st.SetRateFloor(0, 25)
+	st.SetRateFloor(1, 25)
+	ReduceRatios(st, 0, 0.26) // steer ratio 0.48, estimated util 0.49
+	ctl, err := New(st, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func() Result {
+		res, err := ctl.Step([]units.Util{st.EstimatedUtilization(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	step() // snapshot the high floors
+
+	// Deceleration: floors drop to 20 (beyond the 10% leeway). The first
+	// restore round bisects rates to 22.5 and refills only part of steer's
+	// precision — the budget runs out below ratio 1.
+	st.SetRateFloor(0, 20)
+	st.SetRateFloor(1, 20)
+	res := step()
+	if res.RestoreRound != 1 || !ctl.Restoring() {
+		t.Fatalf("restoration did not start: round %d, restoring %v", res.RestoreRound, ctl.Restoring())
+	}
+	midRatio := st.Ratio(ref(0, 0))
+	if midRatio >= 1 {
+		t.Fatalf("steer ratio = %v after round 1, want a partial restore", midRatio)
+	}
+
+	// Re-acceleration mid-restoration: floors jump back to 25, pulling the
+	// bisected rates up with them. With the partially restored ratio the
+	// estimated load is now above the 0.7 bound.
+	st.SetRateFloor(0, 25)
+	st.SetRateFloor(1, 25)
+	if u := st.EstimatedUtilization(0); u <= 0.7 {
+		t.Fatalf("estimated util after re-acceleration = %v, want above the bound", u)
+	}
+	res = step()
+	if !res.RestoreDone || ctl.Restoring() {
+		t.Error("restorer kept running against risen floors")
+	}
+	if res.Restored[0] != 0 {
+		t.Errorf("Restored = %v into an over-bound ECU, want 0", res.Restored[0])
+	}
+	for i := 0; i < 2; i++ {
+		if r := st.Rate(taskmodel.TaskID(i)); r != 25 {
+			t.Errorf("task %d rate = %v after re-acceleration, want pinned at the risen floor 25", i, r)
+		}
+	}
+	if a := st.Ratio(ref(0, 0)); a != midRatio {
+		t.Errorf("steer ratio moved %v -> %v during the aborted round, want unchanged", midRatio, a)
+	}
+
+	// The over-bound state is now a plain saturation: rates are pinned at
+	// the new floors, so after the detector latches, the reduction loop —
+	// not the restorer — sheds precision back under the bound.
+	measured := st.EstimatedUtilization(0)
+	for i := 0; i < 3; i++ {
+		ctl.ObserveInner([]units.Util{measured})
+	}
+	res = step()
+	if res.Reclaimed[0] <= 0 {
+		t.Error("saturation prevention did not reclaim after re-acceleration")
+	}
+	if ctl.Restoring() {
+		t.Error("reduction re-triggered the restorer")
+	}
+	if u := st.EstimatedUtilization(0); u > 0.7 {
+		t.Errorf("estimated util after reclaim = %v, want at most the bound", u)
+	}
+}
+
+// TestRestorerExactBoundaryCompletion pins the bisection boundary where the
+// round's budget funds reaching a_il = 1 exactly, with nothing left over.
+// Every quantity is a binary-exact double (c = 0.125 s, rates 4 -> 3,
+// bound 7/16, slack 1/16), so da == headroom without clamping and the ratio
+// must land on exactly 1: restoration then terminates through Algorithm 1's
+// full-precision exit (line 8), not the diminishing-returns epsilon, and the
+// rates are not bisected further toward the floor.
+func TestRestorerExactBoundaryCompletion(t *testing.T) {
+	sys := &taskmodel.System{
+		NumECUs:   1,
+		UtilBound: []units.Util{0.4375},
+		Tasks: []*taskmodel.Task{{
+			Name:     "plan",
+			Subtasks: []taskmodel.Subtask{{Name: "p", ECU: 0, NominalExec: simtime.FromMillis(125), MinRatio: 0.25, Weight: 1}},
+			RateMin:  2, RateMax: 8,
+		}},
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := taskmodel.NewState(sys)
+	// High-speed phase: floor at 4 and half the precision shed
+	// (ratio 1 -> 0.5, estimated util 0.125·0.5·4 = 0.25).
+	st.SetRateFloor(0, 4)
+	ReduceRatios(st, 0, 0.25)
+	if a := st.Ratio(ref(0, 0)); a != 0.5 {
+		t.Fatalf("shed ratio = %v, want exactly 0.5", a)
+	}
+	ctl, err := New(st, Config{RestoreSlack: 0.0625})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deceleration to floor 2. The bisection moves the rate to 3, leaving
+	// budget (0.4375 − 0.0625) − 0.125·0.5·3 = 0.1875 — exactly the cost
+	// 0.125·3 · headroom 0.5 of restoring the ratio to 1.
+	st.SetRateFloor(0, 2)
+	res, err := ctl.Step([]units.Util{st.EstimatedUtilization(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RestoreRound != 1 {
+		t.Fatalf("RestoreRound = %d, want 1", res.RestoreRound)
+	}
+	if res.Restored[0] != 0.1875 {
+		t.Errorf("Restored = %v, want the exact budget 0.1875", res.Restored[0])
+	}
+	if a := st.Ratio(ref(0, 0)); a != 1 {
+		t.Errorf("ratio after the boundary round = %v, want exactly 1", a)
+	}
+	if !st.FullPrecision() {
+		t.Error("full precision not reached on the exact boundary")
+	}
+	// The budget was consumed to the last bit: utilization sits exactly on
+	// bound − slack.
+	if u := st.EstimatedUtilization(0); u != 0.375 {
+		t.Errorf("estimated util = %v, want exactly bound − slack = 0.375", u)
+	}
+
+	// The next period must exit through the full-precision branch: done,
+	// without running another bisection round.
+	res, err = ctl.Step([]units.Util{st.EstimatedUtilization(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RestoreDone || res.RestoreRound != 0 {
+		t.Errorf("termination step: done %v round %d, want the full-precision exit with no extra round",
+			res.RestoreDone, res.RestoreRound)
+	}
+	if ctl.Restoring() {
+		t.Error("restorer still active after full precision")
+	}
+	// Line 8 terminates before line 1 runs again: the rate stays at the
+	// round-1 midpoint instead of bisecting on toward the floor.
+	if r := st.Rate(0); r != 3 {
+		t.Errorf("rate = %v after termination, want left at the midpoint 3", r)
+	}
+}

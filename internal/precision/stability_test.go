@@ -6,6 +6,7 @@ import (
 
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // stabilitySystem: one ECU, one wide-range adjustable subtask, so the
@@ -15,7 +16,7 @@ func stabilitySystem(t *testing.T) *taskmodel.State {
 	t.Helper()
 	sys := &taskmodel.System{
 		NumECUs:   1,
-		UtilBound: []float64{0.7},
+		UtilBound: []units.Util{0.7},
 		Tasks: []*taskmodel.Task{{
 			Name: "wide",
 			Subtasks: []taskmodel.Subtask{
@@ -41,16 +42,16 @@ func runGainLoop(t *testing.T, g, u0 float64, periods int) []float64 {
 	// Start at u0 (the subtask's c·r spans exactly one unit of
 	// utilization, so ratio u0 realizes it); plant and estimate agree at
 	// the start.
-	st.SetRatio(taskmodel.SubtaskRef{Task: 0, Index: 0}, u0)
+	st.SetRatio(taskmodel.SubtaskRef{Task: 0, Index: 0}, units.RawRatio(u0))
 	u := u0
 	errs := make([]float64, 0, periods)
 	for k := 0; k < periods; k++ {
 		e := u - bound
 		var estChange float64
 		if e > 0 {
-			estChange = -ReduceRatios(st, 0, e)
+			estChange = -ReduceRatios(st, 0, units.RawUtil(e)).Float()
 		} else if e < 0 {
-			estChange = RestoreRatios(st, 0, -e)
+			estChange = RestoreRatios(st, 0, units.RawUtil(-e)).Float()
 		}
 		u += g * estChange
 		errs = append(errs, math.Abs(u-bound))

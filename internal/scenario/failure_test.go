@@ -65,7 +65,7 @@ func TestTransientExecSpikeRecovery(t *testing.T) {
 	// Utilization back under bounds at the end.
 	for j := 0; j < sys.NumECUs; j++ {
 		u := stats.Mean(res.Trace.Series(trace(j)).Window(120, 140))
-		if u > sys.UtilBound[j]+0.05 {
+		if u > sys.UtilBound[j].Float()+0.05 {
 			t.Errorf("ECU%d settled at %v after spike, bound %v", j, u, sys.UtilBound[j])
 		}
 	}

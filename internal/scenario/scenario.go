@@ -19,6 +19,7 @@ import (
 	"github.com/autoe2e/autoe2e/internal/precision"
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 	"github.com/autoe2e/autoe2e/internal/workload"
 )
 
@@ -29,7 +30,7 @@ const ExecNoise = 0.05
 
 // floorEvent returns a scenario event that moves several tasks' determined
 // rates at once (one vehicle-speed change).
-func floorEvent(at simtime.Time, floors map[taskmodel.TaskID]float64) core.Event {
+func floorEvent(at simtime.Time, floors map[taskmodel.TaskID]units.Rate) core.Event {
 	return core.Event{At: at, Do: func(st *taskmodel.State) {
 		for id, f := range floors {
 			st.SetRateFloor(id, f)
@@ -55,15 +56,15 @@ func TestbedAcceleration(mode core.Mode, seed int64) core.RunConfig {
 		},
 		Duration: 400 * simtime.Second,
 		Events: []core.Event{
-			floorEvent(simtime.At(100), map[taskmodel.TaskID]float64{
+			floorEvent(simtime.At(100), map[taskmodel.TaskID]units.Rate{
 				workload.TestbedSteerByWire: 75, workload.TestbedDriveByWire: 75,
 				workload.TestbedSteerCtrl: 18, workload.TestbedSpeedCtrl: 18,
 			}),
-			floorEvent(simtime.At(200), map[taskmodel.TaskID]float64{
+			floorEvent(simtime.At(200), map[taskmodel.TaskID]units.Rate{
 				workload.TestbedSteerByWire: 90, workload.TestbedDriveByWire: 90,
 				workload.TestbedSteerCtrl: 24, workload.TestbedSpeedCtrl: 24,
 			}),
-			floorEvent(simtime.At(320), map[taskmodel.TaskID]float64{
+			floorEvent(simtime.At(320), map[taskmodel.TaskID]units.Rate{
 				workload.TestbedSteerByWire: 100, workload.TestbedDriveByWire: 100,
 				workload.TestbedSteerCtrl: 30, workload.TestbedSpeedCtrl: 30,
 			}),
@@ -73,14 +74,14 @@ func TestbedAcceleration(mode core.Mode, seed int64) core.RunConfig {
 
 // testbedHighSpeedFloors is the operating point after the Figure 8
 // acceleration finishes (the state the Figure 9 deceleration starts from).
-var testbedHighSpeedFloors = map[taskmodel.TaskID]float64{
+var testbedHighSpeedFloors = map[taskmodel.TaskID]units.Rate{
 	workload.TestbedSteerByWire: 100, workload.TestbedDriveByWire: 100,
 	workload.TestbedSteerCtrl: 30, workload.TestbedSpeedCtrl: 30,
 }
 
 // testbedDecelFloors is the determined-rate level the vehicle decelerates
 // back to — the level of the first acceleration step, per Section V.B.
-var testbedDecelFloors = map[taskmodel.TaskID]float64{
+var testbedDecelFloors = map[taskmodel.TaskID]units.Rate{
 	workload.TestbedSteerByWire: 75, workload.TestbedDriveByWire: 75,
 	workload.TestbedSteerCtrl: 18, workload.TestbedSpeedCtrl: 18,
 }
@@ -125,13 +126,13 @@ func TestbedRestore(seed int64) core.RunConfig {
 // step each outer period until the system saturates, instead of running
 // Algorithm 1. The inner rate loop stays active (EUCON), and the baseline
 // piggybacks on the middleware's monitoring cadence.
-func TestbedRestoreDirectIncrease(seed int64, step float64) core.RunConfig {
+func TestbedRestoreDirectIncrease(seed int64, step units.Ratio) core.RunConfig {
 	cfg := TestbedRestore(seed)
 	cfg.Middleware.Mode = core.ModeEUCON
 	var di *baseline.DirectIncrease
 	innerCount := 0
 	outerEvery := cfg.Middleware.OuterEvery
-	cfg.OnInnerTick = func(now simtime.Time, utils []float64, st *taskmodel.State) {
+	cfg.OnInnerTick = func(now simtime.Time, utils []units.Util, st *taskmodel.State) {
 		if di == nil {
 			d, err := baseline.NewDirectIncrease(st, step)
 			if err != nil {
@@ -187,14 +188,14 @@ func SimAcceleration(mode core.Mode, seed int64) core.RunConfig {
 		},
 		Duration: 60 * simtime.Second,
 		Events: []core.Event{
-			floorEvent(simtime.At(25), map[taskmodel.TaskID]float64{
+			floorEvent(simtime.At(25), map[taskmodel.TaskID]units.Rate{
 				workload.SimPathTracking: 40,
 				workload.SimStability:    25,
 				workload.SimACC:          25,
 				workload.SimABS:          100,
 				workload.SimParking:      15,
 			}),
-			floorEvent(simtime.At(37), map[taskmodel.TaskID]float64{
+			floorEvent(simtime.At(37), map[taskmodel.TaskID]units.Rate{
 				workload.SimPathTracking: 50,
 				workload.SimStability:    40,
 				workload.SimACC:          40,
@@ -211,7 +212,7 @@ func SimAcceleration(mode core.Mode, seed int64) core.RunConfig {
 
 // simHighSpeedFloors is the Figure 12 starting point: the post-acceleration
 // determined rates of SimAcceleration's final step.
-var simHighSpeedFloors = map[taskmodel.TaskID]float64{
+var simHighSpeedFloors = map[taskmodel.TaskID]units.Rate{
 	workload.SimPathTracking: 50,
 	workload.SimStability:    40,
 	workload.SimACC:          40,
@@ -225,7 +226,7 @@ var simHighSpeedFloors = map[taskmodel.TaskID]float64{
 
 // simDecelFloors is the level the simulated vehicle decelerates to in the
 // Figure 12 experiment (the first acceleration step of Figure 11).
-var simDecelFloors = map[taskmodel.TaskID]float64{
+var simDecelFloors = map[taskmodel.TaskID]units.Rate{
 	workload.SimPathTracking: 40,
 	workload.SimStability:    25,
 	workload.SimACC:          25,
@@ -270,13 +271,13 @@ func SimRestore(seed int64) core.RunConfig {
 }
 
 // SimRestoreDirectIncrease is the Figure 12 Direct Increase baseline.
-func SimRestoreDirectIncrease(seed int64, step float64) core.RunConfig {
+func SimRestoreDirectIncrease(seed int64, step units.Ratio) core.RunConfig {
 	cfg := SimRestore(seed)
 	cfg.Middleware.Mode = core.ModeEUCON
 	var di *baseline.DirectIncrease
 	innerCount := 0
 	outerEvery := cfg.Middleware.OuterEvery
-	cfg.OnInnerTick = func(now simtime.Time, utils []float64, st *taskmodel.State) {
+	cfg.OnInnerTick = func(now simtime.Time, utils []units.Util, st *taskmodel.State) {
 		if di == nil {
 			d, err := baseline.NewDirectIncrease(st, step)
 			if err != nil {
@@ -353,8 +354,8 @@ func SaturationSweep(periodMs float64, seed int64) core.RunConfig {
 		},
 		Duration: 30 * simtime.Second,
 		Events: []core.Event{
-			floorEvent(simtime.At(5), map[taskmodel.TaskID]float64{
-				workload.SimPathTracking: 1000 / periodMs,
+			floorEvent(simtime.At(5), map[taskmodel.TaskID]units.Rate{
+				workload.SimPathTracking: units.PerPeriod(simtime.FromMillis(periodMs)),
 				workload.SimStability:    40,
 				workload.SimACC:          40,
 			}),
@@ -386,17 +387,20 @@ func SyntheticScale(mode core.Mode, seed int64, numECUs, numTasks int) core.RunC
 	lambdaMax := math.Inf(1) // beyond this, even minimum precision is infeasible
 	for j := 0; j < sys.NumECUs; j++ {
 		if u := full.EstimatedUtilization(j); u > 0 {
-			lambda = math.Min(lambda, sys.UtilBound[j]/u)
+			lambda = math.Min(lambda, (sys.UtilBound[j] / u).Float())
 		}
 		if u := atMin.EstimatedUtilization(j); u > 0 {
-			lambdaMax = math.Min(lambdaMax, 0.9*sys.UtilBound[j]/u)
+			lambdaMax = math.Min(lambdaMax, 0.9*(sys.UtilBound[j]/u).Float())
 		}
 	}
 	scale := math.Min(1.3*lambda, lambdaMax)
 
 	raise := core.Event{At: simtime.At(20), Do: func(st *taskmodel.State) {
 		for ti, task := range sys.Tasks {
-			floor := math.Min(task.RateMin*scale, task.RateMax)
+			floor := task.RateMin.Scale(scale)
+			if floor > task.RateMax {
+				floor = task.RateMax
+			}
 			st.SetRateFloor(taskmodel.TaskID(ti), floor)
 		}
 	}}

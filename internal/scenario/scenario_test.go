@@ -50,7 +50,7 @@ func TestFig8AutoE2EHoldsBounds(t *testing.T) {
 	for j := 0; j < sys.NumECUs; j++ {
 		for _, w := range [][2]float64{{60, 99}, {160, 199}, {260, 319}, {360, 400}} {
 			u := res.Trace.Series(fmt.Sprintf("util.ecu%d", j)).Window(w[0], w[1])
-			if got := stats.Mean(u); got > sys.UtilBound[j]+0.05 {
+			if got := stats.Mean(u); got > sys.UtilBound[j].Float()+0.05 {
 				t.Errorf("ECU%d settled utilization %v in [%v, %v), want <= bound %v",
 					j, got, w[0], w[1], sys.UtilBound[j])
 			}
@@ -116,7 +116,7 @@ func TestFig9RestorerRecoversPrecision(t *testing.T) {
 	sys := workload.Testbed()
 	for j := 0; j < sys.NumECUs; j++ {
 		u := res.Trace.Series(fmt.Sprintf("util.ecu%d", j)).Window(10, 120)
-		if got := stats.Max(u); got > sys.UtilBound[j]+0.06 {
+		if got := stats.Max(u); got > sys.UtilBound[j].Float()+0.06 {
 			t.Errorf("ECU%d peaked at %v during restoration, bound %v", j, got, sys.UtilBound[j])
 		}
 	}
@@ -148,7 +148,7 @@ func TestFig9DirectIncreaseOvershoots(t *testing.T) {
 		m := 0.0
 		for j := 0; j < sys.NumECUs; j++ {
 			u := r.Trace.Series(fmt.Sprintf("util.ecu%d", j)).Window(10, 120)
-			if v := stats.Max(u) - sys.UtilBound[j]; v > m {
+			if v := stats.Max(u) - sys.UtilBound[j].Float(); v > m {
 				m = v
 			}
 		}
@@ -179,7 +179,7 @@ func TestFig11SimulationShape(t *testing.T) {
 	if got := stats.Mean(ue); got < 0.95 {
 		t.Errorf("EUCON ECU4 utilization = %v, want ~1", got)
 	}
-	if got := stats.Mean(ua); got > sys.UtilBound[ecu]+0.05 {
+	if got := stats.Mean(ua); got > sys.UtilBound[ecu].Float()+0.05 {
 		t.Errorf("AutoE2E ECU4 utilization = %v, want <= bound %v", got, sys.UtilBound[ecu])
 	}
 	// The overloaded ECU starves its lowest-priority autonomous task
@@ -342,7 +342,7 @@ func TestSyntheticScale(t *testing.T) {
 	over := 0
 	for j := 0; j < sys.NumECUs; j++ {
 		u := stats.Mean(res.Trace.Series(fmt.Sprintf("util.ecu%d", j)).Window(45, 60))
-		if u > sys.UtilBound[j]+0.05 {
+		if u > sys.UtilBound[j].Float()+0.05 {
 			over++
 		}
 	}

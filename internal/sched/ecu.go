@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // ecuRunner simulates one preemptive fixed-priority processor. At any
@@ -104,7 +105,7 @@ func (e *ecuRunner) complete(now simtime.Time) {
 // sampleWindow closes the current monitoring window and returns its busy
 // fraction. A running job's partial progress is charged to the closing
 // window.
-func (e *ecuRunner) sampleWindow(now simtime.Time) float64 {
+func (e *ecuRunner) sampleWindow(now simtime.Time) units.Util {
 	if e.running != nil {
 		elapsed := now.Sub(e.startedAt)
 		e.busy += elapsed
@@ -124,7 +125,7 @@ func (e *ecuRunner) sampleWindow(now simtime.Time) float64 {
 	if window <= 0 {
 		return 0
 	}
-	u := float64(busy) / float64(window)
+	u := units.RawUtil(float64(busy) / float64(window))
 	if u > 1 {
 		u = 1 // guard against rounding at window edges
 	}

@@ -17,6 +17,7 @@ import (
 	"github.com/autoe2e/autoe2e/internal/exectime"
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // ChainEvent describes the fate of one end-to-end task instance. It is
@@ -167,9 +168,9 @@ func (s *Scheduler) Counter(i taskmodel.TaskID) TaskCounter { return s.counters[
 // SampleUtilizations returns each ECU's busy-time fraction since the
 // previous call (the paper's utilization monitor) and starts a new window.
 // Windows with zero width return 0.
-func (s *Scheduler) SampleUtilizations() []float64 {
+func (s *Scheduler) SampleUtilizations() []units.Util {
 	now := s.eng.Now()
-	out := make([]float64, len(s.ecus))
+	out := make([]units.Util, len(s.ecus))
 	for j, e := range s.ecus {
 		out[j] = e.sampleWindow(now)
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/autoe2e/autoe2e/internal/exectime"
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // mustSystem validates sys or fails the test.
@@ -20,11 +21,11 @@ func mustSystem(t *testing.T, sys *taskmodel.System) *taskmodel.System {
 }
 
 // singleTask builds a 1-ECU system with one single-subtask task.
-func singleTask(t *testing.T, execMs float64, rate float64) *taskmodel.System {
+func singleTask(t *testing.T, execMs float64, rate units.Rate) *taskmodel.System {
 	t.Helper()
 	return mustSystem(t, &taskmodel.System{
 		NumECUs:   1,
-		UtilBound: []float64{1},
+		UtilBound: []units.Util{1},
 		Tasks: []*taskmodel.Task{{
 			Name: "t1",
 			Subtasks: []taskmodel.Subtask{
@@ -72,7 +73,7 @@ func TestPreemptionTimeline(t *testing.T) {
 	// runs 10–20, 30–40, 50–60 with T1 occupying 0–10, 20–30, 40–50.
 	sys := mustSystem(t, &taskmodel.System{
 		NumECUs:   1,
-		UtilBound: []float64{1},
+		UtilBound: []units.Util{1},
 		Tasks: []*taskmodel.Task{
 			{
 				Name:     "hi",
@@ -149,7 +150,7 @@ func TestUtilizationMonitor(t *testing.T) {
 	// 10ms @ 50Hz + 30ms @ 10Hz = 0.5 + 0.3 = 0.8 utilization.
 	sys := mustSystem(t, &taskmodel.System{
 		NumECUs:   1,
-		UtilBound: []float64{1},
+		UtilBound: []units.Util{1},
 		Tasks: []*taskmodel.Task{
 			{
 				Name:     "a",
@@ -168,13 +169,13 @@ func TestUtilizationMonitor(t *testing.T) {
 	s.Start()
 	eng.Run(simtime.At(1))
 	u := s.SampleUtilizations()
-	if math.Abs(u[0]-0.8) > 0.01 {
+	if math.Abs(u[0].Float()-0.8) > 0.01 {
 		t.Errorf("u = %v, want ~0.8", u[0])
 	}
 	// Second window must account only its own interval.
 	eng.Run(simtime.At(2))
 	u = s.SampleUtilizations()
-	if math.Abs(u[0]-0.8) > 0.01 {
+	if math.Abs(u[0].Float()-0.8) > 0.01 {
 		t.Errorf("second window u = %v, want ~0.8", u[0])
 	}
 }
@@ -187,13 +188,13 @@ func TestUtilizationPartialRunningJobCharged(t *testing.T) {
 	s.Start()
 	eng.Run(simtime.At(0.5))
 	u := s.SampleUtilizations()
-	if math.Abs(u[0]-1.0) > 1e-9 {
+	if math.Abs(u[0].Float()-1.0) > 1e-9 {
 		t.Errorf("first half window u = %v, want 1.0", u[0])
 	}
 	eng.Run(simtime.At(1) - 1)
 	u = s.SampleUtilizations()
 	// 100ms of remaining work in a ~500ms window.
-	if math.Abs(u[0]-0.2) > 0.01 {
+	if math.Abs(u[0].Float()-0.2) > 0.01 {
 		t.Errorf("second half window u = %v, want ~0.2", u[0])
 	}
 }
@@ -201,7 +202,7 @@ func TestUtilizationPartialRunningJobCharged(t *testing.T) {
 func TestChainAcrossECUs(t *testing.T) {
 	sys := mustSystem(t, &taskmodel.System{
 		NumECUs:   2,
-		UtilBound: []float64{1, 1},
+		UtilBound: []units.Util{1, 1},
 		Tasks: []*taskmodel.Task{{
 			Name: "chain",
 			Subtasks: []taskmodel.Subtask{
@@ -234,7 +235,7 @@ func TestReleaseGuardSeparation(t *testing.T) {
 	// period even though its predecessor finished earlier.
 	sys := mustSystem(t, &taskmodel.System{
 		NumECUs:   2,
-		UtilBound: []float64{1, 1},
+		UtilBound: []units.Util{1, 1},
 		Tasks: []*taskmodel.Task{{
 			Name: "chain",
 			Subtasks: []taskmodel.Subtask{
@@ -272,7 +273,7 @@ func TestReleaseGuardSeparation(t *testing.T) {
 func TestLinkDelay(t *testing.T) {
 	sys := mustSystem(t, &taskmodel.System{
 		NumECUs:   2,
-		UtilBound: []float64{1, 1},
+		UtilBound: []units.Util{1, 1},
 		Tasks: []*taskmodel.Task{{
 			Name: "chain",
 			Subtasks: []taskmodel.Subtask{
@@ -308,7 +309,7 @@ func TestLinkDelay(t *testing.T) {
 func TestRateChangeTakesEffectNextRelease(t *testing.T) {
 	sys := mustSystem(t, &taskmodel.System{
 		NumECUs:   1,
-		UtilBound: []float64{1},
+		UtilBound: []units.Util{1},
 		Tasks: []*taskmodel.Task{{
 			Name:     "t",
 			Subtasks: []taskmodel.Subtask{{Name: "s", ECU: 0, NominalExec: simtime.Millisecond, MinRatio: 1, Weight: 1}},
@@ -331,7 +332,7 @@ func TestRateChangeTakesEffectNextRelease(t *testing.T) {
 func TestRatioReducesDemand(t *testing.T) {
 	sys := mustSystem(t, &taskmodel.System{
 		NumECUs:   1,
-		UtilBound: []float64{1},
+		UtilBound: []units.Util{1},
 		Tasks: []*taskmodel.Task{{
 			Name:     "t",
 			Subtasks: []taskmodel.Subtask{{Name: "s", ECU: 0, NominalExec: simtime.FromMillis(30), MinRatio: 0.3, Weight: 1}},
@@ -349,7 +350,7 @@ func TestRatioReducesDemand(t *testing.T) {
 		t.Errorf("misses = %d at reduced precision, want 0", c.Missed)
 	}
 	u := s.SampleUtilizations()
-	if math.Abs(u[0]-0.75) > 0.01 {
+	if math.Abs(u[0].Float()-0.75) > 0.01 {
 		t.Errorf("u = %v, want ~0.75", u[0])
 	}
 }
@@ -400,7 +401,7 @@ func TestAccountingConservationProperty(t *testing.T) {
 		tasks := make([]*taskmodel.Task, 0, 3)
 		for i := 0; i < 3; i++ {
 			execMs := 1 + float64(execsRaw[i]%40)
-			rate := 5 + float64(ratesRaw[i]%45)
+			rate := units.Rate(5 + float64(ratesRaw[i]%45))
 			tasks = append(tasks, &taskmodel.Task{
 				Name: "t",
 				Subtasks: []taskmodel.Subtask{
@@ -410,7 +411,7 @@ func TestAccountingConservationProperty(t *testing.T) {
 				RateMin: rate, RateMax: rate,
 			})
 		}
-		sys := &taskmodel.System{NumECUs: 2, UtilBound: []float64{1, 1}, Tasks: tasks}
+		sys := &taskmodel.System{NumECUs: 2, UtilBound: []units.Util{1, 1}, Tasks: tasks}
 		if err := sys.Validate(); err != nil {
 			return false
 		}

@@ -6,6 +6,7 @@ import (
 	"github.com/autoe2e/autoe2e/internal/exectime"
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // guardSystem is the two-stage chain used by the release-guard tests: the
@@ -15,7 +16,7 @@ func guardSystem(t *testing.T) (*taskmodel.System, exectime.Model) {
 	t.Helper()
 	sys := mustSystem(t, &taskmodel.System{
 		NumECUs:   2,
-		UtilBound: []float64{1, 1},
+		UtilBound: []units.Util{1, 1},
 		Tasks: []*taskmodel.Task{{
 			Name: "chain",
 			Subtasks: []taskmodel.Subtask{
@@ -60,7 +61,7 @@ func TestGreedySyncReleasesImmediately(t *testing.T) {
 func TestReleaseGuardSeparationProperty(t *testing.T) {
 	sys := mustSystem(t, &taskmodel.System{
 		NumECUs:   2,
-		UtilBound: []float64{1, 1},
+		UtilBound: []units.Util{1, 1},
 		Tasks: []*taskmodel.Task{{
 			Name: "chain",
 			Subtasks: []taskmodel.Subtask{
@@ -102,7 +103,7 @@ type releaseSpy struct {
 	hook  func(ref taskmodel.SubtaskRef, now simtime.Time)
 }
 
-func (r releaseSpy) Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, now simtime.Time, ratio float64) simtime.Duration {
+func (r releaseSpy) Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, now simtime.Time, ratio units.Ratio) simtime.Duration {
 	r.hook(ref, now)
 	return r.inner.Demand(sys, ref, now, ratio)
 }
@@ -114,7 +115,7 @@ func TestLinkDelayConsumesDeadlineBudget(t *testing.T) {
 	build := func(delay simtime.Duration) *Scheduler {
 		sys := mustSystem(t, &taskmodel.System{
 			NumECUs:   2,
-			UtilBound: []float64{1, 1},
+			UtilBound: []units.Util{1, 1},
 			Tasks: []*taskmodel.Task{{
 				Name: "tight chain",
 				Subtasks: []taskmodel.Subtask{
@@ -150,7 +151,7 @@ func TestLinkDelayConsumesDeadlineBudget(t *testing.T) {
 func TestWorkConservation(t *testing.T) {
 	sys := mustSystem(t, &taskmodel.System{
 		NumECUs:   1,
-		UtilBound: []float64{1},
+		UtilBound: []units.Util{1},
 		Tasks: []*taskmodel.Task{
 			{
 				Name:     "a",
@@ -172,7 +173,7 @@ func TestWorkConservation(t *testing.T) {
 	horizon := 10.0
 	eng.Run(simtime.At(horizon))
 	u := s.SampleUtilizations()
-	busy := u[0] * horizon
+	busy := u[0].Float() * horizon
 
 	// Independently integrate demand: idle time observed = horizon − busy;
 	// with demand ~0.98 ± noise and aborts, busy must sit in (0.9, 1].

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // discreteSystem has one subtask restricted to the 0.25-step precision grid
@@ -50,7 +51,7 @@ func TestDiscreteRatioFloors(t *testing.T) {
 		{1.0, 1.0},  // full precision always allowed
 	}
 	for _, tt := range tests {
-		if got := st.SetRatio(d, tt.in); math.Abs(got-tt.want) > 1e-12 {
+		if got := st.SetRatio(d, units.RawRatio(tt.in)); math.Abs(got.Float()-tt.want) > 1e-12 {
 			t.Errorf("SetRatio(%v) = %v, want %v", tt.in, got, tt.want)
 		}
 	}
@@ -80,7 +81,7 @@ func TestDiscreteRatioGridProperty(t *testing.T) {
 	d := SubtaskRef{Task: 0, Index: 0}
 	step := sys.Subtask(d).RatioStep
 	if err := quick.Check(func(raw uint16) bool {
-		req := float64(raw) / 65535 * 1.2 // includes out-of-range requests
+		req := units.Ratio(float64(raw) / 65535 * 1.2) // includes out-of-range requests
 		st := NewState(sys)
 		got := st.SetRatio(d, req)
 		if got > 1 || got < sys.Subtask(d).MinRatio {
@@ -88,7 +89,7 @@ func TestDiscreteRatioGridProperty(t *testing.T) {
 		}
 		if got < 1 && got != sys.Subtask(d).MinRatio {
 			// Must be a grid multiple.
-			k := got / step
+			k := (got / step).Float()
 			if math.Abs(k-math.Round(k)) > 1e-9 {
 				return false
 			}

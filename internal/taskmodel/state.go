@@ -2,9 +2,9 @@ package taskmodel
 
 import (
 	"fmt"
-	"math"
 
 	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // State is the mutable operating point of a System: the current invocation
@@ -16,9 +16,9 @@ import (
 // [RateFloor, RateMax] and ratios into [MinRatio, 1].
 type State struct {
 	sys    *System
-	rates  []float64
-	floors []float64
-	ratios [][]float64
+	rates  []units.Rate
+	floors []units.Rate
+	ratios [][]units.Ratio
 }
 
 // NewState returns the initial operating point: every task at its InitRate
@@ -26,14 +26,14 @@ type State struct {
 func NewState(sys *System) *State {
 	st := &State{
 		sys:    sys,
-		rates:  make([]float64, len(sys.Tasks)),
-		floors: make([]float64, len(sys.Tasks)),
-		ratios: make([][]float64, len(sys.Tasks)),
+		rates:  make([]units.Rate, len(sys.Tasks)),
+		floors: make([]units.Rate, len(sys.Tasks)),
+		ratios: make([][]units.Ratio, len(sys.Tasks)),
 	}
 	for i, task := range sys.Tasks {
 		st.rates[i] = task.InitRate
 		st.floors[i] = task.RateMin
-		st.ratios[i] = make([]float64, len(task.Subtasks))
+		st.ratios[i] = make([]units.Ratio, len(task.Subtasks))
 		for l := range st.ratios[i] {
 			st.ratios[i][l] = 1
 		}
@@ -45,18 +45,18 @@ func NewState(sys *System) *State {
 func (st *State) System() *System { return st.sys }
 
 // Rate returns the current invocation rate of task i in Hz.
-func (st *State) Rate(i TaskID) float64 { return st.rates[i] }
+func (st *State) Rate(i TaskID) units.Rate { return st.rates[i] }
 
 // Rates returns a copy of all current task rates.
-func (st *State) Rates() []float64 {
-	out := make([]float64, len(st.rates))
+func (st *State) Rates() []units.Rate {
+	out := make([]units.Rate, len(st.rates))
 	copy(out, st.rates)
 	return out
 }
 
 // SetRate sets task i's rate, clamped into [RateFloor(i), RateMax]. It
 // returns the applied value.
-func (st *State) SetRate(i TaskID, r float64) float64 {
+func (st *State) SetRate(i TaskID, r units.Rate) units.Rate {
 	lo, hi := st.floors[i], st.sys.Tasks[i].RateMax
 	if r < lo {
 		r = lo
@@ -69,13 +69,13 @@ func (st *State) SetRate(i TaskID, r float64) float64 {
 }
 
 // RateFloor returns the current determined rate r_min,i of task i.
-func (st *State) RateFloor(i TaskID) float64 { return st.floors[i] }
+func (st *State) RateFloor(i TaskID) units.Rate { return st.floors[i] }
 
 // SetRateFloor moves the determined rate of task i (vehicle-speed change).
 // The current rate is pulled up if it falls below the new floor. The floor
 // may be any positive value and is capped at the task's RateMax. It returns
 // the applied floor.
-func (st *State) SetRateFloor(i TaskID, floor float64) float64 {
+func (st *State) SetRateFloor(i TaskID, floor units.Rate) units.Rate {
 	if floor <= 0 {
 		panic(fmt.Sprintf("taskmodel: non-positive rate floor %v for task %d", floor, i))
 	}
@@ -92,37 +92,28 @@ func (st *State) SetRateFloor(i TaskID, floor float64) float64 {
 // RateSaturated reports whether task i's rate is at its floor (within tol,
 // relative).
 func (st *State) RateSaturated(i TaskID, tol float64) bool {
-	return st.rates[i] <= st.floors[i]*(1+tol)
+	return st.rates[i] <= st.floors[i].Scale(1+tol)
 }
 
 // Ratio returns the current execution-time ratio a_il of the subtask.
-func (st *State) Ratio(ref SubtaskRef) float64 { return st.ratios[ref.Task][ref.Index] }
+func (st *State) Ratio(ref SubtaskRef) units.Ratio { return st.ratios[ref.Task][ref.Index] }
 
 // SetRatio sets a_il, clamped into [MinRatio, 1] and, for subtasks with
 // discrete precision options, floored onto the RatioStep grid
 // (Section IV.E.2). It returns the applied value.
-func (st *State) SetRatio(ref SubtaskRef, a float64) float64 {
+func (st *State) SetRatio(ref SubtaskRef, a units.Ratio) units.Ratio {
 	sub := st.sys.Subtask(ref)
 	if sub.RatioStep > 0 && a < 1 {
-		// Floor onto the grid; flooring only ever shortens execution
-		// time, so schedulability is preserved. The epsilon keeps values
-		// that are on the grid up to floating-point error (e.g.
-		// 0.2+0.2 = 0.4000…04 or 0.3999…97) from dropping a whole step.
-		a = math.Floor(a/sub.RatioStep+1e-9) * sub.RatioStep
+		a = a.FloorToGrid(sub.RatioStep)
 	}
-	if a < sub.MinRatio {
-		a = sub.MinRatio
-	}
-	if a > 1 {
-		a = 1
-	}
+	a = a.Clamp(sub.MinRatio)
 	st.ratios[ref.Task][ref.Index] = a
 	return a
 }
 
 // Period returns the current period of task i (1/rate).
 func (st *State) Period(i TaskID) simtime.Duration {
-	return simtime.FromSeconds(1 / st.rates[i])
+	return st.rates[i].Period()
 }
 
 // Subdeadline returns the per-subtask relative deadline of task i: one
@@ -142,18 +133,18 @@ func (st *State) E2EDeadline(i TaskID) simtime.Duration {
 // EstimatedUtilization evaluates Equation (2) for ECU j at the current
 // operating point: u_j = Σ_{T_il ∈ S_j} c_il·a_il·r_i, using the offline
 // execution-time estimates.
-func (st *State) EstimatedUtilization(j int) float64 {
-	u := 0.0
+func (st *State) EstimatedUtilization(j int) units.Util {
+	u := units.Util(0)
 	for _, ref := range st.sys.OnECU(j) {
 		sub := st.sys.Subtask(ref)
-		u += sub.NominalExec.Seconds() * st.Ratio(ref) * st.rates[ref.Task]
+		u += units.Load(sub.NominalExec, st.Ratio(ref), st.rates[ref.Task])
 	}
 	return u
 }
 
 // EstimatedUtilizations evaluates Equation (2) for every ECU.
-func (st *State) EstimatedUtilizations() []float64 {
-	out := make([]float64, st.sys.NumECUs)
+func (st *State) EstimatedUtilizations() []units.Util {
+	out := make([]units.Util, st.sys.NumECUs)
 	for j := range out {
 		out[j] = st.EstimatedUtilization(j)
 	}
@@ -180,7 +171,7 @@ func (st *State) TotalPrecision() float64 {
 	p := 0.0
 	for ti, task := range st.sys.Tasks {
 		for si := range task.Subtasks {
-			p += task.Subtasks[si].Weight * st.ratios[ti][si]
+			p += task.Subtasks[si].Weight * st.ratios[ti][si].Float()
 		}
 	}
 	return p
@@ -191,12 +182,12 @@ func (st *State) TotalPrecision() float64 {
 func (st *State) Clone() *State {
 	out := &State{
 		sys:    st.sys,
-		rates:  append([]float64(nil), st.rates...),
-		floors: append([]float64(nil), st.floors...),
-		ratios: make([][]float64, len(st.ratios)),
+		rates:  append([]units.Rate(nil), st.rates...),
+		floors: append([]units.Rate(nil), st.floors...),
+		ratios: make([][]units.Ratio, len(st.ratios)),
 	}
 	for i := range st.ratios {
-		out.ratios[i] = append([]float64(nil), st.ratios[i]...)
+		out.ratios[i] = append([]units.Ratio(nil), st.ratios[i]...)
 	}
 	return out
 }

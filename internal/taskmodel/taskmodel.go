@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // TaskID indexes a task within its System.
@@ -44,7 +45,7 @@ type Subtask struct {
 	NominalExec simtime.Duration
 	// MinRatio is a_min,il, the lowest allowed execution-time ratio.
 	// Non-adjustable subtasks have MinRatio == 1.
-	MinRatio float64
+	MinRatio units.Ratio
 	// Weight is w_il, the precision weight used by the outer controller's
 	// knapsack objective. Zero-weight adjustable subtasks are reduced
 	// first.
@@ -54,7 +55,7 @@ type Subtask struct {
 	// offer discrete precision options (Section IV.E.2). Requested ratios
 	// are floored onto the grid (never below MinRatio), which always errs
 	// on the side of reclaiming more utilization. Zero means continuous.
-	RatioStep float64
+	RatioStep units.Ratio
 }
 
 // Adjustable reports whether the subtask's precision can be traded for
@@ -74,12 +75,12 @@ type Task struct {
 	// RateMin is the determined task rate in Hz, set by vehicle speed:
 	// the inner controller may never go below it. Scenario scripts move
 	// it at runtime via State.SetRateFloor.
-	RateMin float64
+	RateMin units.Rate
 	// RateMax is the upper rate limit in Hz.
-	RateMax float64
+	RateMax units.Rate
 	// InitRate is the rate the task starts at. Zero means start at
 	// RateMin.
-	InitRate float64
+	InitRate units.Rate
 }
 
 // System is an immutable description of a distributed real-time system:
@@ -91,17 +92,17 @@ type System struct {
 	Tasks []*Task
 	// UtilBound is B_j per ECU. Leave nil to use the RMS bound for the
 	// number of subtasks placed on each ECU (applied by Validate).
-	UtilBound []float64
+	UtilBound []units.Util
 }
 
 // RMSBound returns the Liu & Layland rate-monotonic schedulable utilization
 // bound n·(2^{1/n} − 1) for n tasks. RMSBound(0) is 1 by convention (an
 // empty processor can be fully utilized).
-func RMSBound(n int) float64 {
+func RMSBound(n int) units.Util {
 	if n <= 0 {
 		return 1
 	}
-	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+	return units.RawUtil(float64(n) * (math.Pow(2, 1/float64(n)) - 1))
 }
 
 // Validate checks structural invariants and fills defaulted fields
@@ -157,7 +158,7 @@ func (s *System) Validate() error {
 		}
 	}
 	if s.UtilBound == nil {
-		s.UtilBound = make([]float64, s.NumECUs)
+		s.UtilBound = make([]units.Util, s.NumECUs)
 		for j := range s.UtilBound {
 			s.UtilBound[j] = RMSBound(perECU[j])
 		}

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // twoECUSystem builds a small valid system used throughout these tests:
@@ -45,7 +46,7 @@ func TestRMSBound(t *testing.T) {
 		{3, 3 * (math.Pow(2, 1.0/3) - 1)},
 	}
 	for _, tt := range tests {
-		if got := RMSBound(tt.n); math.Abs(got-tt.want) > 1e-12 {
+		if got := RMSBound(tt.n); math.Abs(got.Float()-tt.want) > 1e-12 {
 			t.Errorf("RMSBound(%d) = %v, want %v", tt.n, got, tt.want)
 		}
 	}
@@ -68,7 +69,7 @@ func TestValidateFillsDefaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	// ECU0 hosts 2 subtasks, ECU1 hosts 1.
-	if got, want := s.UtilBound[0], RMSBound(2); math.Abs(got-want) > 1e-12 {
+	if got, want := s.UtilBound[0], RMSBound(2); math.Abs((got - want).Float()) > 1e-12 {
 		t.Errorf("UtilBound[0] = %v, want RMS(2) = %v", got, want)
 	}
 	if got := s.UtilBound[1]; got != 1 {
@@ -96,8 +97,8 @@ func TestValidateRejections(t *testing.T) {
 		{"bad ratio", func(s *System) { s.Tasks[0].Subtasks[0].MinRatio = 0 }, "MinRatio"},
 		{"ratio above one", func(s *System) { s.Tasks[0].Subtasks[0].MinRatio = 1.5 }, "MinRatio"},
 		{"negative weight", func(s *System) { s.Tasks[0].Subtasks[0].Weight = -1 }, "Weight"},
-		{"bound length", func(s *System) { s.UtilBound = []float64{0.5} }, "UtilBound length"},
-		{"bound range", func(s *System) { s.UtilBound = []float64{0.5, 1.5} }, "UtilBound[1]"},
+		{"bound length", func(s *System) { s.UtilBound = []units.Util{0.5} }, "UtilBound length"},
+		{"bound range", func(s *System) { s.UtilBound = []units.Util{0.5, 1.5} }, "UtilBound[1]"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -201,15 +202,15 @@ func TestEstimatedUtilization(t *testing.T) {
 	st.SetRate(0, 10)                // T1: 10ms·a·10Hz on ECU0 + 5ms·10Hz on ECU1
 	st.SetRate(1, 20)                // T2: 4ms·20Hz on ECU0
 	want0 := 0.010*1*10 + 0.004*1*20 // 0.18
-	if got := st.EstimatedUtilization(0); math.Abs(got-want0) > 1e-12 {
+	if got := st.EstimatedUtilization(0); math.Abs(got.Float()-want0) > 1e-12 {
 		t.Errorf("u0 = %v, want %v", got, want0)
 	}
-	if got := st.EstimatedUtilization(1); math.Abs(got-0.05) > 1e-12 {
+	if got := st.EstimatedUtilization(1); math.Abs(got.Float()-0.05) > 1e-12 {
 		t.Errorf("u1 = %v, want 0.05", got)
 	}
 	st.SetRatio(SubtaskRef{0, 0}, 0.5)
 	wantHalf := 0.010*0.5*10 + 0.004*1*20
-	if got := st.EstimatedUtilization(0); math.Abs(got-wantHalf) > 1e-12 {
+	if got := st.EstimatedUtilization(0); math.Abs(got.Float()-wantHalf) > 1e-12 {
 		t.Errorf("u0 with a=0.5 = %v, want %v", got, wantHalf)
 	}
 	us := st.EstimatedUtilizations()
@@ -274,10 +275,10 @@ func TestUtilizationMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(func(r1, r2, aRaw uint8) bool {
 		st := NewState(s)
-		rate := 5 + float64(r1%20)
+		rate := units.Rate(5 + float64(r1%20))
 		st.SetRate(0, rate)
-		st.SetRate(1, 10+float64(r2%40))
-		a := 0.4 + 0.6*float64(aRaw)/255
+		st.SetRate(1, units.Rate(10+float64(r2%40)))
+		a := units.Ratio(0.4 + 0.6*float64(aRaw)/255)
 		st.SetRatio(SubtaskRef{0, 0}, a)
 		u := st.EstimatedUtilization(0)
 		st.SetRate(0, rate+1)

@@ -1,0 +1,130 @@
+package units
+
+import (
+	"math"
+	"testing"
+
+	"github.com/autoe2e/autoe2e/internal/simtime"
+)
+
+func TestPeriodInverse(t *testing.T) {
+	r := Rate(50)
+	p := r.Period()
+	if p != simtime.FromMillis(20) {
+		t.Fatalf("Period(50 Hz) = %v, want 20ms", p)
+	}
+	back := PerPeriod(p)
+	if math.Abs(back.Float()-50) > 1e-9 {
+		t.Fatalf("PerPeriod(Period(50)) = %v, want 50", back)
+	}
+}
+
+func TestPeriodPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Period(0) did not panic")
+		}
+	}()
+	Rate(0).Period()
+}
+
+func TestPerPeriodPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PerPeriod(0) did not panic")
+		}
+	}()
+	PerPeriod(0)
+}
+
+func TestMulDurationAndLoad(t *testing.T) {
+	// 20 Hz × 10ms = 0.2 utilization.
+	u := Rate(20).MulDuration(simtime.FromMillis(10))
+	if math.Abs(u.Float()-0.2) > 1e-12 {
+		t.Fatalf("MulDuration = %v, want 0.2", u)
+	}
+	// Load with a = 1 must agree with MulDuration; with a = 0.5, half.
+	if got := Load(simtime.FromMillis(10), 1, 20); math.Abs(got.Float()-u.Float()) > 1e-12 {
+		t.Fatalf("Load(a=1) = %v, want %v", got, u)
+	}
+	if got := Load(simtime.FromMillis(10), 0.5, 20); math.Abs(got.Float()-0.1) > 1e-12 {
+		t.Fatalf("Load(a=0.5) = %v, want 0.1", got)
+	}
+}
+
+func TestHeadroom(t *testing.T) {
+	if h := Util(0.55).Headroom(0.7); math.Abs(h.Float()-0.15) > 1e-12 {
+		t.Fatalf("Headroom = %v, want 0.15", h)
+	}
+	if h := Util(0.8).Headroom(0.7); h >= 0 {
+		t.Fatalf("overload headroom = %v, want negative", h)
+	}
+}
+
+func TestScale(t *testing.T) {
+	if r := (Rate(40)).Scale(1.5); math.Abs(r.Float()-60) > 1e-12 {
+		t.Fatalf("Rate.Scale = %v, want 60", r)
+	}
+	if u := (Util(0.4)).Scale(1.2); math.Abs(u.Float()-0.48) > 1e-12 {
+		t.Fatalf("Util.Scale = %v, want 0.48", u)
+	}
+}
+
+func TestRatioClamp(t *testing.T) {
+	cases := []struct{ in, min, want Ratio }{
+		{0.3, 0.5, 0.5},
+		{0.7, 0.5, 0.7},
+		{1.2, 0.5, 1},
+		{1, 0.5, 1},
+	}
+	for _, c := range cases {
+		if got := c.in.Clamp(c.min); got != c.want {
+			t.Errorf("Clamp(%v, min=%v) = %v, want %v", c.in, c.min, got, c.want)
+		}
+	}
+}
+
+func TestRatioFloorToGrid(t *testing.T) {
+	cases := []struct {
+		in, step, want Ratio
+	}{
+		{0.47, 0.1, 0.4},
+		{0.5, 0.1, 0.5},              // already on grid
+		{Ratio(0.2 + 0.2), 0.2, 0.4}, // fp noise above grid point
+		{Ratio(0.7 - 0.3), 0.2, 0.4}, // fp noise below grid point
+		{0.47, 0, 0.47},              // no grid
+		{0.9, 0.25, 0.75},
+	}
+	for _, c := range cases {
+		if got := c.in.FloorToGrid(c.step); math.Abs(got.Float()-c.want.Float()) > 1e-9 {
+			t.Errorf("FloorToGrid(%v, step=%v) = %v, want %v", c.in, c.step, got, c.want)
+		}
+	}
+}
+
+func TestSliceHelpers(t *testing.T) {
+	us := RawUtils([]float64{0.1, 0.2})
+	if len(us) != 2 || us[1] != 0.2 {
+		t.Fatalf("RawUtils = %v", us)
+	}
+	rs := RawRates([]float64{20, 50})
+	if len(rs) != 2 || rs[0] != 20 {
+		t.Fatalf("RawRates = %v", rs)
+	}
+	fs := Floats([]Rate{20, 50})
+	if len(fs) != 2 || fs[1] != 50 {
+		t.Fatalf("Floats = %v", fs)
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	if RawRate(33.5).Float() != 33.5 {
+		t.Error("RawRate round trip")
+	}
+	if RawUtil(0.61).Float() != 0.61 {
+		t.Error("RawUtil round trip")
+	}
+	if RawRatio(0.75).Float() != 0.75 {
+		t.Error("RawRatio round trip")
+	}
+}

@@ -131,7 +131,7 @@ func LaneChange(cfg LaneChangeConfig) (*LaneChangeResult, error) {
 			}
 			// Compute from the state sampled at release: the chain's
 			// end-to-end latency is real actuation delay.
-			n := mpc.HorizonFor(stRef.Ratio(steeringMPCRef))
+			n := mpc.HorizonFor(stRef.Ratio(steeringMPCRef).Float())
 			currentSteer = mpc.Steer(log.at(ev.Release), path, n)
 		},
 		Attach: func(eng *simtime.Engine, st *taskmodel.State) {

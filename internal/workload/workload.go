@@ -15,6 +15,7 @@ import (
 
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
 )
 
 // Testbed ECU indices (Figure 6(b)/7).
@@ -231,10 +232,10 @@ func Synthetic(seed int64, numECUs, numTasks int) *taskmodel.System {
 		chainLen := 1 + rng.Intn(3)
 		subs := make([]taskmodel.Subtask, 0, chainLen)
 		for l := 0; l < chainLen; l++ {
-			minRatio := 1.0
+			minRatio := units.Ratio(1)
 			weight := 1.0
 			if rng.Float64() < 0.5 {
-				minRatio = 0.25 + 0.5*rng.Float64()
+				minRatio = units.RawRatio(0.25 + 0.5*rng.Float64())
 				weight = 0.5 + 2.5*rng.Float64()
 			}
 			subs = append(subs, taskmodel.Subtask{
@@ -245,12 +246,12 @@ func Synthetic(seed int64, numECUs, numTasks int) *taskmodel.System {
 				Weight:      weight,
 			})
 		}
-		floor := 5 + 20*rng.Float64()
+		floor := units.RawRate(5 + 20*rng.Float64())
 		tasks = append(tasks, &taskmodel.Task{
 			Name:     fmt.Sprintf("synthetic-%d", i+1),
 			Subtasks: subs,
 			RateMin:  floor,
-			RateMax:  floor * (3 + 5*rng.Float64()),
+			RateMax:  floor.Scale(3 + 5*rng.Float64()),
 		})
 	}
 	sys := &taskmodel.System{NumECUs: numECUs, Tasks: tasks}

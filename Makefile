@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint fmt vet bench ci
+.PHONY: all build test race lint fmt vet bench profile ci
 
 all: build
 
@@ -24,23 +24,41 @@ race:
 lint:
 	$(GO) run ./cmd/autoe2e-lint ./...
 
-# bench times the two control-plane hot paths — one combined inner+outer
-# controller tick and the Equation-8 knapsack ablation — and records their
-# ns/op in BENCH_control.json so perf changes show up in review diffs.
+# bench times the control-plane hot paths — the combined inner+outer
+# controller tick, the Equation-8 knapsack ablation, the constrained
+# least-squares kernel and the raw scheduler throughput — and records
+# ns/op, B/op and allocs/op in BENCH_control.json so both speed and
+# memory-discipline regressions show up in review diffs.
+BENCH_SET = BenchmarkControllerOverhead|BenchmarkAblationKnapsackOrder|BenchmarkBoxLSQ|BenchmarkSchedulerThroughput
 bench:
-	@out="$$($(GO) test -run '^$$' -bench '^(BenchmarkControllerOverhead|BenchmarkAblationKnapsackOrder)$$' .)"; \
+	@out="$$($(GO) test -run '^$$' -bench '^($(BENCH_SET))$$' -benchmem .)"; \
 	echo "$$out"; \
 	echo "$$out" | awk '\
 	/^Benchmark/ { \
 		name=$$1; sub(/-[0-9]+$$/, "", name); \
-		ns=""; for (i=2; i<NF; i++) if ($$(i+1)=="ns/op") ns=$$i; \
+		ns=""; bytes=""; allocs=""; \
+		for (i=2; i<NF; i++) { \
+			if ($$(i+1)=="ns/op") ns=$$i; \
+			if ($$(i+1)=="B/op") bytes=$$i; \
+			if ($$(i+1)=="allocs/op") allocs=$$i; \
+		} \
 		if (ns=="") next; \
+		if (bytes=="") bytes="null"; \
+		if (allocs=="") allocs="null"; \
 		if (n++) printf ",\n"; else printf "{\n  \"benchmarks\": [\n"; \
-		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $$2, ns; \
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $$2, ns, bytes, allocs; \
 	} \
 	END { if (n) printf "\n  ]\n}\n"; else { print "no benchmark lines parsed" > "/dev/stderr"; exit 1 } }' \
 	> BENCH_control.json; \
 	echo "wrote BENCH_control.json"
+
+# profile captures CPU and allocation profiles of the controller hot path
+# (BenchmarkControllerOverhead) for `go tool pprof cpu.pprof` /
+# `go tool pprof mem.pprof`. The profiles are scratch output (gitignored).
+profile:
+	$(GO) test -run '^$$' -bench '^BenchmarkControllerOverhead$$' -benchtime 3s \
+		-cpuprofile cpu.pprof -memprofile mem.pprof .
+	@echo "wrote cpu.pprof and mem.pprof — inspect with: $(GO) tool pprof {cpu,mem}.pprof"
 
 fmt:
 	@out="$$(gofmt -l .)"; \

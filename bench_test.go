@@ -45,6 +45,7 @@ func mustRun(b *testing.B, cfg core.RunConfig) *core.RunResult {
 // point: the steering MPC grows from 12.1 ms to 23.5 ms (×1.94) under a
 // static OPEN assignment.
 func BenchmarkFig3MissRatio(b *testing.B) {
+	b.ReportAllocs()
 	var miss float64
 	for i := 0; i < b.N; i++ {
 		res := mustRun(b, scenario.Motivation(1.94, 1))
@@ -56,6 +57,7 @@ func BenchmarkFig3MissRatio(b *testing.B) {
 // BenchmarkFig4aSaturation regenerates the tight-period end of Figure 4(a):
 // the path-tracking cycle forced to 20 ms under rate-only EUCON.
 func BenchmarkFig4aSaturation(b *testing.B) {
+	b.ReportAllocs()
 	var loose, tight float64
 	for i := 0; i < b.N; i++ {
 		loose = mustRun(b, scenario.SaturationSweep(40, 1)).OverallMissRatio()
@@ -68,6 +70,7 @@ func BenchmarkFig4aSaturation(b *testing.B) {
 // BenchmarkFig4bTradeoff regenerates three points of the Figure 4(b)
 // U-curve: precision-starved, balanced, and unschedulable budgets.
 func BenchmarkFig4bTradeoff(b *testing.B) {
+	b.ReportAllocs()
 	var short, mid, over float64
 	for i := 0; i < b.N; i++ {
 		p1, err := cosim.Tradeoff(3, 1)
@@ -92,6 +95,7 @@ func BenchmarkFig4bTradeoff(b *testing.B) {
 // BenchmarkFig8Testbed regenerates Figure 8: the testbed acceleration for
 // both arms, reporting late-phase miss ratios and AutoE2E's precision cost.
 func BenchmarkFig8Testbed(b *testing.B) {
+	b.ReportAllocs()
 	var euconMiss, autoMiss, precisionDrop float64
 	for i := 0; i < b.N; i++ {
 		eu := mustRun(b, scenario.TestbedAcceleration(core.ModeEUCON, 1))
@@ -108,6 +112,7 @@ func BenchmarkFig8Testbed(b *testing.B) {
 // BenchmarkFig9Restorer regenerates Figure 9: the deceleration restoration
 // against Direct Increase and the oracle.
 func BenchmarkFig9Restorer(b *testing.B) {
+	b.ReportAllocs()
 	var restored, direct float64
 	opt := scenario.TestbedOptimalPrecision()
 	for i := 0; i < b.N; i++ {
@@ -122,6 +127,7 @@ func BenchmarkFig9Restorer(b *testing.B) {
 // BenchmarkFig10LaneChange regenerates Figure 10(a): maximum lateral
 // tracking error per arm on the scaled car's double lane change.
 func BenchmarkFig10LaneChange(b *testing.B) {
+	b.ReportAllocs()
 	var open, euc, auto float64
 	for i := 0; i < b.N; i++ {
 		for _, arm := range []struct {
@@ -145,6 +151,7 @@ func BenchmarkFig10LaneChange(b *testing.B) {
 // BenchmarkFig10Cruise regenerates Figure 10(b): cruise-control tracking
 // error and miss-induced command spikes.
 func BenchmarkFig10Cruise(b *testing.B) {
+	b.ReportAllocs()
 	var euconSpike, autoSpike, autoRMS float64
 	for i := 0; i < b.N; i++ {
 		eu, err := cosim.Cruise(cosim.CruiseConfig{Mode: core.ModeEUCON, Seed: 1})
@@ -165,6 +172,7 @@ func BenchmarkFig10Cruise(b *testing.B) {
 // BenchmarkFig11Simulation regenerates Figure 11: the 6-ECU/11-task
 // acceleration for both arms.
 func BenchmarkFig11Simulation(b *testing.B) {
+	b.ReportAllocs()
 	var euconUtil, euconStabMiss, autoStabMiss float64
 	stabName := fmt.Sprintf("missratio.t%d", int(workload.SimStability)+1)
 	for i := 0; i < b.N; i++ {
@@ -182,6 +190,7 @@ func BenchmarkFig11Simulation(b *testing.B) {
 // BenchmarkFig12SimRestorer regenerates Figure 12: restoration on the
 // larger-scale workload.
 func BenchmarkFig12SimRestorer(b *testing.B) {
+	b.ReportAllocs()
 	var restored, direct float64
 	opt := scenario.SimOptimalPrecision()
 	for i := 0; i < b.N; i++ {
@@ -196,6 +205,7 @@ func BenchmarkFig12SimRestorer(b *testing.B) {
 // BenchmarkHeadline regenerates the abstract's claim: average miss-ratio
 // reduction versus EUCON across both acceleration experiments.
 func BenchmarkHeadline(b *testing.B) {
+	b.ReportAllocs()
 	var reduction, cost float64
 	for i := 0; i < b.N; i++ {
 		var reds, costs []float64
@@ -224,6 +234,7 @@ func BenchmarkHeadline(b *testing.B) {
 // control loops on the full Figure 2 workload — the paper reports < 10 ms
 // total middleware overhead per control period.
 func BenchmarkControllerOverhead(b *testing.B) {
+	b.ReportAllocs()
 	st := taskmodel.NewState(workload.Simulation())
 	inner, err := eucon.New(st, eucon.Config{})
 	if err != nil {
@@ -249,6 +260,7 @@ func BenchmarkControllerOverhead(b *testing.B) {
 // BenchmarkSchedulerThroughput measures raw simulation speed: scheduled job
 // events per wall second on the Figure 2 workload.
 func BenchmarkSchedulerThroughput(b *testing.B) {
+	b.ReportAllocs()
 	var released uint64
 	for i := 0; i < b.N; i++ {
 		eng := simtime.NewEngine()
@@ -268,6 +280,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 // size the inner MPC uses on the Figure 2 workload (2-step control horizon
 // over 11 tasks).
 func BenchmarkBoxLSQ(b *testing.B) {
+	b.ReportAllocs()
 	rng := simtime.NewRand(1)
 	rows, cols := 24+22, 22
 	a := linalg.NewMatrix(rows, cols)
@@ -300,6 +313,7 @@ func BenchmarkBoxLSQ(b *testing.B) {
 // knapsack against a naive proportional reduction for the same reclaimed
 // utilization: the metric is the weighted precision kept.
 func BenchmarkAblationKnapsackOrder(b *testing.B) {
+	b.ReportAllocs()
 	sys := workload.Simulation()
 	var greedy, proportional float64
 	for i := 0; i < b.N; i++ {
@@ -351,6 +365,7 @@ func reclaimProportional(st *taskmodel.State, ecu int, reclaim float64) {
 // restoration (the paper argues bisection needs fewer iterations for the
 // same final precision).
 func BenchmarkAblationRestorerStep(b *testing.B) {
+	b.ReportAllocs()
 	var bisectRounds float64
 	for i := 0; i < b.N; i++ {
 		res := mustRun(b, scenario.TestbedRestore(1))
@@ -364,9 +379,11 @@ func BenchmarkAblationRestorerStep(b *testing.B) {
 // BenchmarkAblationMPCHorizon measures inner-loop convergence (periods to
 // settle within 1% of the bound) across prediction horizons.
 func BenchmarkAblationMPCHorizon(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range []int{1, 2, 4, 8} {
 		p := p
 		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
 			var settled float64
 			for i := 0; i < b.N; i++ {
 				sys := workload.Testbed()
@@ -405,9 +422,11 @@ func BenchmarkAblationMPCHorizon(b *testing.B) {
 // larger margin sheds more precision but avoids re-saturation (counted as
 // repeated reclaim events).
 func BenchmarkAblationOuterMargin(b *testing.B) {
+	b.ReportAllocs()
 	for _, margin := range []float64{0.01, 0.03, 0.08} {
 		margin := margin
 		b.Run(fmt.Sprintf("margin=%v", margin), func(b *testing.B) {
+			b.ReportAllocs()
 			var precisionKept, reclaimEvents float64
 			for i := 0; i < b.N; i++ {
 				cfg := scenario.TestbedAcceleration(core.ModeAutoE2E, 1)
@@ -430,6 +449,7 @@ func BenchmarkAblationOuterMargin(b *testing.B) {
 // BenchmarkAblationBaselineOptimal prices the oracle itself (Equation 5
 // with perfect knowledge): how fast is the exact fractional knapsack.
 func BenchmarkAblationBaselineOptimal(b *testing.B) {
+	b.ReportAllocs()
 	sys := workload.Simulation()
 	st := taskmodel.NewState(sys)
 	trueExec := func(ref taskmodel.SubtaskRef) float64 {
@@ -447,6 +467,7 @@ func BenchmarkAblationBaselineOptimal(b *testing.B) {
 // greedy chain synchronization on the noisy testbed acceleration: greedy
 // releases bursts that inflate downstream interference.
 func BenchmarkAblationSyncPolicy(b *testing.B) {
+	b.ReportAllocs()
 	for _, pol := range []struct {
 		name string
 		sync sched.SyncPolicy
@@ -456,6 +477,7 @@ func BenchmarkAblationSyncPolicy(b *testing.B) {
 	} {
 		pol := pol
 		b.Run(pol.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var miss float64
 			for i := 0; i < b.N; i++ {
 				eng := simtime.NewEngine()
@@ -490,9 +512,11 @@ func BenchmarkAblationSyncPolicy(b *testing.B) {
 // stability analysis of Section IV.C.2 end to end: AutoE2E holds misses low
 // throughout the analytic range.
 func BenchmarkAblationGainSweep(b *testing.B) {
+	b.ReportAllocs()
 	for _, g := range []float64{0.8, 1.0, 1.3, 1.6} {
 		g := g
 		b.Run(fmt.Sprintf("g=%v", g), func(b *testing.B) {
+			b.ReportAllocs()
 			var miss float64
 			for i := 0; i < b.N; i++ {
 				cfg := scenario.TestbedAcceleration(core.ModeAutoE2E, 1)
@@ -512,6 +536,7 @@ func BenchmarkAblationGainSweep(b *testing.B) {
 // the Figure 2 workload and reports its WCET-inflation headroom — the
 // quantity the paper's Section I argument revolves around.
 func BenchmarkOfflineAnalysis(b *testing.B) {
+	b.ReportAllocs()
 	st := taskmodel.NewState(workload.Simulation())
 	var margin float64
 	for i := 0; i < b.N; i++ {
@@ -535,6 +560,7 @@ func BenchmarkOfflineAnalysis(b *testing.B) {
 // DEUCON-inspired per-task local controllers on the full Figure 8
 // experiment: same saturation handling, no global solve.
 func BenchmarkAblationDecentralizedInner(b *testing.B) {
+	b.ReportAllocs()
 	for _, arm := range []struct {
 		name          string
 		decentralized bool
@@ -544,6 +570,7 @@ func BenchmarkAblationDecentralizedInner(b *testing.B) {
 	} {
 		arm := arm
 		b.Run(arm.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var miss, precision float64
 			for i := 0; i < b.N; i++ {
 				cfg := scenario.TestbedAcceleration(core.ModeAutoE2E, 1)
@@ -564,12 +591,14 @@ func BenchmarkAblationDecentralizedInner(b *testing.B) {
 // At these scales the centralized MPC's coupled compromises leave residual
 // over-bound offsets — the scaling argument behind DEUCON [12].
 func BenchmarkScalability(b *testing.B) {
+	b.ReportAllocs()
 	shapes := []struct{ ecus, tasks int }{
 		{8, 32}, {16, 64}, {32, 128},
 	}
 	for _, shape := range shapes {
 		shape := shape
 		b.Run(fmt.Sprintf("E%dT%d", shape.ecus, shape.tasks), func(b *testing.B) {
+			b.ReportAllocs()
 			var worstExcess, lateMiss float64
 			for i := 0; i < b.N; i++ {
 				cfg := scenario.SyntheticScale(core.ModeAutoE2E, 11, shape.ecus, shape.tasks)

@@ -4,9 +4,16 @@
 // figure it writes CSV series under the output directory and prints a
 // paper-vs-measured summary row.
 //
+// Independent scenario runs within a figure execute on a bounded worker
+// pool (-workers); all printing and file writing happens serially in input
+// order after the runs complete, so the output is byte-identical for every
+// worker count (the determinism contract of internal/parallel, pinned by
+// TestHarnessParallelByteIdentical). The overhead metric is the one
+// exception: it measures wall-clock cost and always runs serially.
+//
 // Usage:
 //
-//	autoe2e-figs [-fig all|3|4|8|9|10|11|12|headline|overhead] [-out results] [-seed N]
+//	autoe2e-figs [-fig all|3|4|8|9|10|11|12|headline|overhead] [-out results] [-seed N] [-workers N]
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 
 	"github.com/autoe2e/autoe2e/internal/core"
 	"github.com/autoe2e/autoe2e/internal/eucon"
+	"github.com/autoe2e/autoe2e/internal/parallel"
 	"github.com/autoe2e/autoe2e/internal/precision"
 	"github.com/autoe2e/autoe2e/internal/scenario"
 	"github.com/autoe2e/autoe2e/internal/stats"
@@ -34,12 +42,16 @@ func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: all | 3 | 4 | 8 | 9 | 10 | 11 | 12 | headline | overhead")
 	out := flag.String("out", "results", "output directory for CSV files")
 	seed := flag.Int64("seed", 1, "execution-time noise seed")
+	workers := flag.Int("workers", parallel.Workers(), "worker-pool width for independent scenario runs (1 = serial)")
 	flag.Parse()
 
+	if *workers < 1 {
+		log.Fatalf("-workers = %d, want >= 1", *workers)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
-	figs := map[string]func(string, int64) error{
+	figs := map[string]func(string, int64, int) error{
 		"3":        fig3,
 		"4":        fig4,
 		"8":        fig8,
@@ -59,10 +71,32 @@ func main() {
 	}
 	for _, name := range order {
 		fmt.Printf("\n======== Figure/metric %s ========\n", name)
-		if err := figs[name](*out, *seed); err != nil {
+		if err := figs[name](*out, *seed, *workers); err != nil {
 			log.Fatalf("figure %s: %v", name, err)
 		}
 	}
+}
+
+// runPool wraps parallel.Map for harness stages whose items can fail: fn
+// computes item i in the pool, results come back in input order, and the
+// reported error is the lowest-indexed failure.
+func runPool[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	type outcome struct {
+		val T
+		err error
+	}
+	outs := parallel.Map(n, workers, func(i int) outcome {
+		v, err := fn(i)
+		return outcome{v, err}
+	})
+	vals := make([]T, n)
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("item %d: %w", i, o.err)
+		}
+		vals[i] = o.val
+	}
+	return vals, nil
 }
 
 // writeCSV writes rows (with a header) to out/name.
@@ -101,15 +135,20 @@ func saveSeries(dir, name string, res *core.RunResult, series ...string) error {
 // fig3 — motivation: deadline miss ratio of the path-tracking task versus
 // the steering MPC's execution-time growth (3a), and the trajectory under
 // continuous misses (3b).
-func fig3(dir string, seed int64) error {
-	var rows []string
+func fig3(dir string, seed int64, workers int) error {
 	fmt.Println("  (a) T8 miss ratio vs MPC execution-time factor (OPEN, static rates)")
-	for _, factor := range []float64{1.0, 1.2, 1.4, 1.6, 1.8, 1.94, 2.1, 2.3, 2.5} {
-		res, err := core.Run(scenario.Motivation(factor, seed))
-		if err != nil {
-			return err
-		}
-		miss := res.MissRatio(workload.SimPathTracking)
+	factors := []float64{1.0, 1.2, 1.4, 1.6, 1.8, 1.94, 2.1, 2.3, 2.5}
+	cfgs := make([]core.RunConfig, len(factors))
+	for i, factor := range factors {
+		cfgs[i] = scenario.Motivation(factor, seed)
+	}
+	results, err := core.RunAll(cfgs, workers)
+	if err != nil {
+		return err
+	}
+	var rows []string
+	for i, factor := range factors {
+		miss := results[i].MissRatio(workload.SimPathTracking)
 		rows = append(rows, fmt.Sprintf("%.2f,%.1f,%.4f", factor, 12.1*factor, miss))
 		fmt.Printf("      exec %5.1f ms (×%.2f): miss ratio %.3f\n", 12.1*factor, factor, miss)
 	}
@@ -132,15 +171,20 @@ func fig3(dir string, seed int64) error {
 }
 
 // fig4 — saturation and the execution-time/tracking-error trade-off.
-func fig4(dir string, seed int64) error {
+func fig4(dir string, seed int64, workers int) error {
 	fmt.Println("  (a) miss ratio vs determined path-tracking period (EUCON)")
+	periods := []float64{40, 36, 32, 28, 24, 20}
+	cfgs := make([]core.RunConfig, len(periods))
+	for i, periodMs := range periods {
+		cfgs[i] = scenario.SaturationSweep(periodMs, seed)
+	}
+	results, err := core.RunAll(cfgs, workers)
+	if err != nil {
+		return err
+	}
 	var rows []string
-	for _, periodMs := range []float64{40, 36, 32, 28, 24, 20} {
-		res, err := core.Run(scenario.SaturationSweep(periodMs, seed))
-		if err != nil {
-			return err
-		}
-		miss := res.OverallMissRatio()
+	for i, periodMs := range periods {
+		miss := results[i].OverallMissRatio()
 		rows = append(rows, fmt.Sprintf("%.0f,%.4f", periodMs, miss))
 		fmt.Printf("      period %2.0f ms: overall miss ratio %.4f\n", periodMs, miss)
 	}
@@ -149,28 +193,37 @@ func fig4(dir string, seed int64) error {
 	}
 
 	fmt.Println("  (b) tracking error vs steering-MPC execution time (U-shape)")
+	execs := []float64{3, 6, 9, 12, 16, 20, 24, 26, 28, 30}
+	points, err := runPool(len(execs), workers, func(i int) (*cosim.TradeoffPoint, error) {
+		return cosim.Tradeoff(execs[i], seed)
+	})
+	if err != nil {
+		return err
+	}
 	var rows2 []string
-	for _, execMs := range []float64{3, 6, 9, 12, 16, 20, 24, 26, 28, 30} {
-		p, err := cosim.Tradeoff(execMs, seed)
-		if err != nil {
-			return err
-		}
+	for i, p := range points {
 		rows2 = append(rows2, fmt.Sprintf("%.0f,%d,%.4f,%.4f,%.4f",
 			p.ExecMs, p.Horizon, p.MaxAbsErr, p.MeanAbsErr, p.MissRatio))
 		fmt.Printf("      exec %2.0f ms (horizon %2d): max err %.3f m, miss %.3f\n",
-			execMs, p.Horizon, p.MaxAbsErr, p.MissRatio)
+			execs[i], p.Horizon, p.MaxAbsErr, p.MissRatio)
 	}
 	return writeCSV(dir, "fig4b.csv", "exec_ms,horizon,max_err_m,mean_err_m,miss_ratio", rows2)
 }
 
 // fig8 — testbed acceleration: EUCON vs AutoE2E utilizations, precision and
 // miss ratio through the 100/200/320 s rate steps.
-func fig8(dir string, seed int64) error {
-	for _, mode := range []core.Mode{core.ModeEUCON, core.ModeAutoE2E} {
-		res, err := core.Run(scenario.TestbedAcceleration(mode, seed))
-		if err != nil {
-			return err
-		}
+func fig8(dir string, seed int64, workers int) error {
+	modes := []core.Mode{core.ModeEUCON, core.ModeAutoE2E}
+	cfgs := make([]core.RunConfig, len(modes))
+	for i, mode := range modes {
+		cfgs[i] = scenario.TestbedAcceleration(mode, seed)
+	}
+	results, err := core.RunAll(cfgs, workers)
+	if err != nil {
+		return err
+	}
+	for i, mode := range modes {
+		res := results[i]
 		name := strings.ToLower(mode.String())
 		if err := saveSeries(dir, "fig8_"+name+".csv", res,
 			"util.ecu0", "util.ecu1", "util.ecu2",
@@ -187,17 +240,17 @@ func fig8(dir string, seed int64) error {
 }
 
 // fig9 — testbed restorer vs Direct Increase vs Optimal.
-func fig9(dir string, seed int64) error {
-	restorer, err := core.Run(scenario.TestbedRestore(seed))
+func fig9(dir string, seed int64, workers int) error {
+	results, err := core.RunAll([]core.RunConfig{
+		scenario.TestbedRestore(seed),
+		scenario.TestbedRestoreDirectIncrease(seed, 0.1),
+	}, workers)
 	if err != nil {
 		return err
 	}
+	restorer, direct := results[0], results[1]
 	if err := saveSeries(dir, "fig9_restorer.csv", restorer,
 		"util.ecu0", "util.ecu1", "util.ecu2", "precision.total"); err != nil {
-		return err
-	}
-	direct, err := core.Run(scenario.TestbedRestoreDirectIncrease(seed, 0.1))
-	if err != nil {
 		return err
 	}
 	if err := saveSeries(dir, "fig9_direct.csv", direct,
@@ -226,14 +279,19 @@ func fig9(dir string, seed int64) error {
 
 // fig10 — control performance on the scaled car: lane-change trajectories
 // and cruise-control error for the three arms.
-func fig10(dir string, seed int64) error {
+func fig10(dir string, seed int64, workers int) error {
+	modes := []core.Mode{core.ModeOpen, core.ModeEUCON, core.ModeAutoE2E}
+
 	fmt.Println("  (a) double lane change")
+	lanes, err := runPool(len(modes), workers, func(i int) (*cosim.LaneChangeResult, error) {
+		return cosim.LaneChange(cosim.LaneChangeConfig{Mode: modes[i], Seed: seed})
+	})
+	if err != nil {
+		return err
+	}
 	var laneRows []string
-	for _, mode := range []core.Mode{core.ModeOpen, core.ModeEUCON, core.ModeAutoE2E} {
-		res, err := cosim.LaneChange(cosim.LaneChangeConfig{Mode: mode, Seed: seed})
-		if err != nil {
-			return err
-		}
+	for i, mode := range modes {
+		res := lanes[i]
 		for _, s := range res.Samples {
 			laneRows = append(laneRows, fmt.Sprintf("%v,%.3f,%.4f,%.4f,%.4f", mode, s.T, s.X, s.Y, s.RefY))
 		}
@@ -246,12 +304,15 @@ func fig10(dir string, seed int64) error {
 	fmt.Println("      paper: AutoE2E max 5 cm; EUCON +12 cm max / +5 cm avg; OPEN diverges")
 
 	fmt.Println("  (b) adaptive cruise control")
+	cruises, err := runPool(len(modes), workers, func(i int) (*cosim.CruiseResult, error) {
+		return cosim.Cruise(cosim.CruiseConfig{Mode: modes[i], Seed: seed})
+	})
+	if err != nil {
+		return err
+	}
 	var cruiseRows []string
-	for _, mode := range []core.Mode{core.ModeOpen, core.ModeEUCON, core.ModeAutoE2E} {
-		res, err := cosim.Cruise(cosim.CruiseConfig{Mode: mode, Seed: seed})
-		if err != nil {
-			return err
-		}
+	for i, mode := range modes {
+		res := cruises[i]
 		for _, s := range res.Samples {
 			cruiseRows = append(cruiseRows, fmt.Sprintf("%v,%.3f,%.4f,%.4f", mode, s.T, s.V, s.Ref))
 		}
@@ -263,12 +324,18 @@ func fig10(dir string, seed int64) error {
 }
 
 // fig11 — larger-scale simulation acceleration.
-func fig11(dir string, seed int64) error {
-	for _, mode := range []core.Mode{core.ModeEUCON, core.ModeAutoE2E} {
-		res, err := core.Run(scenario.SimAcceleration(mode, seed))
-		if err != nil {
-			return err
-		}
+func fig11(dir string, seed int64, workers int) error {
+	modes := []core.Mode{core.ModeEUCON, core.ModeAutoE2E}
+	cfgs := make([]core.RunConfig, len(modes))
+	for i, mode := range modes {
+		cfgs[i] = scenario.SimAcceleration(mode, seed)
+	}
+	results, err := core.RunAll(cfgs, workers)
+	if err != nil {
+		return err
+	}
+	for i, mode := range modes {
+		res := results[i]
 		name := strings.ToLower(mode.String())
 		if err := saveSeries(dir, "fig11_"+name+".csv", res,
 			"util.ecu0", "util.ecu1", "util.ecu2", "util.ecu3", "util.ecu4", "util.ecu5",
@@ -287,17 +354,17 @@ func fig11(dir string, seed int64) error {
 }
 
 // fig12 — larger-scale restorer comparison.
-func fig12(dir string, seed int64) error {
-	restorer, err := core.Run(scenario.SimRestore(seed))
+func fig12(dir string, seed int64, workers int) error {
+	results, err := core.RunAll([]core.RunConfig{
+		scenario.SimRestore(seed),
+		scenario.SimRestoreDirectIncrease(seed, 0.1),
+	}, workers)
 	if err != nil {
 		return err
 	}
+	restorer, direct := results[0], results[1]
 	if err := saveSeries(dir, "fig12_restorer.csv", restorer,
 		"util.ecu3", "util.ecu5", "precision.total"); err != nil {
-		return err
-	}
-	direct, err := core.Run(scenario.SimRestoreDirectIncrease(seed, 0.1))
-	if err != nil {
 		return err
 	}
 	if err := saveSeries(dir, "fig12_direct.csv", direct,
@@ -315,7 +382,7 @@ func fig12(dir string, seed int64) error {
 // headline — the paper's abstract numbers: average miss-ratio reduction
 // versus EUCON and the precision cost, aggregated over the testbed and
 // simulation acceleration experiments.
-func headline(dir string, seed int64) error {
+func headline(dir string, seed int64, workers int) error {
 	type arm struct {
 		name string
 		cfg  func(core.Mode, int64) core.RunConfig
@@ -325,17 +392,19 @@ func headline(dir string, seed int64) error {
 		{"testbed", scenario.TestbedAcceleration, 7.5},
 		{"simulation", scenario.SimAcceleration, 21},
 	}
+	// Flatten to one pool: (arm × mode) runs are all independent.
+	var cfgs []core.RunConfig
+	for _, a := range arms {
+		cfgs = append(cfgs, a.cfg(core.ModeEUCON, seed), a.cfg(core.ModeAutoE2E, seed))
+	}
+	results, err := core.RunAll(cfgs, workers)
+	if err != nil {
+		return err
+	}
 	var rows []string
 	var missReductions, precisionDrops []float64
-	for _, a := range arms {
-		eucon, err := core.Run(a.cfg(core.ModeEUCON, seed))
-		if err != nil {
-			return err
-		}
-		auto, err := core.Run(a.cfg(core.ModeAutoE2E, seed))
-		if err != nil {
-			return err
-		}
+	for i, a := range arms {
+		eucon, auto := results[2*i], results[2*i+1]
 		me, ma := eucon.OverallMissRatio(), auto.OverallMissRatio()
 		reduction := 0.0
 		if me > 0 {
@@ -355,8 +424,10 @@ func headline(dir string, seed int64) error {
 }
 
 // overhead — wall-clock cost of one middleware control decision (the paper
-// measures < 10 ms on its testbed).
-func overhead(dir string, seed int64) error {
+// measures < 10 ms on its testbed). Always serial: it measures time, and
+// sharing cores with sibling runs would corrupt the measurement.
+func overhead(dir string, seed int64, workers int) error {
+	_ = workers
 	sys := workload.Simulation()
 	st := taskmodel.NewState(sys)
 	inner, err := eucon.New(st, eucon.Config{})

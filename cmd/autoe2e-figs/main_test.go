@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,7 +12,7 @@ import (
 // `autoe2e-figs` itself or the root benchmarks.
 func TestFig9WritesOutputs(t *testing.T) {
 	dir := t.TempDir()
-	if err := fig9(dir, 1); err != nil {
+	if err := fig9(dir, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig9_restorer.csv", "fig9_direct.csv"} {
@@ -28,7 +29,7 @@ func TestFig9WritesOutputs(t *testing.T) {
 
 func TestFig12WritesOutputs(t *testing.T) {
 	dir := t.TempDir()
-	if err := fig12(dir, 1); err != nil {
+	if err := fig12(dir, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "fig12_restorer.csv")); err != nil {
@@ -38,7 +39,7 @@ func TestFig12WritesOutputs(t *testing.T) {
 
 func TestHeadlineWritesOutputs(t *testing.T) {
 	dir := t.TempDir()
-	if err := headline(dir, 1); err != nil {
+	if err := headline(dir, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "headline.csv"))
@@ -47,5 +48,85 @@ func TestHeadlineWritesOutputs(t *testing.T) {
 	}
 	if len(data) == 0 {
 		t.Error("headline.csv is empty")
+	}
+}
+
+// captureStdout redirects os.Stdout around fn and returns everything
+// printed. The harness prints through fmt.Printf, so this captures the
+// console part of a figure's output.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.Bytes()
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+// TestHarnessParallelByteIdentical pins the harness's determinism contract:
+// a figure regenerated with a multi-worker pool produces byte-identical
+// console output AND byte-identical CSV files to a serial run. fig9 (two
+// core runs) and headline (four, via one flattened pool) cover both RunAll
+// call shapes.
+func TestHarnessParallelByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  func(dir string, workers int) error
+	}{
+		{"fig9", func(dir string, workers int) error { return fig9(dir, 1, workers) }},
+		{"headline", func(dir string, workers int) error { return headline(dir, 1, workers) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serialDir, parallelDir := t.TempDir(), t.TempDir()
+			serialOut := captureStdout(t, func() error { return tc.run(serialDir, 1) })
+			parallelOut := captureStdout(t, func() error { return tc.run(parallelDir, 3) })
+
+			// Console output differs only by the temp-dir paths in the
+			// "wrote ..." lines; normalize those before comparing.
+			norm := func(b []byte, dir string) []byte {
+				return bytes.ReplaceAll(b, []byte(dir), []byte("DIR"))
+			}
+			if !bytes.Equal(norm(serialOut, serialDir), norm(parallelOut, parallelDir)) {
+				t.Errorf("console output differs between workers=1 and workers=3:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					serialOut, parallelOut)
+			}
+
+			files, err := filepath.Glob(filepath.Join(serialDir, "*.csv"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(files) == 0 {
+				t.Fatal("no CSV files written")
+			}
+			for _, f := range files {
+				name := filepath.Base(f)
+				a, err := os.ReadFile(f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := os.ReadFile(filepath.Join(parallelDir, name))
+				if err != nil {
+					t.Fatalf("parallel run missing %s: %v", name, err)
+				}
+				if !bytes.Equal(a, b) {
+					t.Errorf("%s differs between workers=1 and workers=3", name)
+				}
+			}
+		})
 	}
 }

@@ -381,3 +381,76 @@ func TestMiddlewareSurfacesControllerError(t *testing.T) {
 		t.Errorf("engine ran to %v after failure at the first inner tick; want an early stop", got)
 	}
 }
+
+// TestRunAllMatchesSerialRuns pins RunAll's determinism contract: the
+// parallel harness produces exactly the per-run results that serial Run
+// calls do, in input order, for any worker count.
+func TestRunAllMatchesSerialRuns(t *testing.T) {
+	mkCfgs := func() []RunConfig {
+		var cfgs []RunConfig
+		for _, mode := range []Mode{ModeOpen, ModeEUCON, ModeAutoE2E} {
+			cfgs = append(cfgs, RunConfig{
+				System:     testSystem(t),
+				Exec:       exectime.Nominal{},
+				Middleware: Config{Mode: mode, InnerPeriod: simtime.Second},
+				Duration:   20 * simtime.Second,
+			})
+		}
+		return cfgs
+	}
+
+	want, err := RunAll(mkCfgs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 3} {
+		got, err := RunAll(mkCfgs(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if g, w := got[i].OverallMissRatio(), want[i].OverallMissRatio(); g != w {
+				t.Errorf("workers=%d run %d: miss ratio %v != serial %v", workers, i, g, w)
+			}
+			gu, wu := got[i].Trace.Series("util.ecu0").Values(), want[i].Trace.Series("util.ecu0").Values()
+			if len(gu) != len(wu) {
+				t.Fatalf("workers=%d run %d: series length %d != %d", workers, i, len(gu), len(wu))
+			}
+			for k := range wu {
+				if gu[k] != wu[k] {
+					t.Fatalf("workers=%d run %d sample %d: %v != %v (bitwise)", workers, i, k, gu[k], wu[k])
+				}
+			}
+		}
+	}
+}
+
+// TestRunAllFirstErrorByIndex: the reported error is the lowest-indexed
+// failure regardless of completion order, and failed entries are nil while
+// successes are kept.
+func TestRunAllFirstErrorByIndex(t *testing.T) {
+	good := RunConfig{
+		System:     testSystem(t),
+		Exec:       exectime.Nominal{},
+		Middleware: Config{Mode: ModeOpen, InnerPeriod: simtime.Second},
+		Duration:   2 * simtime.Second,
+	}
+	bad := good
+	bad.Exec = nil // fails validation inside Run
+	results, err := RunAll([]RunConfig{good, bad, bad, good}, 4)
+	if err == nil {
+		t.Fatal("want error from failing run")
+	}
+	if !strings.Contains(err.Error(), "run 1:") {
+		t.Errorf("error %q does not name the lowest failing index", err)
+	}
+	if results[0] == nil || results[3] == nil {
+		t.Error("successful runs lost their results")
+	}
+	if results[1] != nil || results[2] != nil {
+		t.Error("failed runs kept non-nil results")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/autoe2e/autoe2e/internal/exectime"
+	"github.com/autoe2e/autoe2e/internal/parallel"
 	"github.com/autoe2e/autoe2e/internal/sched"
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
@@ -127,4 +128,38 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		Counters: scheduler.Counters(),
 		State:    state,
 	}, nil
+}
+
+// RunAll executes several independent experiments over a bounded worker
+// pool and returns their results in input order. Each Run builds its own
+// engine, state, scheduler and middleware, so runs share nothing mutable;
+// parallelism changes wall-clock time only, never results. workers <= 0
+// means parallel.Workers(); workers == 1 runs serially.
+//
+// On failure RunAll returns the error of the lowest-indexed failing run
+// (deterministic regardless of completion order) along with the full
+// result slice — successful runs keep their results, failed or skipped
+// entries are nil.
+func RunAll(cfgs []RunConfig, workers int) ([]*RunResult, error) {
+	if workers <= 0 {
+		workers = parallel.Workers()
+	}
+	type outcome struct {
+		res *RunResult
+		err error
+	}
+	outs := parallel.Map(len(cfgs), workers, func(i int) outcome {
+		res, err := Run(cfgs[i])
+		return outcome{res, err}
+	})
+	results := make([]*RunResult, len(cfgs))
+	var firstErr error
+	for i, o := range outs {
+		results[i] = o.res
+		if o.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: run %d: %w", i, o.err)
+			results[i] = nil
+		}
+	}
+	return results, firstErr
 }

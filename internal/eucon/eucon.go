@@ -21,6 +21,22 @@
 // Rate saturation — some task rates pinned at their floors while
 // utilization still exceeds the bound — is reported to the caller; the
 // outer precision-based loop of package precision reacts to it.
+//
+// # Hot-path structure
+//
+// The MPC's stacked least-squares problem over x = [Δr_0; …; Δr_{M−1}] has
+// P·n tracking rows and M·m control-penalty rows, but its normal equations
+// have closed-form block structure (see normalEquations), so Step never
+// materializes the stacked matrix: it forms AᵀA and Aᵀb directly in
+// O(n·m² + M²·m²) and solves with a persistent linalg.BoxLSQWorkspace that
+// warm-starts both the projected-gradient iteration (from the previous
+// period's solution) and the spectral-norm power iteration (from the
+// previous period's eigenvector). All scratch lives on the Controller;
+// steady-state Step performs zero heap allocations.
+//
+// Reference retains the allocation-heavy, obviously-correct implementation
+// of the same controller; the golden-equivalence tests pin the two to
+// bit-identical control sequences over the paper's scenarios.
 package eucon
 
 import (
@@ -108,6 +124,25 @@ type Controller struct {
 	// prevDelta is Δr(k−1), the previously applied move, used by the
 	// control-change penalty of Equation (11).
 	prevDelta []float64
+
+	// Persistent scratch, sized once in New and reused by every Step.
+	f      *linalg.Matrix // n×m load matrix F
+	wf     *linalg.Matrix // n×m row-weighted load matrix, wf[j] = w_j·F[j]
+	gram   *linalg.Matrix // m×m weighted Gram matrix G = wfᵀ·wf
+	ata    *linalg.Matrix // (M·m)×(M·m) normal-equation matrix AᵀA
+	atb    []float64      // M·m right-hand side Aᵀb
+	gb     []float64      // m: Σ_j wf[j,t]·(w_j·hb_j)
+	sums   []float64      // M: s_l = Σ_{i>l} (1 − RefDecay^i)
+	wj     []float64      // n: per-ECU tracking weights
+	wb     []float64      // n: w_j·headroom_j
+	lo, hi []float64      // M·m box bounds
+	prevX  []float64      // previous full solution, PGD warm start
+	warm   bool           // prevX holds a valid previous solution
+	ws     *linalg.BoxLSQWorkspace
+
+	// res holds the Result buffers handed back by Step; see Result for the
+	// ownership rule.
+	res Result
 }
 
 // New builds a controller operating on the given mutable state. It returns
@@ -117,14 +152,39 @@ func New(state *taskmodel.State, cfg Config) (*Controller, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	sys := state.System()
+	n, m, mh := sys.NumECUs, len(sys.Tasks), cfg.ControlHorizon
+	cols := mh * m
 	return &Controller{
 		state:     state,
 		cfg:       cfg,
-		prevDelta: make([]float64, len(state.System().Tasks)),
+		prevDelta: make([]float64, m),
+		f:         linalg.NewMatrix(n, m),
+		wf:        linalg.NewMatrix(n, m),
+		gram:      linalg.NewMatrix(m, m),
+		ata:       linalg.NewMatrix(cols, cols),
+		atb:       make([]float64, cols),
+		gb:        make([]float64, m),
+		sums:      make([]float64, mh),
+		wj:        make([]float64, n),
+		wb:        make([]float64, n),
+		lo:        make([]float64, cols),
+		hi:        make([]float64, cols),
+		prevX:     make([]float64, cols),
+		ws:        linalg.NewBoxLSQWorkspace(),
+		res: Result{
+			Rates:     make([]units.Rate, m),
+			Delta:     make([]units.Rate, m),
+			Saturated: make([]bool, m),
+		},
 	}, nil
 }
 
 // Result reports what one control step did.
+//
+// Ownership: the slices are buffers owned by the controller and are
+// overwritten by the next Step (the hot path must not allocate). Callers
+// that retain a Result across control periods must copy the slices.
 type Result struct {
 	// Rates are the applied task rates r(k+1).
 	Rates []units.Rate
@@ -134,73 +194,29 @@ type Result struct {
 	Saturated []bool
 }
 
-// loadMatrix builds F: F_ji = Σ_{T_il ∈ S_j} c_il·a_il in seconds, using
+// loadMatrixInto fills F: F_ji = Σ_{T_il ∈ S_j} c_il·a_il in seconds, using
 // the controller's offline estimates c_il and the current precision ratios.
-func (c *Controller) loadMatrix() *linalg.Matrix {
-	sys := c.state.System()
-	f := linalg.NewMatrix(sys.NumECUs, len(sys.Tasks))
+func loadMatrixInto(f *linalg.Matrix, state *taskmodel.State) {
+	f.Zero()
+	sys := state.System()
 	for ti, task := range sys.Tasks {
 		for si := range task.Subtasks {
 			sub := &task.Subtasks[si]
 			ref := taskmodel.SubtaskRef{Task: taskmodel.TaskID(ti), Index: si}
-			f.Add(sub.ECU, ti, sub.NominalExec.Seconds()*c.state.Ratio(ref).Float())
+			f.Add(sub.ECU, ti, sub.NominalExec.Seconds()*state.Ratio(ref).Float())
 		}
 	}
-	return f
 }
 
-// Step runs one control period with the measured utilizations and applies
-// the resulting rates. len(utils) must equal the number of ECUs.
-func (c *Controller) Step(utils []units.Util) (Result, error) {
-	sys := c.state.System()
-	n, m := sys.NumECUs, len(sys.Tasks)
-	if len(utils) != n {
-		return Result{}, fmt.Errorf("eucon: got %d utilizations, want %d", len(utils), n)
-	}
-	p, mh := c.cfg.PredictionHorizon, c.cfg.ControlHorizon
-	f := c.loadMatrix()
-
-	// Stacked least-squares over x = [Δr_0; …; Δr_{M−1}].
-	// Tracking rows, i = 1..P:
-	//   F·(Σ_{l<min(i,M)} Δr_l) = ref(k+i) − u(k)
-	// Control-change rows, i = 1..M (weight √ρ):
-	//   Δr_{i−1} − Δr_{i−2} = 0   (Δr_{−1} = prevDelta)
-	rows := p*n + mh*m
-	cols := mh * m
-	a := linalg.NewMatrix(rows, cols)
-	b := make([]float64, rows)
-	row := 0
-	for i := 1; i <= p; i++ {
-		decay := pow(c.cfg.RefDecay, i)
-		active := i
-		if active > mh {
-			active = mh
-		}
-		for j := 0; j < n; j++ {
-			target := sys.UtilBound[j] - c.cfg.BoundMargin
-			w := 1.0
-			// Over-bound: hard-constraint side of Equation (1). The small
-			// tolerance keeps the asymmetry from biasing the settled
-			// point below the target when utilization hovers at it.
-			if utils[j] > target+0.02 {
-				w = c.cfg.OverloadWeight
-			}
-			// ref(k+i) − u(k) = (1 − decay)·(target − u(k))
-			b[row] = w * (1 - decay) * utils[j].Headroom(target).Float()
-			for l := 0; l < active; l++ {
-				for ti := 0; ti < m; ti++ {
-					a.Set(row, l*m+ti, w*f.At(j, ti))
-				}
-			}
-			row++
-		}
-	}
-	// The control-change penalty must be dimensionless relative to the
-	// tracking term: utilization residuals are F·Δr (seconds × Hz) while
-	// the raw penalty residuals are Δr (Hz). Scale ρ by the mean squared
-	// column norm of F so that ControlPenalty weights the two terms on
-	// comparable scales regardless of the task set's execution-time
-	// units.
+// controlPenaltyRho converts the dimensionless ControlPenalty into the
+// row weight √(ρ·mean‖F_col‖²) of the stacked problem. The control-change
+// penalty must be dimensionless relative to the tracking term: utilization
+// residuals are F·Δr (seconds × Hz) while the raw penalty residuals are Δr
+// (Hz). Scaling ρ by the mean squared column norm of F weights the two
+// terms on comparable scales regardless of the task set's execution-time
+// units.
+func controlPenaltyRho(f *linalg.Matrix, controlPenalty float64) float64 {
+	n, m := f.Rows(), f.Cols()
 	fScale := 0.0
 	for ti := 0; ti < m; ti++ {
 		col := 0.0
@@ -210,46 +226,167 @@ func (c *Controller) Step(utils []units.Util) (Result, error) {
 		fScale += col
 	}
 	fScale /= float64(m)
-	rho := math.Sqrt(c.cfg.ControlPenalty * fScale)
-	for i := 1; i <= mh; i++ {
-		for ti := 0; ti < m; ti++ {
-			a.Set(row, (i-1)*m+ti, rho)
-			if i >= 2 {
-				a.Set(row, (i-2)*m+ti, -rho)
-			} else {
-				b[row] = rho * c.prevDelta[ti]
-			}
-			row++
+	return math.Sqrt(controlPenalty * fScale)
+}
+
+// normalEquations forms AᵀA and Aᵀb of the stacked MPC least-squares
+// problem directly from its block structure, without materializing the
+// (P·n + M·m)-row stacked matrix.
+//
+// The stacked problem over x = [Δr_0; …; Δr_{M−1}] is
+//
+//	tracking rows (i = 1..P, ECU j):   w_j·F_j·(Σ_{l<min(i,M)} Δr_l) = w_j·(1−δ^i)·h_j
+//	penalty rows  (i = 1..M, task t):  ρ·(Δr_{i−1,t} − Δr_{i−2,t})    = [i=1]·ρ·prevΔr_t
+//
+// with δ = RefDecay, h_j the headroom (target_j − u_j), and Δr_{−1} =
+// prevDelta. Because block l appears in tracking row i exactly when l < i
+// (l ranges over 0..M−1 ≤ P−1), and its coefficient w_j·F_j does not
+// depend on i:
+//
+//	AᵀA block (l1,l2) = (P − max(l1,l2))·G,  G = Σ_j (w_j F_j)ᵀ(w_j F_j)
+//	Aᵀb block l       = s_l·g,  s_l = Σ_{i=l+1..P} (1−δ^i),  g_t = Σ_j w_j F_jt·(w_j h_j)
+//
+// plus the penalty rows' band: ρ² on the (l,t) diagonal (twice for l < M−1,
+// once for l = M−1), −ρ² between adjacent blocks at equal t, and
+// ρ²·prevΔr_t added to Aᵀb block 0. Forming G costs O(n·m²) and the block
+// fill O(M²·m²) — the stacked product would cost O(P·n·M²·m²).
+//
+// The reference implementation computes the same formulas with fresh
+// allocations and straightforward loops; TestNormalEquationsMatchStacked
+// additionally pins them against the explicitly materialized stacked
+// matrix.
+func normalEquations(c *Controller, utils []units.Util, rho float64) {
+	sys := c.state.System()
+	n, m := sys.NumECUs, len(sys.Tasks)
+	p, mh := c.cfg.PredictionHorizon, c.cfg.ControlHorizon
+
+	// Per-ECU weights and weighted headrooms.
+	for j := 0; j < n; j++ {
+		target := sys.UtilBound[j] - c.cfg.BoundMargin
+		w := 1.0
+		// Over-bound: hard-constraint side of Equation (1). The small
+		// tolerance keeps the asymmetry from biasing the settled point
+		// below the target when utilization hovers at it.
+		if utils[j] > target+0.02 {
+			w = c.cfg.OverloadWeight
+		}
+		c.wj[j] = w
+		c.wb[j] = w * utils[j].Headroom(target).Float()
+	}
+
+	// Row-weighted load matrix wf[j] = w_j·F[j], its Gram matrix G, and
+	// the weighted-headroom image g_t = Σ_j wf[j,t]·wb_j.
+	for j := 0; j < n; j++ {
+		w := c.wj[j]
+		for t := 0; t < m; t++ {
+			c.wf.Set(j, t, w*c.f.At(j, t))
 		}
 	}
+	c.wf.MulATAInto(c.gram)
+	for t := 0; t < m; t++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += c.wf.At(j, t) * c.wb[j]
+		}
+		c.gb[t] = s
+	}
+
+	// Reference-trajectory weights s_l = Σ_{i=l+1..P} (1 − δ^i).
+	for l := 0; l < mh; l++ {
+		s := 0.0
+		for i := l + 1; i <= p; i++ {
+			s += 1 - pow(c.cfg.RefDecay, i)
+		}
+		c.sums[l] = s
+	}
+
+	// Tracking part: block (l1,l2) of AᵀA is (P − max(l1,l2))·G, block l
+	// of Aᵀb is s_l·g.
+	for l1 := 0; l1 < mh; l1++ {
+		for l2 := 0; l2 < mh; l2++ {
+			count := p - l1
+			if l2 > l1 {
+				count = p - l2
+			}
+			cf := float64(count)
+			for t1 := 0; t1 < m; t1++ {
+				for t2 := 0; t2 < m; t2++ {
+					c.ata.Set(l1*m+t1, l2*m+t2, cf*c.gram.At(t1, t2))
+				}
+			}
+		}
+	}
+	for l := 0; l < mh; l++ {
+		for t := 0; t < m; t++ {
+			c.atb[l*m+t] = c.sums[l] * c.gb[t]
+		}
+	}
+
+	// Control-change penalty band, accumulated row by row as in the
+	// stacked formulation.
+	rho2 := rho * rho
+	for i := 1; i <= mh; i++ {
+		for t := 0; t < m; t++ {
+			d1 := (i-1)*m + t
+			c.ata.Add(d1, d1, rho2)
+			if i >= 2 {
+				d0 := (i-2)*m + t
+				c.ata.Add(d0, d0, rho2)
+				c.ata.Add(d1, d0, -rho2)
+				c.ata.Add(d0, d1, -rho2)
+			} else {
+				c.atb[d1] += rho2 * c.prevDelta[t]
+			}
+		}
+	}
+}
+
+// Step runs one control period with the measured utilizations and applies
+// the resulting rates. len(utils) must equal the number of ECUs.
+//
+// The returned Result's slices are reused by the next Step; see Result.
+func (c *Controller) Step(utils []units.Util) (Result, error) {
+	sys := c.state.System()
+	n, m := sys.NumECUs, len(sys.Tasks)
+	if len(utils) != n {
+		return Result{}, fmt.Errorf("eucon: got %d utilizations, want %d", len(utils), n)
+	}
+	mh := c.cfg.ControlHorizon
+
+	loadMatrixInto(c.f, c.state)
+	rho := controlPenaltyRho(c.f, c.cfg.ControlPenalty)
+	normalEquations(c, utils, rho)
 
 	// Box constraints: the first move must keep every rate inside
 	// [floor, max]; later moves get the loose full-range box (they are
 	// re-planned next period anyway — standard receding-horizon
 	// practice).
-	lo := make([]float64, cols)
-	hi := make([]float64, cols)
 	for ti := 0; ti < m; ti++ {
 		r := c.state.Rate(taskmodel.TaskID(ti))
-		lo[ti] = (c.state.RateFloor(taskmodel.TaskID(ti)) - r).Float()
-		hi[ti] = (sys.Tasks[ti].RateMax - r).Float()
+		c.lo[ti] = (c.state.RateFloor(taskmodel.TaskID(ti)) - r).Float()
+		c.hi[ti] = (sys.Tasks[ti].RateMax - r).Float()
 		span := (sys.Tasks[ti].RateMax - sys.Tasks[ti].RateMin).Float()
 		for l := 1; l < mh; l++ {
-			lo[l*m+ti] = -span
-			hi[l*m+ti] = span
+			c.lo[l*m+ti] = -span
+			c.hi[l*m+ti] = span
 		}
 	}
 
-	x, err := linalg.BoxLSQ(a, b, lo, hi, nil, linalg.DefaultBoxLSQOptions())
+	// Warm start from the previous period's plan: the receding-horizon
+	// solutions of consecutive periods are close, so projected gradient
+	// re-converges in a handful of iterations.
+	var x0 []float64
+	if c.warm {
+		x0 = c.prevX
+	}
+	x, err := c.ws.SolveNormal(c.ata, c.atb, c.lo, c.hi, x0, linalg.DefaultBoxLSQOptions())
 	if err != nil {
 		return Result{}, fmt.Errorf("eucon: MPC solve: %w", err)
 	}
+	copy(c.prevX, x)
+	c.warm = true
 
-	res := Result{
-		Rates:     make([]units.Rate, m),
-		Delta:     make([]units.Rate, m),
-		Saturated: make([]bool, m),
-	}
+	res := c.res
 	for ti := 0; ti < m; ti++ {
 		id := taskmodel.TaskID(ti)
 		res.Delta[ti] = units.RawRate(x[ti])

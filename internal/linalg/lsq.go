@@ -14,14 +14,15 @@ func LeastSquares(a *Matrix, b []float64, ridge float64) ([]float64, error) {
 	if a.Rows() != len(b) {
 		return nil, fmt.Errorf("linalg: LeastSquares dimension mismatch %d != %d", a.Rows(), len(b))
 	}
-	at := a.Transpose()
-	ata := at.Mul(a)
+	ata := NewMatrix(a.Cols(), a.Cols())
+	a.MulATAInto(ata)
 	if ridge > 0 {
 		for i := 0; i < ata.Rows(); i++ {
 			ata.Add(i, i, ridge)
 		}
 	}
-	atb := at.MulVec(b)
+	atb := make([]float64, a.Cols())
+	a.MulTVecInto(atb, b)
 	return SolveLU(ata, atb)
 }
 
@@ -44,11 +45,130 @@ func DefaultBoxLSQOptions() BoxLSQOptions {
 	return BoxLSQOptions{MaxIter: 2000, Tol: 1e-10, Ridge: 1e-9}
 }
 
+// BoxLSQWorkspace holds every buffer the box-constrained solver needs, so
+// that repeated solves of same-sized problems perform zero heap
+// allocations. It also carries warm-start state across solves: the
+// power-iteration eigenvector estimate for the spectral norm of aᵀa. A
+// workspace is owned by exactly one solver loop (it is not safe for
+// concurrent use); the slice returned by SolveNormal aliases the workspace
+// and is valid only until the next solve.
+type BoxLSQWorkspace struct {
+	x    []float64 // solution buffer, returned to the caller
+	grad []float64 // gradient buffer
+	eig  []float64 // power-iteration eigenvector, warm-started across solves
+	pw   []float64 // power-iteration scratch (m·v)
+	pt   []float64 // power-iteration scratch (m·w)
+
+	// haveEig records that eig holds a converged estimate from a previous
+	// solve of the same dimension, to be reused as the starting vector.
+	haveEig bool
+}
+
+// NewBoxLSQWorkspace returns an empty workspace; buffers grow on first use
+// and are reused afterwards.
+func NewBoxLSQWorkspace() *BoxLSQWorkspace { return &BoxLSQWorkspace{} }
+
+// ensure sizes every buffer for an n-dimensional solve. Changing dimension
+// discards the warm-start state (it belongs to a different problem).
+func (ws *BoxLSQWorkspace) ensure(n int) {
+	if len(ws.x) != n {
+		ws.x = make([]float64, n)
+		ws.grad = make([]float64, n)
+		ws.eig = make([]float64, n)
+		ws.pw = make([]float64, n)
+		ws.pt = make([]float64, n)
+		ws.haveEig = false
+	}
+}
+
+// SolveNormal solves min_x ½·xᵀ(ata)x − atbᵀx subject to lo ≤ x ≤ hi — the
+// box-constrained least-squares problem expressed directly on its normal
+// equations ata = aᵀa, atb = aᵀb. Callers that know the block structure of
+// their problem build ata/atb in O(cols²) and skip materializing the
+// stacked matrix entirely.
+//
+// opts.Ridge is added to the diagonal of ata in place (the caller's matrix
+// is mutated). x0 is the warm start; pass nil to start from the box
+// midpoint. The returned slice is owned by the workspace and valid until
+// the next solve; callers that retain it must copy.
+//
+// The returned point satisfies the KKT conditions of the box-constrained
+// problem to within opts.Tol, exactly as BoxLSQ does.
+func (ws *BoxLSQWorkspace) SolveNormal(ata *Matrix, atb, lo, hi, x0 []float64, opts BoxLSQOptions) ([]float64, error) {
+	n := ata.Cols()
+	if ata.Rows() != n {
+		return nil, fmt.Errorf("linalg: SolveNormal on non-square %dx%d matrix", ata.Rows(), n)
+	}
+	if len(atb) != n || len(lo) != n || len(hi) != n {
+		return nil, fmt.Errorf("linalg: SolveNormal vector length %d/%d/%d != %d", len(atb), len(lo), len(hi), n)
+	}
+	for i := 0; i < n; i++ {
+		if lo[i] > hi[i] {
+			return nil, fmt.Errorf("linalg: SolveNormal empty box at coordinate %d: [%g, %g]", i, lo[i], hi[i])
+		}
+	}
+	if opts.MaxIter <= 0 {
+		opts = DefaultBoxLSQOptions()
+	}
+	ws.ensure(n)
+	if opts.Ridge > 0 {
+		for i := 0; i < n; i++ {
+			ata.Add(i, i, opts.Ridge)
+		}
+	}
+
+	lip := ws.spectralNorm(ata)
+	x := ws.x
+	if lip <= 0 {
+		// aᵀa is numerically zero: every feasible point is optimal.
+		for i := range x {
+			x[i] = Clamp(0, lo[i], hi[i])
+		}
+		return x, nil
+	}
+	step := 1 / lip
+
+	if x0 != nil {
+		if len(x0) != n {
+			return nil, fmt.Errorf("linalg: SolveNormal x0 length %d != %d", len(x0), n)
+		}
+		copy(x, x0)
+	} else {
+		for i := range x {
+			x[i] = (lo[i] + hi[i]) / 2
+		}
+	}
+	ClampVec(x, lo, hi)
+
+	grad := ws.grad
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		ata.MulVecInto(grad, x) // grad = ata·x
+		maxMove := 0.0
+		for i := 0; i < n; i++ {
+			g := grad[i] - atb[i]
+			next := Clamp(x[i]-step*g, lo[i], hi[i])
+			if d := math.Abs(next - x[i]); d > maxMove {
+				maxMove = d
+			}
+			x[i] = next
+		}
+		if maxMove <= opts.Tol {
+			break
+		}
+	}
+	return x, nil
+}
+
 // BoxLSQ solves min_x ||a·x − b||² subject to lo ≤ x ≤ hi element-wise,
 // using projected gradient descent with a fixed 1/L step where L is the
 // spectral norm of aᵀa (estimated by power iteration). x0 is the starting
 // point and is clamped into the box before use; pass nil to start from the
 // box midpoint.
+//
+// This is the one-shot convenience wrapper: it forms the normal equations
+// from the stacked matrix and solves with a fresh workspace (cold-started
+// power iteration). Hot paths keep a BoxLSQWorkspace and call SolveNormal
+// to reuse buffers and warm starts across solves.
 //
 // The returned point satisfies the KKT conditions of the box-constrained
 // problem to within opts.Tol: the gradient is ~0 on free coordinates,
@@ -62,79 +182,37 @@ func BoxLSQ(a *Matrix, b, lo, hi, x0 []float64, opts BoxLSQOptions) ([]float64, 
 	if a.Rows() != len(b) {
 		return nil, fmt.Errorf("linalg: BoxLSQ dimension mismatch %d != %d", a.Rows(), len(b))
 	}
-	for i := 0; i < n; i++ {
-		if lo[i] > hi[i] {
-			return nil, fmt.Errorf("linalg: BoxLSQ empty box at coordinate %d: [%g, %g]", i, lo[i], hi[i])
-		}
+	ata := NewMatrix(n, n)
+	a.MulATAInto(ata)
+	atb := make([]float64, n)
+	a.MulTVecInto(atb, b)
+	ws := NewBoxLSQWorkspace()
+	x, err := ws.SolveNormal(ata, atb, lo, hi, x0, opts)
+	if err != nil {
+		return nil, err
 	}
-	if opts.MaxIter <= 0 {
-		opts = DefaultBoxLSQOptions()
-	}
-
-	at := a.Transpose()
-	ata := at.Mul(a)
-	if opts.Ridge > 0 {
-		for i := 0; i < n; i++ {
-			ata.Add(i, i, opts.Ridge)
-		}
-	}
-	atb := at.MulVec(b)
-
-	lip := spectralNorm(ata)
-	if lip <= 0 {
-		// aᵀa is numerically zero: every feasible point is optimal.
-		x := make([]float64, n)
-		for i := range x {
-			x[i] = Clamp(0, lo[i], hi[i])
-		}
-		return x, nil
-	}
-	step := 1 / lip
-
-	x := make([]float64, n)
-	if x0 != nil {
-		if len(x0) != n {
-			return nil, fmt.Errorf("linalg: BoxLSQ x0 length %d != %d", len(x0), n)
-		}
-		copy(x, x0)
-	} else {
-		for i := range x {
-			x[i] = (lo[i] + hi[i]) / 2
-		}
-	}
-	ClampVec(x, lo, hi)
-
-	grad := make([]float64, n)
-	for iter := 0; iter < opts.MaxIter; iter++ {
-		// grad = ata·x − atb
-		g := ata.MulVec(x)
-		maxMove := 0.0
-		for i := 0; i < n; i++ {
-			grad[i] = g[i] - atb[i]
-			next := Clamp(x[i]-step*grad[i], lo[i], hi[i])
-			if d := math.Abs(next - x[i]); d > maxMove {
-				maxMove = d
-			}
-			x[i] = next
-		}
-		if maxMove <= opts.Tol {
-			break
-		}
-	}
-	return x, nil
+	return Clone(x), nil
 }
 
-// spectralNorm estimates the largest eigenvalue of a symmetric positive
-// semi-definite matrix by power iteration.
-func spectralNorm(m *Matrix) float64 {
+// spectralNorm estimates the largest eigenvalue of the symmetric positive
+// semi-definite matrix m by power iteration, warm-started from the
+// workspace's previous eigenvector estimate when one of the right dimension
+// exists. Successive control periods solve nearly identical problems, so
+// the carried vector is already almost the dominant eigenvector and the
+// iteration converges in a step or two instead of tens.
+func (ws *BoxLSQWorkspace) spectralNorm(m *Matrix) float64 {
 	n := m.Rows()
-	v := make([]float64, n)
-	for i := range v {
-		v[i] = 1 / math.Sqrt(float64(n))
+	ws.ensure(n)
+	v, w, t := ws.eig[:n], ws.pw[:n], ws.pt[:n]
+	if !ws.haveEig {
+		inv := 1 / math.Sqrt(float64(n))
+		for i := range v {
+			v[i] = inv
+		}
 	}
 	lambda := 0.0
 	for iter := 0; iter < 100; iter++ {
-		w := m.MulVec(v)
+		m.MulVecInto(w, v)
 		norm := Norm2(w)
 		if norm == 0 {
 			return 0
@@ -142,13 +220,16 @@ func spectralNorm(m *Matrix) float64 {
 		for i := range w {
 			w[i] /= norm
 		}
-		newLambda := Dot(w, m.MulVec(w))
+		m.MulVecInto(t, w)
+		newLambda := Dot(w, t)
+		copy(v, w) // v doubles as the carried warm-start state
 		if math.Abs(newLambda-lambda) <= 1e-12*math.Max(1, math.Abs(newLambda)) {
+			ws.haveEig = true
 			return newLambda
 		}
 		lambda = newLambda
-		v = w
 	}
+	ws.haveEig = true
 	return lambda
 }
 

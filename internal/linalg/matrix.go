@@ -82,6 +82,15 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// Zero sets every element to zero, keeping the shape. Persistent scratch
+// matrices on the controller hot path are recycled with Zero instead of
+// being reallocated each control period.
+func (m *Matrix) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
 // Transpose returns a new transposed matrix.
 func (m *Matrix) Transpose() *Matrix {
 	out := NewMatrix(m.cols, m.rows)
@@ -128,6 +137,78 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 		out[i] = s
 	}
 	return out
+}
+
+// MulVecInto computes dst = m·x without allocating, returning dst. dst and
+// x must not alias. It is the in-place counterpart of MulVec, with the same
+// accumulation order (columns ascending per row), so the two produce
+// bit-identical results.
+func (m *Matrix) MulVecInto(dst, x []float64) []float64 {
+	if m.cols != len(x) {
+		panic(fmt.Sprintf("linalg: MulVecInto shape mismatch %dx%d · %d", m.rows, m.cols, len(x)))
+	}
+	if m.rows != len(dst) {
+		panic(fmt.Sprintf("linalg: MulVecInto dst length %d != %d rows", len(dst), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, a := range row {
+			s += a * x[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// MulTVecInto computes dst = mᵀ·x without allocating or materializing the
+// transpose, returning dst. len(dst) must equal Cols and len(x) must equal
+// Rows. The accumulation order per entry is rows ascending, matching
+// Transpose().MulVec(x) bit for bit.
+func (m *Matrix) MulTVecInto(dst, x []float64) []float64 {
+	if m.rows != len(x) {
+		panic(fmt.Sprintf("linalg: MulTVecInto shape mismatch %dx%dᵀ · %d", m.rows, m.cols, len(x)))
+	}
+	if m.cols != len(dst) {
+		panic(fmt.Sprintf("linalg: MulTVecInto dst length %d != %d cols", len(dst), m.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		xi := x[i]
+		for j, a := range row {
+			dst[j] += a * xi
+		}
+	}
+	return dst
+}
+
+// MulATAInto computes dst = mᵀ·m (the Gram matrix of the columns) without
+// materializing the transpose. dst must be Cols×Cols. Each entry accumulates
+// over rows in ascending order — the same order as Transpose().Mul(m) — so
+// the two are bit-identical; tests pin that equivalence. The normal-equation
+// construction of the MPC hot path is built on this kernel.
+func (m *Matrix) MulATAInto(dst *Matrix) *Matrix {
+	if dst.rows != m.cols || dst.cols != m.cols {
+		panic(fmt.Sprintf("linalg: MulATAInto dst shape %dx%d, want %dx%d", dst.rows, dst.cols, m.cols, m.cols))
+	}
+	dst.Zero()
+	n := m.cols
+	for r := 0; r < m.rows; r++ {
+		row := m.data[r*n : (r+1)*n]
+		for t1, a := range row {
+			if a == 0 {
+				continue
+			}
+			out := dst.data[t1*n : (t1+1)*n]
+			for t2, b := range row {
+				out[t2] += a * b
+			}
+		}
+	}
+	return dst
 }
 
 // Scale multiplies every element by s in place and returns m.

@@ -1,0 +1,76 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 100} {
+		const n = 257
+		var counts [n]atomic.Int64
+		ForEach(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndNegative(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for non-positive n")
+	}
+}
+
+func TestMapIndexOrdered(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		got := Map(100, workers, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: Map[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapDeterministic pins the contract the figure harness relies on:
+// identical inputs produce identical outputs for any worker count.
+func TestMapDeterministic(t *testing.T) {
+	ref := Map(64, 1, func(i int) float64 { return float64(i) / 7 })
+	for _, workers := range []int{2, 5, 16} {
+		got := Map(64, workers, func(i int) float64 { return float64(i) / 7 })
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: result[%d] = %v, want %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if r != "boom-17" {
+			t.Fatalf("recovered %v, want boom-17", r)
+		}
+	}()
+	ForEach(64, 4, func(i int) {
+		if i == 17 {
+			panic("boom-17")
+		}
+	})
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", Workers())
+	}
+}

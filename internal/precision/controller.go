@@ -104,6 +104,10 @@ type Controller struct {
 	// restoration, for observability (the paper reports two rounds are
 	// usually sufficient).
 	restoreRoundCount int
+
+	// res holds the Result buffers handed back by Step; see Result for
+	// the ownership rule.
+	res Result
 }
 
 // New builds the outer controller bound to the shared operating point.
@@ -122,6 +126,10 @@ func New(state *taskmodel.State, cfg Config) (*Controller, error) {
 		cfg:        cfg,
 		det:        NewDetector(sys.NumECUs, cfg.SaturationThreshold, cfg.SaturationPeriods),
 		prevFloors: floors,
+		res: Result{
+			Reclaimed: make([]units.Util, sys.NumECUs),
+			Restored:  make([]units.Util, sys.NumECUs),
+		},
 	}, nil
 }
 
@@ -132,6 +140,11 @@ func (o *Controller) ObserveInner(utils []units.Util) {
 }
 
 // Result reports what one outer control period did, for tracing.
+//
+// Ownership: the slices are buffers owned by the controller and are
+// overwritten by the next Step (the control hot path must not allocate).
+// Callers that retain a Result across control periods must copy the
+// slices.
 type Result struct {
 	// Reclaimed is the estimated utilization shed per ECU by ratio
 	// decreases (saturation prevention).
@@ -154,9 +167,10 @@ func (o *Controller) Step(utils []units.Util) (Result, error) {
 	if len(utils) != sys.NumECUs {
 		return Result{}, fmt.Errorf("precision: got %d utilizations, want %d", len(utils), sys.NumECUs)
 	}
-	res := Result{
-		Reclaimed: make([]units.Util, sys.NumECUs),
-		Restored:  make([]units.Util, sys.NumECUs),
+	res := o.res
+	res.RestoreRound, res.RestoreDone = 0, false
+	for j := 0; j < sys.NumECUs; j++ {
+		res.Reclaimed[j], res.Restored[j] = 0, 0
 	}
 
 	// Saturation prevention: shed precision on every latched ECU whose
@@ -169,13 +183,12 @@ func (o *Controller) Step(utils []units.Util) (Result, error) {
 	// bound, plus the configured margin so the inner loop regains
 	// authority with slack.
 	reduced := false
-	strongly := o.det.StronglySaturated()
-	for j, saturated := range o.det.Saturated() {
+	for j := 0; j < sys.NumECUs; j++ {
 		// Either the clean saturation signal (latched + every task on the
 		// ECU pinned at its floor) or the escalation signal (violating
 		// three times as long — the inner loop has failed even though
 		// coupled rate compromises keep some rates off their floors).
-		if !saturated || (!o.ratesSaturatedOn(j) && !strongly[j]) {
+		if !o.det.SaturatedAt(j) || (!o.ratesSaturatedOn(j) && !o.det.StronglySaturatedAt(j)) {
 			continue
 		}
 		e := utils[j] - sys.UtilBound[j] + o.cfg.ReclaimMargin

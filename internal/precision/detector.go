@@ -47,6 +47,14 @@ func (d *Detector) Saturated() []bool {
 	return out
 }
 
+// SaturatedAt reports whether ECU j has latched saturation. It is the
+// per-index, non-allocating form of Saturated for the outer hot path.
+func (d *Detector) SaturatedAt(j int) bool { return d.counts[j] >= d.needed }
+
+// StronglySaturatedAt reports whether ECU j has violated for three times
+// the latch requirement; the per-index form of StronglySaturated.
+func (d *Detector) StronglySaturatedAt(j int) bool { return d.counts[j] >= 3*d.needed }
+
 // StronglySaturated reports which ECUs have violated their bounds for three
 // times the latch requirement — long enough that the inner loop has
 // demonstrably failed regardless of where the task rates sit (e.g. MIMO

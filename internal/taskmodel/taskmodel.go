@@ -93,6 +93,11 @@ type System struct {
 	// UtilBound is B_j per ECU. Leave nil to use the RMS bound for the
 	// number of subtasks placed on each ECU (applied by Validate).
 	UtilBound []units.Util
+
+	// onECU caches the S_j sets (built by Validate): OnECU sits under the
+	// utilization-estimation and knapsack hot paths, which must not
+	// allocate per call.
+	onECU [][]SubtaskRef
 }
 
 // RMSBound returns the Liu & Layland rate-monotonic schedulable utilization
@@ -171,7 +176,21 @@ func (s *System) Validate() error {
 			return fmt.Errorf("taskmodel: UtilBound[%d] = %v, want (0, 1]", j, b)
 		}
 	}
+	s.onECU = buildOnECU(s)
 	return nil
+}
+
+// buildOnECU computes the S_j sets of Equation (2) for every ECU, in task
+// order.
+func buildOnECU(s *System) [][]SubtaskRef {
+	sets := make([][]SubtaskRef, s.NumECUs)
+	for ti, task := range s.Tasks {
+		for si := range task.Subtasks {
+			j := task.Subtasks[si].ECU
+			sets[j] = append(sets[j], SubtaskRef{TaskID(ti), si})
+		}
+	}
+	return sets
 }
 
 // Subtask returns the subtask addressed by ref.
@@ -180,15 +199,14 @@ func (s *System) Subtask(ref SubtaskRef) *Subtask {
 }
 
 // OnECU returns the references of all subtasks placed on ECU j (the set S_j
-// of Equation 2), in task order.
+// of Equation 2), in task order. The returned slice is a shared cache built
+// at Validate time — callers iterate it but must not mutate or retain it
+// past the System's lifetime.
 func (s *System) OnECU(j int) []SubtaskRef {
-	var refs []SubtaskRef
-	for ti, task := range s.Tasks {
-		for si := range task.Subtasks {
-			if task.Subtasks[si].ECU == j {
-				refs = append(refs, SubtaskRef{TaskID(ti), si})
-			}
-		}
+	if s.onECU == nil {
+		// Not yet validated (some unit tests construct Systems directly);
+		// fall back to building the cache on first use.
+		s.onECU = buildOnECU(s)
 	}
-	return refs
+	return s.onECU[j]
 }

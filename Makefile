@@ -29,7 +29,7 @@ lint:
 # least-squares kernel and the raw scheduler throughput — and records
 # ns/op, B/op and allocs/op in BENCH_control.json so both speed and
 # memory-discipline regressions show up in review diffs.
-BENCH_SET = BenchmarkControllerOverhead|BenchmarkAblationKnapsackOrder|BenchmarkBoxLSQ|BenchmarkSchedulerThroughput
+BENCH_SET = BenchmarkControllerOverhead|BenchmarkAblationKnapsackOrder|BenchmarkBoxLSQ|BenchmarkSchedulerThroughput|BenchmarkSchedulerSteadyState
 bench:
 	@out="$$($(GO) test -run '^$$' -bench '^($(BENCH_SET))$$' -benchmem .)"; \
 	echo "$$out"; \

@@ -32,6 +32,7 @@ import (
 	"github.com/autoe2e/autoe2e/internal/scenario"
 	"github.com/autoe2e/autoe2e/internal/stats"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/trace"
 	"github.com/autoe2e/autoe2e/internal/vehicle/cosim"
 	"github.com/autoe2e/autoe2e/internal/workload"
 )
@@ -80,6 +81,13 @@ func main() {
 // runPool wraps parallel.Map for harness stages whose items can fail: fn
 // computes item i in the pool, results come back in input order, and the
 // reported error is the lowest-indexed failure.
+// meanWindow averages a series over [from, to) seconds without copying the
+// samples out.
+func meanWindow(s *trace.Series, from, to float64) float64 {
+	lo, hi := s.WindowBounds(from, to)
+	return stats.Mean(s.V[lo:hi])
+}
+
 func runPool[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	type outcome struct {
 		val T
@@ -230,9 +238,9 @@ func fig8(dir string, seed int64, workers int) error {
 			"precision.total", "missratio.overall", "missratio.t4"); err != nil {
 			return err
 		}
-		late := res.Trace.Series("missratio.overall").Window(350, 400)
+		late := meanWindow(res.Trace.Series("missratio.overall"), 350, 400)
 		fmt.Printf("  %-8v overall miss %.3f (late-phase %.3f), final precision %.3f\n",
-			mode, res.OverallMissRatio(), stats.Mean(late), res.State.TotalPrecision())
+			mode, res.OverallMissRatio(), late, res.State.TotalPrecision())
 	}
 	fmt.Println("  paper: EUCON utils exceed bounds after the steps and reach ~1; AutoE2E holds the bounds")
 	fmt.Println("  paper: EUCON T4 miss 0.1@200s → 0.45@320s; AutoE2E only brief transients")
@@ -264,9 +272,10 @@ func fig9(dir string, seed int64, workers int) error {
 	peak := func(r *core.RunResult) float64 {
 		m := 0.0
 		for j := 0; j < 3; j++ {
-			u := r.Trace.Series(fmt.Sprintf("util.ecu%d", j)).Window(10, 120)
+			s := r.Trace.Series(fmt.Sprintf("util.ecu%d", j))
+			lo, hi := s.WindowBounds(10, 120)
 			b := workload.Testbed().UtilBound[j].Float()
-			if v := stats.Max(u) - b; v > m {
+			if v := stats.Max(s.V[lo:hi]) - b; v > m {
 				m = v
 			}
 		}
@@ -343,8 +352,8 @@ func fig11(dir string, seed int64, workers int) error {
 			fmt.Sprintf("missratio.t%d", int(workload.SimStability)+1)); err != nil {
 			return err
 		}
-		ecu4 := stats.Mean(res.Trace.Series("util.ecu3").Window(45, 60))
-		stab := stats.Mean(res.Trace.Series(fmt.Sprintf("missratio.t%d", int(workload.SimStability)+1)).Window(45, 60))
+		ecu4 := meanWindow(res.Trace.Series("util.ecu3"), 45, 60)
+		stab := meanWindow(res.Trace.Series(fmt.Sprintf("missratio.t%d", int(workload.SimStability)+1)), 45, 60)
 		fmt.Printf("  %-8v settled chassis-ECU util %.3f, stability-task miss %.3f, final precision %.2f\n",
 			mode, ecu4, stab, res.State.TotalPrecision())
 	}

@@ -189,7 +189,8 @@ func printSummary(cfg core.RunConfig, res *core.RunResult, mode core.Mode) {
 	total := cfg.Duration.Seconds()
 	for j := 0; j < sys.NumECUs; j++ {
 		s := res.Trace.Series(fmt.Sprintf("util.ecu%d", j))
-		settled := stats.Mean(s.Window(total*3/4, total))
+		lo, hi := s.WindowBounds(total*3/4, total)
+		settled := stats.Mean(s.V[lo:hi])
 		fmt.Printf("  ECU%d  %.3f | %s | %.3f\n", j+1, sys.UtilBound[j], trace.Sparkline(s, 50), settled)
 	}
 

@@ -20,6 +20,13 @@ import (
 	"github.com/autoe2e/autoe2e/internal/trace"
 )
 
+// meanWindow averages a series over [from, to) seconds without copying the
+// samples out.
+func meanWindow(s *trace.Series, from, to float64) float64 {
+	lo, hi := s.WindowBounds(from, to)
+	return stats.Mean(s.V[lo:hi])
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "execution-time noise seed")
 	flag.Parse()
@@ -37,7 +44,7 @@ func main() {
 		for j := 0; j < 6; j++ {
 			s := res.Trace.Series(fmt.Sprintf("util.ecu%d", j))
 			fmt.Printf("  ECU%d util %s  settled %.3f\n",
-				j+1, trace.Sparkline(s, 48), stats.Mean(s.Window(45, 60)))
+				j+1, trace.Sparkline(s, 48), meanWindow(s, 45, 60))
 		}
 	}
 
@@ -47,8 +54,8 @@ func main() {
 	sys := results[core.ModeEUCON].State.System()
 	for i := range sys.Tasks {
 		name := fmt.Sprintf("missratio.t%d", i+1)
-		me := stats.Mean(results[core.ModeEUCON].Trace.Series(name).Window(45, 60))
-		ma := stats.Mean(results[core.ModeAutoE2E].Trace.Series(name).Window(45, 60))
+		me := meanWindow(results[core.ModeEUCON].Trace.Series(name), 45, 60)
+		ma := meanWindow(results[core.ModeAutoE2E].Trace.Series(name), 45, 60)
 		if me < 0.005 && ma < 0.005 {
 			continue
 		}

@@ -101,7 +101,7 @@ type rateController interface {
 // Middleware is the assembled two-tier controller attached to a scheduler.
 type Middleware struct {
 	eng   *simtime.Engine
-	sch   *sched.Scheduler
+	sch   sched.Driver
 	state *taskmodel.State
 	cfg   Config
 	inner rateController
@@ -112,15 +112,24 @@ type Middleware struct {
 	// the monitoring cadence).
 	onInner func(now simtime.Time, utils []units.Util, st *taskmodel.State)
 
+	// Per-index metric names are built once so the per-second control tick
+	// does not format strings, and the sampling buffers are reused so the
+	// tick does not allocate against the scheduler either.
+	utilNames []string
+	rateNames []string
+	missNames []string
+	utilsBuf  []units.Util
+
 	innerCount   int
 	lastCounters []sched.TaskCounter
+	countersBuf  []sched.TaskCounter
 	started      bool
 	err          error
 }
 
 // NewMiddleware wires the controllers to a scheduler. The recorder may be
 // nil, in which case a fresh one is created.
-func NewMiddleware(eng *simtime.Engine, sch *sched.Scheduler, cfg Config, rec *trace.Recorder) (*Middleware, error) {
+func NewMiddleware(eng *simtime.Engine, sch sched.Driver, cfg Config, rec *trace.Recorder) (*Middleware, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -134,6 +143,17 @@ func NewMiddleware(eng *simtime.Engine, sch *sched.Scheduler, cfg Config, rec *t
 		state: sch.State(),
 		cfg:   cfg,
 		rec:   rec,
+	}
+	sys := m.state.System()
+	m.utilNames = make([]string, sys.NumECUs)
+	for j := range m.utilNames {
+		m.utilNames[j] = fmt.Sprintf("util.ecu%d", j)
+	}
+	m.rateNames = make([]string, len(sys.Tasks))
+	m.missNames = make([]string, len(sys.Tasks))
+	for i := range sys.Tasks {
+		m.rateNames[i] = fmt.Sprintf("rate.t%d", i+1)
+		m.missNames[i] = fmt.Sprintf("missratio.t%d", i+1)
 	}
 	var err error
 	if cfg.Mode == ModeEUCON || cfg.Mode == ModeAutoE2E {
@@ -186,7 +206,8 @@ func (m *Middleware) Start() {
 // run the rate controller, and every OuterEvery-th period run the outer
 // precision controller.
 func (m *Middleware) innerTick(now simtime.Time) {
-	utils := m.sch.SampleUtilizations()
+	m.utilsBuf = m.sch.SampleUtilizationsInto(m.utilsBuf)
+	utils := m.utilsBuf
 	m.recordMetrics(now, utils)
 
 	if m.inner != nil {
@@ -231,15 +252,17 @@ func (m *Middleware) innerTick(now simtime.Time) {
 func (m *Middleware) recordMetrics(now simtime.Time, utils []units.Util) {
 	t := now.Seconds()
 	for j, u := range utils {
-		m.rec.Add(fmt.Sprintf("util.ecu%d", j), t, u.Float())
+		m.rec.Add(m.utilNames[j], t, u.Float())
 	}
 	sys := m.state.System()
-	counters := m.sch.Counters()
+	// Double-buffer the counter snapshots: the previous snapshot becomes
+	// this tick's scratch buffer, so steady-state ticks allocate nothing.
+	counters := m.sch.CountersInto(m.countersBuf)
 	var windowMissed, windowResolved uint64
 	for i := range sys.Tasks {
-		m.rec.Add(fmt.Sprintf("rate.t%d", i+1), t, m.state.Rate(taskmodel.TaskID(i)).Float())
+		m.rec.Add(m.rateNames[i], t, m.state.Rate(taskmodel.TaskID(i)).Float())
 		d := counters[i].Sub(m.lastCounters[i])
-		m.rec.Add(fmt.Sprintf("missratio.t%d", i+1), t, d.MissRatio())
+		m.rec.Add(m.missNames[i], t, d.MissRatio())
 		windowMissed += d.Missed
 		windowResolved += d.Missed + d.Completed
 	}
@@ -249,5 +272,6 @@ func (m *Middleware) recordMetrics(now simtime.Time, utils []units.Util) {
 	}
 	m.rec.Add("missratio.overall", t, overall)
 	m.rec.Add("precision.total", t, m.state.TotalPrecision())
+	m.countersBuf = m.lastCounters
 	m.lastCounters = counters
 }

@@ -47,6 +47,11 @@ type RunConfig struct {
 	// the middleware has acted, with the same utilization samples the
 	// controllers saw. Baselines such as Direct Increase hook here.
 	OnInnerTick func(now simtime.Time, utils []units.Util, st *taskmodel.State)
+	// ReferenceSubstrate runs the experiment on the retained naive
+	// scheduler (sched.Reference) instead of the pooled production one.
+	// Test support only: the substrate golden tests require byte-identical
+	// results between the two over full closed loops.
+	ReferenceSubstrate bool
 }
 
 // RunResult carries everything the harnesses report on.
@@ -96,11 +101,17 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	if cfg.Setup != nil {
 		cfg.Setup(state)
 	}
-	scheduler := sched.New(eng, state, sched.Config{
+	schedCfg := sched.Config{
 		Exec:      cfg.Exec,
 		LinkDelay: cfg.LinkDelay,
 		OnChain:   cfg.OnChain,
-	})
+	}
+	var scheduler sched.Driver
+	if cfg.ReferenceSubstrate {
+		scheduler = sched.NewReference(eng, state, schedCfg)
+	} else {
+		scheduler = sched.New(eng, state, schedCfg)
+	}
 	mw, err := NewMiddleware(eng, scheduler, cfg.Middleware, nil)
 	if err != nil {
 		return nil, err

@@ -74,7 +74,16 @@ func (e *ecuRunner) dispatch(now simtime.Time) {
 	next := heap.Pop(&e.ready).(*job)
 	e.running = next
 	e.startedAt = now
-	e.completion = e.sched.eng.Schedule(now.Add(next.remaining), e.complete)
+	// Closure-free completion event: binding the method value e.complete
+	// would allocate once per dispatch, which dominates the steady-state
+	// allocation profile of a busy ECU.
+	e.completion = e.sched.eng.ScheduleCall(now.Add(next.remaining), ecuCompleteEvent, e)
+}
+
+// ecuCompleteEvent is the pre-bound completion callback; arg is the
+// *ecuRunner whose running job exhausted its demand.
+func ecuCompleteEvent(now simtime.Time, arg any) {
+	arg.(*ecuRunner).complete(now)
 }
 
 // haltRunning stops the running job, charging its elapsed CPU time and

@@ -1,0 +1,189 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/autoe2e/autoe2e/internal/exectime"
+	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
+)
+
+// fuzzSystem builds a randomized 2-ECU, 3-task, 2-stage system from raw
+// fuzz bytes, mirroring the accounting property test's construction.
+func fuzzSystem(execsRaw, ratesRaw [3]uint8) *taskmodel.System {
+	tasks := make([]*taskmodel.Task, 0, 3)
+	for i := 0; i < 3; i++ {
+		execMs := 1 + float64(execsRaw[i]%40)
+		rate := units.Rate(5 + float64(ratesRaw[i]%45))
+		tasks = append(tasks, &taskmodel.Task{
+			Name: "t",
+			Subtasks: []taskmodel.Subtask{
+				{Name: "a", ECU: i % 2, NominalExec: simtime.FromMillis(execMs), MinRatio: 1, Weight: 1},
+				{Name: "b", ECU: (i + 1) % 2, NominalExec: simtime.FromMillis(execMs / 2), MinRatio: 1, Weight: 1},
+			},
+			RateMin: rate, RateMax: rate,
+		})
+	}
+	sys := &taskmodel.System{NumECUs: 2, UtilBound: []units.Util{1, 1}, Tasks: tasks}
+	if err := sys.Validate(); err != nil {
+		return nil
+	}
+	return sys
+}
+
+// runDriver drives one scheduler over the workload on its own engine,
+// sampling utilizations every 200ms, and returns the observable trace:
+// utilization samples and final counters (chain events are captured by the
+// caller's OnChain).
+func runDriver(d Driver, eng *simtime.Engine) (utils []units.Util, counters []TaskCounter) {
+	eng.Every(200*simtime.Millisecond, func(simtime.Time) {
+		utils = append(utils, d.SampleUtilizations()...)
+	})
+	d.Start()
+	eng.Run(simtime.At(3))
+	return utils, d.Counters()
+}
+
+// TestSchedulerMatchesReferenceFuzz is the scheduler-level golden gate:
+// the pooled Scheduler and the retained naive Reference, run over
+// identical randomized workloads (noisy execution times, link delays, both
+// sync policies), must produce identical chain-event streams, utilization
+// samples, and counters. Chains and jobs are recycled thousands of times
+// per run, so any pooling defect — stale field, premature free, aliased
+// event — diverges the traces.
+func TestSchedulerMatchesReferenceFuzz(t *testing.T) {
+	link := func(from, to int) simtime.Duration {
+		if from != to {
+			return 3 * simtime.Millisecond
+		}
+		return 0
+	}
+	if err := quick.Check(func(seed int64, execsRaw, ratesRaw [3]uint8, greedy, delay bool) bool {
+		sys := fuzzSystem(execsRaw, ratesRaw)
+		if sys == nil {
+			return true // invalid draw; nothing to compare
+		}
+		cfg := Config{Exec: nil, Sync: SyncReleaseGuard}
+		if greedy {
+			cfg.Sync = SyncGreedy
+		}
+		if delay {
+			cfg.LinkDelay = link
+		}
+
+		var pooledEvents, refEvents []ChainEvent
+		pooledCfg := cfg
+		pooledCfg.Exec = exectime.NewNoise(exectime.Nominal{}, 0.3, seed)
+		pooledCfg.OnChain = func(ev ChainEvent) { pooledEvents = append(pooledEvents, ev) }
+		refCfg := cfg
+		refCfg.Exec = exectime.NewNoise(exectime.Nominal{}, 0.3, seed)
+		refCfg.OnChain = func(ev ChainEvent) { refEvents = append(refEvents, ev) }
+
+		pooledEng := simtime.NewEngine()
+		refEng := simtime.NewEngine()
+		pooledUtils, pooledCounters := runDriver(New(pooledEng, taskmodel.NewState(sys), pooledCfg), pooledEng)
+		refUtils, refCounters := runDriver(NewReference(refEng, taskmodel.NewState(sys), refCfg), refEng)
+
+		if len(pooledEvents) != len(refEvents) {
+			t.Logf("seed %d: %d pooled events, %d reference events", seed, len(pooledEvents), len(refEvents))
+			return false
+		}
+		for i := range pooledEvents {
+			if pooledEvents[i] != refEvents[i] {
+				t.Logf("seed %d: event %d diverged:\n  pooled    %+v\n  reference %+v", seed, i, pooledEvents[i], refEvents[i])
+				return false
+			}
+		}
+		if len(pooledUtils) != len(refUtils) {
+			return false
+		}
+		for i := range pooledUtils {
+			//lint:allow floateq identical call sequences must produce bit-identical samples
+			if pooledUtils[i] != refUtils[i] {
+				t.Logf("seed %d: utilization sample %d diverged: pooled %v, reference %v", seed, i, pooledUtils[i], refUtils[i])
+				return false
+			}
+		}
+		for i := range pooledCounters {
+			if pooledCounters[i] != refCounters[i] {
+				t.Logf("seed %d: task %d counters diverged: pooled %+v, reference %+v", seed, i, pooledCounters[i], refCounters[i])
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReferenceBehaves sanity-checks the oracle itself on the trivially
+// feasible workload: the Reference must not be a broken mirror that
+// vacuously agrees with a broken Scheduler.
+func TestReferenceBehaves(t *testing.T) {
+	sys := singleTask(t, 10, 10)
+	eng := simtime.NewEngine()
+	s := NewReference(eng, taskmodel.NewState(sys), Config{Exec: exectime.Nominal{}})
+	s.Start()
+	eng.Run(simtime.At(1) - 1)
+	c := s.Counter(0)
+	if c.Released != 10 || c.Completed != 10 || c.Missed != 0 {
+		t.Fatalf("reference counters = %+v, want 10/10/0", c)
+	}
+}
+
+// TestSchedulerSteadyStateZeroAlloc is the pooling gate for the whole
+// substrate: a warmed-up multi-ECU simulation — chained tasks crossing
+// link delays, release guards engaged, plus an overloaded task whose every
+// instance is aborted at its deadline — must run arbitrarily long without
+// a single heap allocation. Every chain, job, and event slot is recycled.
+func TestSchedulerSteadyStateZeroAlloc(t *testing.T) {
+	sys := mustSystem(t, &taskmodel.System{
+		NumECUs:   2,
+		UtilBound: []units.Util{1, 1},
+		Tasks: []*taskmodel.Task{
+			{
+				Name: "chain",
+				Subtasks: []taskmodel.Subtask{
+					{Name: "a", ECU: 0, NominalExec: simtime.FromMillis(5), MinRatio: 1, Weight: 1},
+					{Name: "b", ECU: 1, NominalExec: simtime.FromMillis(4), MinRatio: 1, Weight: 1},
+				},
+				RateMin: 20, RateMax: 20,
+			},
+			{
+				// 30ms of demand every 20ms: every instance aborts at its
+				// deadline, exercising the chainDeadline free path.
+				Name:     "overload",
+				Subtasks: []taskmodel.Subtask{{Name: "o", ECU: 1, NominalExec: simtime.FromMillis(30), MinRatio: 1, Weight: 1}},
+				RateMin:  50, RateMax: 50,
+			},
+		},
+	})
+	eng := simtime.NewEngine()
+	s := New(eng, taskmodel.NewState(sys), Config{
+		Exec: exectime.Nominal{},
+		LinkDelay: func(from, to int) simtime.Duration {
+			if from != to {
+				return 2 * simtime.Millisecond
+			}
+			return 0
+		},
+	})
+	s.Start()
+	eng.Run(simtime.At(2)) // warm pools, arena, and ready heaps
+	utilsBuf := make([]units.Util, 0, sys.NumECUs)
+	countersBuf := make([]TaskCounter, 0, len(sys.Tasks))
+	allocs := testing.AllocsPerRun(100, func() {
+		eng.Run(eng.Now().Add(100 * simtime.Millisecond))
+		utilsBuf = s.SampleUtilizationsInto(utilsBuf)
+		countersBuf = s.CountersInto(countersBuf)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state scheduler window allocates %v times, want 0", allocs)
+	}
+	c := s.Counter(1)
+	if c.Missed == 0 {
+		t.Fatal("overloaded task never missed: the abort path was not exercised")
+	}
+}

@@ -9,6 +9,14 @@
 // The simulation is event-driven on a simtime.Engine: events are job
 // releases, job completions, chain deadlines, and periodic first-subtask
 // releases. Identical seeds produce identical traces.
+//
+// Scheduler is the production implementation: chains and jobs are recycled
+// through intrusive free lists owned by the Scheduler, release-guard state
+// lives in a dense per-subtask slice, and every event is scheduled through
+// the engine's closure-free ScheduleCall path, so a steady-state simulation
+// performs zero heap allocations per release→admit→finish→deadline cycle.
+// Reference retains the naive allocating implementation; the equivalence
+// tests require byte-identical traces between the two.
 package sched
 
 import (
@@ -102,18 +110,64 @@ func (c TaskCounter) Sub(earlier TaskCounter) TaskCounter {
 	}
 }
 
-// Scheduler drives the distributed task set on a simulation engine.
+// Driver is the contract the middleware and the experiment runner need from
+// a chain scheduler. Scheduler (pooled, production) and Reference (naive,
+// golden oracle) both satisfy it, which is how the equivalence tests run
+// the full closed loops on either substrate.
+type Driver interface {
+	// State returns the operating point the scheduler reads rates and
+	// ratios from.
+	State() *taskmodel.State
+	// Start schedules the first release of every task. Call exactly once.
+	Start()
+	// Counter returns the cumulative accounting for one task.
+	Counter(i taskmodel.TaskID) TaskCounter
+	// Counters returns a fresh snapshot of the per-task accounting.
+	Counters() []TaskCounter
+	// CountersInto writes the per-task accounting into dst (grown if
+	// needed) and returns it; the allocation-free variant for control
+	// ticks.
+	CountersInto(dst []TaskCounter) []TaskCounter
+	// SampleUtilizations returns each ECU's busy fraction since the
+	// previous sample and starts a new window.
+	SampleUtilizations() []units.Util
+	// SampleUtilizationsInto is SampleUtilizations writing into dst
+	// (grown if needed); the allocation-free variant for control ticks.
+	SampleUtilizationsInto(dst []units.Util) []units.Util
+}
+
+// Scheduler drives the distributed task set on a simulation engine. It
+// owns two intrusive object pools (chains and jobs, recycled through
+// nextFree links) and never schedules a closure: all event callbacks are
+// package-level functions bound to pre-allocated arguments.
 type Scheduler struct {
 	eng   *simtime.Engine
 	sys   *taskmodel.System
 	state *taskmodel.State
 	cfg   Config
 
-	ecus     []*ecuRunner
-	lastRel  map[taskmodel.SubtaskRef]simtime.Time
+	ecus []*ecuRunner
+	// stageBase flattens SubtaskRef into an index for lastRel:
+	// stageBase[task] + stage.
+	stageBase []int
+	// lastRel is the release-guard state: the previous release instant of
+	// each subtask, or -1 before its first release. Dense replacement for
+	// the map the Reference keeps.
+	lastRel  []simtime.Time
 	counters []TaskCounter
-	nextSeq  uint64
-	started  bool
+	// taskArgs pre-binds the periodic first-release callback argument for
+	// each task, so releases schedule no closures.
+	taskArgs  []taskArg
+	freeChain *chain
+	freeJob   *job
+	nextSeq   uint64
+	started   bool
+}
+
+// taskArg is the pre-bound argument of a task's periodic release events.
+type taskArg struct {
+	s  *Scheduler
+	ti taskmodel.TaskID
 }
 
 // New assembles a scheduler for the validated system at the given operating
@@ -128,8 +182,21 @@ func New(eng *simtime.Engine, state *taskmodel.State, cfg Config) *Scheduler {
 		sys:      sys,
 		state:    state,
 		cfg:      cfg,
-		lastRel:  make(map[taskmodel.SubtaskRef]simtime.Time),
 		counters: make([]TaskCounter, len(sys.Tasks)),
+	}
+	s.stageBase = make([]int, len(sys.Tasks))
+	total := 0
+	for ti, task := range sys.Tasks {
+		s.stageBase[ti] = total
+		total += len(task.Subtasks)
+	}
+	s.lastRel = make([]simtime.Time, total)
+	for i := range s.lastRel {
+		s.lastRel[i] = -1
+	}
+	s.taskArgs = make([]taskArg, len(sys.Tasks))
+	for ti := range s.taskArgs {
+		s.taskArgs[ti] = taskArg{s: s, ti: taskmodel.TaskID(ti)}
 	}
 	s.ecus = make([]*ecuRunner, sys.NumECUs)
 	for j := range s.ecus {
@@ -150,16 +217,23 @@ func (s *Scheduler) Start() {
 	}
 	s.started = true
 	for ti := range s.sys.Tasks {
-		ti := taskmodel.TaskID(ti)
-		s.eng.Schedule(s.eng.Now(), func(now simtime.Time) { s.releaseFirst(ti, now) })
+		s.eng.ScheduleCall(s.eng.Now(), firstReleaseEvent, &s.taskArgs[ti])
 	}
 }
 
 // Counters returns a snapshot of the cumulative per-task accounting.
-func (s *Scheduler) Counters() []TaskCounter {
-	out := make([]TaskCounter, len(s.counters))
-	copy(out, s.counters)
-	return out
+func (s *Scheduler) Counters() []TaskCounter { return s.CountersInto(nil) }
+
+// CountersInto writes the cumulative per-task accounting into dst, growing
+// it if needed, and returns it. The control tick calls this with a reused
+// buffer so sampling allocates nothing.
+func (s *Scheduler) CountersInto(dst []TaskCounter) []TaskCounter {
+	if cap(dst) < len(s.counters) {
+		dst = make([]TaskCounter, len(s.counters))
+	}
+	dst = dst[:len(s.counters)]
+	copy(dst, s.counters)
+	return dst
 }
 
 // Counter returns the cumulative accounting for one task.
@@ -168,13 +242,99 @@ func (s *Scheduler) Counter(i taskmodel.TaskID) TaskCounter { return s.counters[
 // SampleUtilizations returns each ECU's busy-time fraction since the
 // previous call (the paper's utilization monitor) and starts a new window.
 // Windows with zero width return 0.
-func (s *Scheduler) SampleUtilizations() []units.Util {
+func (s *Scheduler) SampleUtilizations() []units.Util { return s.SampleUtilizationsInto(nil) }
+
+// SampleUtilizationsInto is SampleUtilizations writing into dst, growing it
+// if needed. The control tick calls this with a reused buffer so sampling
+// allocates nothing.
+func (s *Scheduler) SampleUtilizationsInto(dst []units.Util) []units.Util {
 	now := s.eng.Now()
-	out := make([]units.Util, len(s.ecus))
-	for j, e := range s.ecus {
-		out[j] = e.sampleWindow(now)
+	if cap(dst) < len(s.ecus) {
+		dst = make([]units.Util, len(s.ecus))
 	}
-	return out
+	dst = dst[:len(s.ecus)]
+	for j, e := range s.ecus {
+		dst[j] = e.sampleWindow(now)
+	}
+	return dst
+}
+
+// --- pooled event callbacks ---
+//
+// All four are package-level functions: the engine stores the function
+// value and the argument pointer in a recycled event slot, so scheduling
+// them never allocates. The argument is the pre-bound per-task taskArg for
+// periodic releases and the *chain itself for chain-lifecycle events.
+
+// firstReleaseEvent fires a task's periodic release.
+func firstReleaseEvent(now simtime.Time, arg any) {
+	ta := arg.(*taskArg)
+	ta.s.releaseFirst(ta.ti, now)
+}
+
+// chainDeadlineEvent fires at a chain's absolute end-to-end deadline.
+func chainDeadlineEvent(_ simtime.Time, arg any) {
+	c := arg.(*chain)
+	c.s.chainDeadline(c)
+}
+
+// guardReleaseEvent fires a release-guard-delayed subtask admission
+// (c.pendingStage holds which stage was held back).
+func guardReleaseEvent(now simtime.Time, arg any) {
+	c := arg.(*chain)
+	c.pendingEv = 0
+	c.s.admitJob(c, c.pendingStage, now)
+}
+
+// linkReleaseEvent fires a successor release after a communication delay.
+func linkReleaseEvent(now simtime.Time, arg any) {
+	c := arg.(*chain)
+	c.pendingEv = 0
+	if !c.dead {
+		c.s.releaseStage(c, c.pendingStage, now)
+	}
+}
+
+// --- chain/job pools ---
+
+// getChain takes a chain from the intrusive free list (or allocates the
+// pool's next object). The caller initializes every field.
+func (s *Scheduler) getChain() *chain {
+	c := s.freeChain
+	if c == nil {
+		return &chain{s: s}
+	}
+	s.freeChain = c.nextFree
+	c.nextFree = nil
+	return c
+}
+
+// putChain recycles a resolved chain. The chain must have no outstanding
+// engine events or live job: completion cancels the deadline event, and
+// the deadline path cancels any pending delayed release, before freeing.
+func (s *Scheduler) putChain(c *chain) {
+	c.job = nil
+	c.nextFree = s.freeChain
+	s.freeChain = c
+}
+
+// getJob takes a job from the intrusive free list. The caller initializes
+// every field.
+func (s *Scheduler) getJob() *job {
+	j := s.freeJob
+	if j == nil {
+		return &job{}
+	}
+	s.freeJob = j.nextFree
+	j.nextFree = nil
+	return j
+}
+
+// putJob recycles a job that is neither running nor queued on any ECU.
+func (s *Scheduler) putJob(j *job) {
+	j.chain = nil
+	j.nextFree = s.freeJob
+	s.freeJob = j
 }
 
 // releaseFirst releases a new instance of task ti and schedules the next
@@ -183,19 +343,23 @@ func (s *Scheduler) SampleUtilizations() []units.Util {
 func (s *Scheduler) releaseFirst(ti taskmodel.TaskID, now simtime.Time) {
 	period := s.state.Period(ti)
 	n := len(s.sys.Tasks[ti].Subtasks)
-	c := &chain{
-		task:     ti,
-		instance: s.counters[ti].Released,
-		release:  now,
-		deadline: now.Add(period * simtime.Duration(n)),
-		period:   period,
-	}
+	c := s.getChain()
+	c.task = ti
+	c.instance = s.counters[ti].Released
+	c.release = now
+	c.deadline = now.Add(period * simtime.Duration(n))
+	c.period = period
+	c.stage = 0
+	c.job = nil
+	c.dead = false
+	c.pendingEv = 0
+	c.pendingStage = 0
 	s.counters[ti].Released++
 	// The deadline event aborts the chain if it has not completed. It is
 	// scheduled before the next release so that, at equal timestamps, the
 	// previous instance resolves before a new one starts.
-	s.eng.Schedule(c.deadline, func(simtime.Time) { s.chainDeadline(c) })
-	s.eng.Schedule(now.Add(period), func(next simtime.Time) { s.releaseFirst(ti, next) })
+	c.deadlineEv = s.eng.ScheduleCall(c.deadline, chainDeadlineEvent, c)
+	s.eng.ScheduleCall(now.Add(period), firstReleaseEvent, &s.taskArgs[ti])
 	s.releaseStage(c, 0, now)
 }
 
@@ -203,20 +367,20 @@ func (s *Scheduler) releaseFirst(ti taskmodel.TaskID, now simtime.Time) {
 // guard: consecutive releases of the same subtask are separated by at least
 // the chain period (unless greedy synchronization was configured).
 func (s *Scheduler) releaseStage(c *chain, stage int, now simtime.Time) {
-	ref := taskmodel.SubtaskRef{Task: c.task, Index: stage}
 	at := now
 	// Greedy synchronization only affects successor stages; the first
 	// stage's periodic separation is always guarded so a rate decrease
 	// between releases cannot produce a short gap.
 	if s.cfg.Sync == SyncReleaseGuard || stage == 0 {
-		if last, ok := s.lastRel[ref]; ok {
+		if last := s.lastRel[s.stageBase[c.task]+stage]; last >= 0 {
 			if guard := last.Add(c.period); guard > at {
 				at = guard
 			}
 		}
 	}
 	if at > now {
-		s.eng.Schedule(at, func(t simtime.Time) { s.admitJob(c, stage, t) })
+		c.pendingStage = stage
+		c.pendingEv = s.eng.ScheduleCall(at, guardReleaseEvent, c)
 		return
 	}
 	s.admitJob(c, stage, now)
@@ -229,22 +393,21 @@ func (s *Scheduler) admitJob(c *chain, stage int, now simtime.Time) {
 		return // chain was aborted while the release was pending
 	}
 	ref := taskmodel.SubtaskRef{Task: c.task, Index: stage}
-	s.lastRel[ref] = now
+	s.lastRel[s.stageBase[c.task]+stage] = now
 	sub := s.sys.Subtask(ref)
 	demand := s.cfg.Exec.Demand(s.sys, ref, now, s.state.Ratio(ref))
 	s.nextSeq++
-	j := &job{
-		chain:     c,
-		ref:       ref,
-		release:   now,
-		remaining: demand,
-		// Rate-monotonic priority on the subtask period d_i/n_i (every
-		// stage of a chain runs at the task rate and owns one period as
-		// its subdeadline); smaller is more urgent.
-		priority: float64(c.period),
-		seq:      s.nextSeq,
-		index:    -1,
-	}
+	j := s.getJob()
+	j.chain = c
+	j.ref = ref
+	j.release = now
+	j.remaining = demand
+	// Rate-monotonic priority on the subtask period d_i/n_i (every
+	// stage of a chain runs at the task rate and owns one period as
+	// its subdeadline); smaller is more urgent.
+	j.priority = float64(c.period)
+	j.seq = s.nextSeq
+	j.index = -1
 	c.stage = stage
 	c.job = j
 	s.ecus[sub.ECU].enqueue(j, now)
@@ -257,28 +420,30 @@ func (s *Scheduler) jobFinished(j *job, now simtime.Time) {
 		return
 	}
 	c.job = nil
+	ref := j.ref
+	s.putJob(j)
 	next := c.stage + 1
 	if next < len(s.sys.Tasks[c.task].Subtasks) {
-		from := s.sys.Subtask(j.ref).ECU
+		from := s.sys.Subtask(ref).ECU
 		to := s.sys.Tasks[c.task].Subtasks[next].ECU
 		var delay simtime.Duration
 		if s.cfg.LinkDelay != nil {
 			delay = s.cfg.LinkDelay(from, to)
 		}
 		if delay > 0 {
-			s.eng.Schedule(now.Add(delay), func(t simtime.Time) {
-				if !c.dead {
-					s.releaseStage(c, next, t)
-				}
-			})
+			c.pendingStage = next
+			c.pendingEv = s.eng.ScheduleCall(now.Add(delay), linkReleaseEvent, c)
 		} else {
 			s.releaseStage(c, next, now)
 		}
 		return
 	}
-	// Last subtask done: the instance met its end-to-end deadline (the
-	// deadline event would have aborted it otherwise).
+	// Last subtask done: the instance met its end-to-end deadline. Cancel
+	// the pending deadline event — its argument is this chain, which is
+	// about to be recycled, and the generation-checked cancel guarantees
+	// the slot's next occupant is unaffected.
 	c.dead = true
+	s.eng.Cancel(c.deadlineEv)
 	s.counters[c.task].Completed++
 	if s.cfg.OnChain != nil {
 		s.cfg.OnChain(ChainEvent{
@@ -287,6 +452,7 @@ func (s *Scheduler) jobFinished(j *job, now simtime.Time) {
 			Completed: now, Missed: false,
 		})
 	}
+	s.putChain(c)
 }
 
 // chainDeadline fires at a chain's absolute end-to-end deadline and aborts
@@ -298,9 +464,16 @@ func (s *Scheduler) chainDeadline(c *chain) {
 		return
 	}
 	c.dead = true
+	if c.pendingEv != 0 {
+		// A release held back by the guard or a link delay is still in
+		// flight; cancel it before the chain is recycled.
+		s.eng.Cancel(c.pendingEv)
+		c.pendingEv = 0
+	}
 	if j := c.job; j != nil {
 		s.ecus[s.sys.Subtask(j.ref).ECU].abort(j, s.eng.Now())
 		c.job = nil
+		s.putJob(j)
 	}
 	s.counters[c.task].Missed++
 	if s.cfg.OnChain != nil {
@@ -310,10 +483,14 @@ func (s *Scheduler) chainDeadline(c *chain) {
 			Missed: true,
 		})
 	}
+	s.putChain(c)
 }
 
-// chain is one live instance of an end-to-end task.
+// chain is one live instance of an end-to-end task. Chains are recycled
+// through the Scheduler's intrusive free list; a chain returns to the pool
+// only when every engine event referencing it has fired or been cancelled.
 type chain struct {
+	s        *Scheduler
 	task     taskmodel.TaskID
 	instance uint64
 	release  simtime.Time
@@ -322,9 +499,19 @@ type chain struct {
 	stage    int
 	job      *job
 	dead     bool
+	// deadlineEv is the pending end-to-end deadline event, cancelled when
+	// the chain completes.
+	deadlineEv simtime.EventID
+	// pendingEv is the in-flight delayed release (release guard or link
+	// delay), or 0. pendingStage is the stage it will admit. At most one
+	// release is pending per chain: stages progress strictly in order.
+	pendingEv    simtime.EventID
+	pendingStage int
+	nextFree     *chain
 }
 
 // job is one released subtask instance awaiting or receiving CPU time.
+// Jobs are recycled through the Scheduler's intrusive free list.
 type job struct {
 	chain     *chain
 	ref       taskmodel.SubtaskRef
@@ -333,6 +520,7 @@ type job struct {
 	priority  float64 // smaller = higher priority
 	seq       uint64  // FIFO tie-break
 	index     int     // position in the ready heap; -1 when not queued
+	nextFree  *job
 }
 
 func (j *job) String() string {

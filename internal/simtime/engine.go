@@ -1,7 +1,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -9,48 +8,35 @@ import (
 // set to the event's instant and may schedule further events.
 type EventFunc func(now Time)
 
-// EventID identifies a scheduled event so it can be cancelled.
+// CallFunc is the body of a closure-free scheduled event: a long-lived
+// function (typically package-level) invoked with the argument captured at
+// scheduling time. Hot paths that would otherwise allocate one closure per
+// event pre-bind a CallFunc once and pass per-event state through arg —
+// a pointer-shaped arg makes ScheduleCall allocation-free.
+type CallFunc func(now Time, arg any)
+
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// EventID is never issued and is safe to use as a "no event" sentinel.
+//
+// An EventID encodes a slot index in the engine's event arena plus that
+// slot's generation counter. The generation is bumped every time a slot is
+// released (fired or cancelled), so a stale EventID held after its event
+// resolved can never cancel a later event that happens to reuse the slot.
+// The generation is 32 bits: aliasing would require a slot to be reused
+// 2^32 times between issuing an ID and cancelling it, which no reachable
+// simulation does.
 type EventID uint64
 
-type event struct {
-	at    Time
-	seq   uint64 // FIFO tie-break among simultaneous events
-	id    EventID
-	fn    EventFunc
-	index int // heap index, -1 when cancelled/popped
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// eventSlot is one arena cell. Slots are recycled through a free list, so a
+// steady-state simulation schedules events with zero heap allocations.
+type eventSlot struct {
+	at      Time
+	seq     uint64 // FIFO tie-break among simultaneous events
+	gen     uint32 // bumped on release; stale IDs fail the generation check
+	heapIdx int32  // position in the index heap, -1 when not queued
+	fn      EventFunc
+	call    CallFunc
+	arg     any
 }
 
 // Engine is a deterministic discrete-event simulation engine. Events
@@ -59,19 +45,24 @@ func (h *eventHeap) Pop() any {
 //
 // Engine is not safe for concurrent use; the simulation is single-threaded
 // by design so that identical seeds yield identical traces.
+//
+// Internally the engine is a slot arena with an index heap: event state
+// lives in a flat []eventSlot recycled through a free list, the heap orders
+// slot indices by (time, sequence), and EventIDs carry slot+generation so
+// Cancel needs no map. After warm-up the engine performs no heap
+// allocations; ReferenceEngine retains the naive boxed implementation the
+// equivalence tests compare against.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	slots   []eventSlot
+	heap    []uint32 // slot indices ordered by (at, seq)
+	free    []uint32 // recycled slot indices (LIFO)
 	nextSeq uint64
-	nextID  EventID
-	live    map[EventID]*event
 	stopped bool
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
-func NewEngine() *Engine {
-	return &Engine{live: make(map[EventID]*event)}
-}
+func NewEngine() *Engine { return &Engine{} }
 
 // Now reports the current simulated instant.
 func (e *Engine) Now() Time { return e.now }
@@ -79,19 +70,26 @@ func (e *Engine) Now() Time { return e.now }
 // Schedule enqueues fn to run at the given absolute instant. Scheduling in
 // the past (before Now) panics: it would silently reorder causality, which
 // is always a bug in the caller.
+//
+// The fn value itself is stored without allocating, but building a fresh
+// closure at the call site costs one allocation per event; steady-state
+// code should pre-bind a CallFunc and use ScheduleCall instead.
 func (e *Engine) Schedule(at Time, fn EventFunc) EventID {
-	if at < e.now {
-		panic(fmt.Sprintf("simtime: schedule at %v before now %v", at, e.now))
-	}
 	if fn == nil {
 		panic("simtime: schedule with nil EventFunc")
 	}
-	e.nextSeq++
-	e.nextID++
-	ev := &event{at: at, seq: e.nextSeq, id: e.nextID, fn: fn}
-	heap.Push(&e.queue, ev)
-	e.live[ev.id] = ev
-	return ev.id
+	return e.enqueue(at, fn, nil, nil)
+}
+
+// ScheduleCall enqueues fn(at, arg) to run at the given absolute instant.
+// It is the closure-free counterpart of Schedule: fn is a long-lived
+// function and arg carries the per-event state, so scheduling allocates
+// nothing when arg is pointer-shaped. Scheduling in the past panics.
+func (e *Engine) ScheduleCall(at Time, fn CallFunc, arg any) EventID {
+	if fn == nil {
+		panic("simtime: schedule with nil CallFunc")
+	}
+	return e.enqueue(at, nil, fn, arg)
 }
 
 // After enqueues fn to run d after the current instant.
@@ -102,21 +100,71 @@ func (e *Engine) After(d Duration, fn EventFunc) EventID {
 	return e.Schedule(e.now.Add(d), fn)
 }
 
+// AfterCall enqueues fn(now, arg) to run d after the current instant — the
+// closure-free counterpart of After.
+func (e *Engine) AfterCall(d Duration, fn CallFunc, arg any) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative delay %v", d))
+	}
+	return e.ScheduleCall(e.now.Add(d), fn, arg)
+}
+
+// enqueue places one event into a recycled (or fresh) slot and the heap.
+func (e *Engine) enqueue(at Time, fn EventFunc, call CallFunc, arg any) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("simtime: schedule at %v before now %v", at, e.now))
+	}
+	e.nextSeq++
+	var idx uint32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, eventSlot{})
+		idx = uint32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	s.at, s.seq = at, e.nextSeq
+	s.fn, s.call, s.arg = fn, call, arg
+	e.heapPush(idx)
+	return EventID(uint64(idx+1) | uint64(s.gen)<<32)
+}
+
+// release returns a slot to the free list and invalidates outstanding
+// EventIDs for it by bumping the generation. Callback references are
+// cleared so the arena does not retain dead closures or arguments.
+func (e *Engine) release(idx uint32) {
+	s := &e.slots[idx]
+	s.gen++
+	s.heapIdx = -1
+	s.fn, s.call, s.arg = nil, nil, nil
+	e.free = append(e.free, idx)
+}
+
 // Cancel removes a pending event. It reports whether the event was still
-// pending; cancelling an already-run or already-cancelled event is a no-op.
+// pending; cancelling an already-run or already-cancelled event is a no-op
+// (the slot's generation has moved on, so a reused slot is never cancelled
+// under a stale ID).
 func (e *Engine) Cancel(id EventID) bool {
-	ev, ok := e.live[id]
-	if !ok || ev.index < 0 {
-		delete(e.live, id)
+	if id == 0 {
 		return false
 	}
-	heap.Remove(&e.queue, ev.index)
-	delete(e.live, id)
+	idx := uint32(id&0xffffffff) - 1
+	gen := uint32(id >> 32)
+	if int(idx) >= len(e.slots) {
+		return false
+	}
+	s := &e.slots[idx]
+	if s.gen != gen || s.heapIdx < 0 {
+		return false
+	}
+	e.heapRemove(int(s.heapIdx))
+	e.release(idx)
 	return true
 }
 
 // Pending reports the number of events waiting in the queue.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
@@ -129,15 +177,24 @@ func (e *Engine) Stop() { e.stopped = true }
 // cover the full window and the clock must not pretend it did.
 func (e *Engine) Run(until Time) {
 	e.stopped = false
-	for !e.stopped && e.queue.Len() > 0 {
-		next := e.queue[0]
-		if next.at > until {
+	for !e.stopped && len(e.heap) > 0 {
+		idx := e.heap[0]
+		s := &e.slots[idx]
+		if s.at > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		delete(e.live, next.id)
-		e.now = next.at
-		next.fn(e.now)
+		// Copy out before releasing: the slot may be reused by events the
+		// callback schedules, and its generation bump is what makes a
+		// Cancel of the currently executing event a no-op.
+		at, fn, call, arg := s.at, s.fn, s.call, s.arg
+		e.heapPopTop()
+		e.release(idx)
+		e.now = at
+		if call != nil {
+			call(at, arg)
+		} else {
+			fn(at)
+		}
 	}
 	if !e.stopped && e.now < until {
 		e.now = until
@@ -148,36 +205,135 @@ func (e *Engine) Run(until Time) {
 // event ran. It is intended for tests that need to observe intermediate
 // states.
 func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	next := heap.Pop(&e.queue).(*event)
-	delete(e.live, next.id)
-	e.now = next.at
-	next.fn(e.now)
+	idx := e.heap[0]
+	s := &e.slots[idx]
+	at, fn, call, arg := s.at, s.fn, s.call, s.arg
+	e.heapPopTop()
+	e.release(idx)
+	e.now = at
+	if call != nil {
+		call(at, arg)
+	} else {
+		fn(at)
+	}
 	return true
+}
+
+// ticker is the re-armed state behind Every. One ticker is allocated per
+// Every call; each subsequent tick re-arms through the pooled AfterCall
+// path, so a periodic process allocates nothing in steady state.
+type ticker struct {
+	eng     *Engine
+	period  Duration
+	fn      EventFunc
+	id      EventID
+	stopped bool
+}
+
+// tickerFire runs one periodic occurrence and re-arms unless stopped. It is
+// package-level so re-arming never builds a closure.
+func tickerFire(now Time, arg any) {
+	t := arg.(*ticker)
+	t.fn(now)
+	if !t.stopped {
+		t.id = t.eng.AfterCall(t.period, tickerFire, t)
+	}
 }
 
 // Every schedules fn to run every period, first at Now()+period. It returns
 // a stop function that cancels the pending occurrence; an fn currently
-// executing is unaffected. Periodic samplers and physics steppers use this
-// instead of hand-rolled rescheduling closures.
+// executing is unaffected (calling stop from inside fn suppresses the
+// re-arm). Periodic samplers and physics steppers use this instead of
+// hand-rolled rescheduling closures.
 func (e *Engine) Every(period Duration, fn EventFunc) (stop func()) {
 	if period <= 0 {
 		panic(fmt.Sprintf("simtime: non-positive period %v", period))
 	}
-	stopped := false
-	var id EventID
-	var tick EventFunc
-	tick = func(now Time) {
-		fn(now)
-		if !stopped {
-			id = e.After(period, tick)
-		}
-	}
-	id = e.After(period, tick)
+	t := &ticker{eng: e, period: period, fn: fn}
+	t.id = e.AfterCall(period, tickerFire, t)
 	return func() {
-		stopped = true
-		e.Cancel(id)
+		t.stopped = true
+		e.Cancel(t.id)
+	}
+}
+
+// --- index heap ordered by (at, seq) ---
+
+// less orders slot indices by event time, FIFO within an instant. The
+// (at, seq) key is unique per event, so the pop order — and therefore the
+// whole simulation — is a total order independent of heap layout.
+func (e *Engine) less(a, b uint32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (e *Engine) heapPush(idx uint32) {
+	e.heap = append(e.heap, idx)
+	i := len(e.heap) - 1
+	e.slots[idx].heapIdx = int32(i)
+	e.siftUp(i)
+}
+
+// heapPopTop removes the root without touching its slot.
+func (e *Engine) heapPopTop() {
+	last := len(e.heap) - 1
+	e.heapSwap(0, last)
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+}
+
+// heapRemove removes the element at heap position i.
+func (e *Engine) heapRemove(i int) {
+	last := len(e.heap) - 1
+	e.heapSwap(i, last)
+	e.heap = e.heap[:last]
+	if i < last {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+}
+
+func (e *Engine) heapSwap(i, j int) {
+	h := e.heap
+	h[i], h[j] = h[j], h[i]
+	e.slots[h[i]].heapIdx = int32(i)
+	e.slots[h[j]].heapIdx = int32(j)
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(e.heap[i], e.heap[parent]) {
+			return
+		}
+		e.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && e.less(e.heap[right], e.heap[left]) {
+			min = right
+		}
+		if !e.less(e.heap[min], e.heap[i]) {
+			return
+		}
+		e.heapSwap(i, min)
+		i = min
 	}
 }

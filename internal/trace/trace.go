@@ -41,7 +41,8 @@ func (s *Series) Last() float64 {
 func (s *Series) Values() []float64 { return s.V }
 
 // Window returns the values sampled in the half-open time interval
-// [from, to).
+// [from, to). It allocates a fresh slice; hot callers should use
+// WindowBounds and slice V directly.
 func (s *Series) Window(from, to float64) []float64 {
 	var out []float64
 	for i, t := range s.T {
@@ -50,6 +51,17 @@ func (s *Series) Window(from, to float64) []float64 {
 		}
 	}
 	return out
+}
+
+// WindowBounds returns the index range [lo, hi) of the samples in the
+// half-open time interval [from, to), so callers can view s.V[lo:hi]
+// without copying. Timestamps are appended by simulation runs in
+// nondecreasing order; WindowBounds requires that and locates the range by
+// binary search, matching Window's selection exactly on such series.
+func (s *Series) WindowBounds(from, to float64) (lo, hi int) {
+	lo = sort.SearchFloat64s(s.T, from)
+	hi = lo + sort.SearchFloat64s(s.T[lo:], to)
+	return lo, hi
 }
 
 // Recorder collects named series in insertion order.

@@ -38,6 +38,49 @@ func TestSeriesWindow(t *testing.T) {
 	}
 }
 
+func TestSeriesWindowBounds(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < 10; i++ {
+		s.Add(float64(i), float64(i)*10)
+	}
+	lo, hi := s.WindowBounds(3, 6)
+	if lo != 3 || hi != 6 {
+		t.Fatalf("WindowBounds(3, 6) = [%d, %d), want [3, 6)", lo, hi)
+	}
+	if lo, hi := s.WindowBounds(100, 200); lo != hi {
+		t.Errorf("empty window bounds = [%d, %d), want empty", lo, hi)
+	}
+	if lo, hi := s.WindowBounds(-5, 0.5); lo != 0 || hi != 1 {
+		t.Errorf("leading window bounds = [%d, %d), want [0, 1)", lo, hi)
+	}
+}
+
+// TestWindowBoundsMatchesWindowProperty checks the contract that on
+// time-sorted series — the only kind simulation runs produce — slicing by
+// WindowBounds selects exactly the samples Window copies, including at
+// duplicate timestamps and interval edges.
+func TestWindowBoundsMatchesWindowProperty(t *testing.T) {
+	s := &Series{}
+	// Nondecreasing timestamps with duplicates.
+	times := []float64{0, 0, 0.5, 1, 1, 1, 2.25, 3, 3, 4.5}
+	for i, ts := range times {
+		s.Add(ts, float64(i))
+	}
+	for _, iv := range [][2]float64{{0, 5}, {0, 0}, {1, 1}, {0.5, 3}, {1, 3}, {-1, 0.25}, {3, 10}, {4.5, 4.5}, {5, 9}} {
+		want := s.Window(iv[0], iv[1])
+		lo, hi := s.WindowBounds(iv[0], iv[1])
+		got := s.V[lo:hi]
+		if len(got) != len(want) {
+			t.Fatalf("[%v, %v): bounds select %v, Window selects %v", iv[0], iv[1], got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("[%v, %v): bounds select %v, Window selects %v", iv[0], iv[1], got, want)
+			}
+		}
+	}
+}
+
 func TestWriteCSV(t *testing.T) {
 	r := NewRecorder()
 	r.Add("a", 0, 1)

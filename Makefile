@@ -26,10 +26,11 @@ lint:
 
 # bench times the control-plane hot paths — the combined inner+outer
 # controller tick, the Equation-8 knapsack ablation, the constrained
-# least-squares kernel and the raw scheduler throughput — and records
-# ns/op, B/op and allocs/op in BENCH_control.json so both speed and
+# least-squares kernel, the raw scheduler throughput and the fleet-scale
+# batch runtime (fresh vs reused-session vs streaming runs/sec) — and
+# records ns/op, B/op and allocs/op in BENCH_control.json so both speed and
 # memory-discipline regressions show up in review diffs.
-BENCH_SET = BenchmarkControllerOverhead|BenchmarkAblationKnapsackOrder|BenchmarkBoxLSQ|BenchmarkSchedulerThroughput|BenchmarkSchedulerSteadyState
+BENCH_SET = BenchmarkControllerOverhead|BenchmarkAblationKnapsackOrder|BenchmarkBoxLSQ|BenchmarkSchedulerThroughput|BenchmarkSchedulerSteadyState|BenchmarkFleetThroughput
 bench:
 	@out="$$($(GO) test -run '^$$' -bench '^($(BENCH_SET))$$' -benchmem .)"; \
 	echo "$$out"; \

@@ -118,6 +118,11 @@ type (
 	Recorder = trace.Recorder
 	// Series is one named time series.
 	Series = trace.Series
+
+	// Session is a reusable experiment runner for batch execution: one
+	// engine/scheduler/middleware reset between runs, allocating
+	// approximately nothing per run in steady state.
+	Session = core.Session
 )
 
 // Middleware arms, matching the paper's comparison:
@@ -140,6 +145,25 @@ const (
 // middleware, applies the scenario events, and returns the collected
 // results.
 func Run(cfg RunConfig) (*RunResult, error) { return core.Run(cfg) }
+
+// NewSession returns an empty reusable runner; its first Run builds the
+// plumbing, later Runs of the same shape reuse it allocation-free.
+func NewSession() *Session { return core.NewSession() }
+
+// RunAll executes several independent experiments over a bounded worker
+// pool of reusable sessions, returning results in input order; every
+// failing run is reported via a joined error.
+func RunAll(cfgs []RunConfig, workers int) ([]*RunResult, error) {
+	return core.RunAll(cfgs, workers)
+}
+
+// RunStream executes experiments pulled on demand from next over reusable
+// per-worker sessions, streaming outcomes to onResult in input order. The
+// *RunResult passed to onResult is session-owned and valid only during the
+// callback; Clone what must be retained.
+func RunStream(next func() (RunConfig, bool), workers int, onResult func(i int, r *RunResult, err error)) {
+	core.RunStream(next, workers, onResult)
+}
 
 // NewState returns the initial operating point of a validated System.
 func NewState(sys *System) *State { return taskmodel.NewState(sys) }

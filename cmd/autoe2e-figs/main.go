@@ -140,6 +140,35 @@ func saveSeries(dir, name string, res *core.RunResult, series ...string) error {
 	return nil
 }
 
+// sweep streams the configs over reusable per-worker sessions and hands
+// each result, in input order, to use. The result is session-owned and
+// valid only inside the callback — exactly right for the sweeps here,
+// which keep one scalar or CSV row per run instead of every full trace.
+func sweep(cfgs []core.RunConfig, workers int, use func(i int, res *core.RunResult)) error {
+	i := 0
+	next := func() (core.RunConfig, bool) {
+		if i >= len(cfgs) {
+			return core.RunConfig{}, false
+		}
+		cfg := cfgs[i]
+		i++
+		return cfg, true
+	}
+	var firstErr error
+	core.RunStream(next, workers, func(j int, res *core.RunResult, err error) {
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("run %d: %w", j, err)
+			}
+			return
+		}
+		if firstErr == nil {
+			use(j, res)
+		}
+	})
+	return firstErr
+}
+
 // fig3 — motivation: deadline miss ratio of the path-tracking task versus
 // the steering MPC's execution-time growth (3a), and the trajectory under
 // continuous misses (3b).
@@ -150,15 +179,15 @@ func fig3(dir string, seed int64, workers int) error {
 	for i, factor := range factors {
 		cfgs[i] = scenario.Motivation(factor, seed)
 	}
-	results, err := core.RunAll(cfgs, workers)
-	if err != nil {
-		return err
-	}
 	var rows []string
-	for i, factor := range factors {
-		miss := results[i].MissRatio(workload.SimPathTracking)
+	err := sweep(cfgs, workers, func(i int, res *core.RunResult) {
+		factor := factors[i]
+		miss := res.MissRatio(workload.SimPathTracking)
 		rows = append(rows, fmt.Sprintf("%.2f,%.1f,%.4f", factor, 12.1*factor, miss))
 		fmt.Printf("      exec %5.1f ms (×%.2f): miss ratio %.3f\n", 12.1*factor, factor, miss)
+	})
+	if err != nil {
+		return err
 	}
 	if err := writeCSV(dir, "fig3a.csv", "factor,exec_ms,t8_miss_ratio", rows); err != nil {
 		return err
@@ -186,15 +215,15 @@ func fig4(dir string, seed int64, workers int) error {
 	for i, periodMs := range periods {
 		cfgs[i] = scenario.SaturationSweep(periodMs, seed)
 	}
-	results, err := core.RunAll(cfgs, workers)
-	if err != nil {
-		return err
-	}
 	var rows []string
-	for i, periodMs := range periods {
-		miss := results[i].OverallMissRatio()
+	err := sweep(cfgs, workers, func(i int, res *core.RunResult) {
+		periodMs := periods[i]
+		miss := res.OverallMissRatio()
 		rows = append(rows, fmt.Sprintf("%.0f,%.4f", periodMs, miss))
 		fmt.Printf("      period %2.0f ms: overall miss ratio %.4f\n", periodMs, miss)
+	})
+	if err != nil {
+		return err
 	}
 	if err := writeCSV(dir, "fig4a.csv", "period_ms,miss_ratio", rows); err != nil {
 		return err

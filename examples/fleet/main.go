@@ -4,6 +4,12 @@
 // loops — under an acceleration profile that saturates the rate controller
 // at 25 s and 37 s, followed by the deceleration/restoration experiment.
 //
+// The runs go through core.RunStream, the fleet-scale batch runner: configs
+// are pulled on demand, executed on reusable per-worker sessions, and the
+// outcomes stream back in input order. Results live in session-owned
+// storage, so the callbacks either consume them on the spot or Clone the
+// pieces a later comparison needs.
+//
 // Usage:
 //
 //	go run ./examples/fleet [-seed N]
@@ -27,18 +33,38 @@ func meanWindow(s *trace.Series, from, to float64) float64 {
 	return stats.Mean(s.V[lo:hi])
 }
 
+// streamConfigs runs every config over the batch runner and hands each
+// result, in input order, to use. The *RunResult is only valid inside use.
+func streamConfigs(cfgs []core.RunConfig, use func(i int, res *core.RunResult)) {
+	i := 0
+	next := func() (core.RunConfig, bool) {
+		if i >= len(cfgs) {
+			return core.RunConfig{}, false
+		}
+		cfg := cfgs[i]
+		i++
+		return cfg, true
+	}
+	core.RunStream(next, 0, func(j int, res *core.RunResult, err error) {
+		if err != nil {
+			log.Fatalf("run %d: %v", j, err)
+		}
+		use(j, res)
+	})
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "execution-time noise seed")
 	flag.Parse()
 
 	fmt.Println("=== Figure 11: acceleration on the 6-ECU / 11-task workload ===")
+	modes := []core.Mode{core.ModeEUCON, core.ModeAutoE2E}
 	results := map[core.Mode]*core.RunResult{}
-	for _, mode := range []core.Mode{core.ModeEUCON, core.ModeAutoE2E} {
-		res, err := core.Run(scenario.SimAcceleration(mode, *seed))
-		if err != nil {
-			log.Fatalf("%v: %v", mode, err)
-		}
-		results[mode] = res
+	streamConfigs([]core.RunConfig{
+		scenario.SimAcceleration(modes[0], *seed),
+		scenario.SimAcceleration(modes[1], *seed),
+	}, func(i int, res *core.RunResult) {
+		mode := modes[i]
 		fmt.Printf("\n%v — overall miss ratio %.3f, final precision %.2f (full 21.0)\n",
 			mode, res.OverallMissRatio(), res.State.TotalPrecision())
 		for j := 0; j < 6; j++ {
@@ -46,7 +72,10 @@ func main() {
 			fmt.Printf("  ECU%d util %s  settled %.3f\n",
 				j+1, trace.Sparkline(s, 48), meanWindow(s, 45, 60))
 		}
-	}
+		// The per-task comparison below needs both arms side by side;
+		// clone before the session reuses the result's storage.
+		results[mode] = res.Clone()
+	})
 
 	// The per-task damage concentrates on the autonomous applications the
 	// overloaded ECU hosts.
@@ -63,19 +92,24 @@ func main() {
 	}
 
 	fmt.Println("\n=== Figure 12: deceleration and precision restoration ===")
-	restored, err := core.Run(scenario.SimRestore(*seed))
-	if err != nil {
-		log.Fatal(err)
-	}
-	direct, err := core.Run(scenario.SimRestoreDirectIncrease(*seed, 0.1))
-	if err != nil {
-		log.Fatal(err)
-	}
+	var restoredPrecision, directPrecision float64
+	var precisionSpark string
+	streamConfigs([]core.RunConfig{
+		scenario.SimRestore(*seed),
+		scenario.SimRestoreDirectIncrease(*seed, 0.1),
+	}, func(i int, res *core.RunResult) {
+		// Everything Figure 12 reports is extracted here, so neither
+		// result needs to outlive its callback.
+		if i == 0 {
+			restoredPrecision = res.State.TotalPrecision()
+			precisionSpark = trace.Sparkline(res.Trace.Series("precision.total"), 48)
+		} else {
+			directPrecision = res.State.TotalPrecision()
+		}
+	})
 	optimal := scenario.SimOptimalPrecision()
 	fmt.Printf("restorer        : final precision %.2f (%.1f%% below optimal %.2f)\n",
-		restored.State.TotalPrecision(),
-		(1-restored.State.TotalPrecision()/optimal)*100, optimal)
-	fmt.Printf("direct increase : final precision %.2f\n", direct.State.TotalPrecision())
-	fmt.Printf("precision over time: %s\n",
-		trace.Sparkline(restored.Trace.Series("precision.total"), 48))
+		restoredPrecision, (1-restoredPrecision/optimal)*100, optimal)
+	fmt.Printf("direct increase : final precision %.2f\n", directPrecision)
+	fmt.Printf("precision over time: %s\n", precisionSpark)
 }

@@ -354,6 +354,8 @@ func (failingController) Step([]units.Util) (eucon.Result, error) {
 	return eucon.Result{}, errors.New("injected controller failure")
 }
 
+func (failingController) Reset() {}
+
 // TestMiddlewareSurfacesControllerError locks in the hot-path contract the
 // panicguard lint analyzer enforces: a controller failure during the run
 // must stop the engine and surface through Err(), not panic.

@@ -93,9 +93,11 @@ func (c Config) validate() error {
 }
 
 // rateController is the inner-loop contract both the centralized MPC and
-// the decentralized variant satisfy.
+// the decentralized variant satisfy. Reset clears any cross-period state
+// so a reused controller behaves like a freshly-built one (Session reuse).
 type rateController interface {
 	Step(utils []units.Util) (eucon.Result, error)
+	Reset()
 }
 
 // Middleware is the assembled two-tier controller attached to a scheduler.
@@ -112,13 +114,20 @@ type Middleware struct {
 	// the monitoring cadence).
 	onInner func(now simtime.Time, utils []units.Util, st *taskmodel.State)
 
-	// Per-index metric names are built once so the per-second control tick
-	// does not format strings, and the sampling buffers are reused so the
-	// tick does not allocate against the scheduler either.
-	utilNames []string
-	rateNames []string
-	missNames []string
-	utilsBuf  []units.Util
+	// Per-index series handles are interned once so the per-second control
+	// tick neither formats strings nor pays a map lookup per sample, and
+	// the sampling buffers are reused so the tick does not allocate against
+	// the scheduler either. Handles stay valid across Recorder.Reset, so a
+	// Session reuses them as-is.
+	utilHs        []*trace.Series
+	rateHs        []*trace.Series
+	missHs        []*trace.Series
+	overallH      *trace.Series
+	precisionH    *trace.Series
+	reclaimedHs   []*trace.Series
+	restoredHs    []*trace.Series
+	restoreRoundH *trace.Series
+	utilsBuf      []units.Util
 
 	innerCount   int
 	lastCounters []sched.TaskCounter
@@ -145,16 +154,23 @@ func NewMiddleware(eng *simtime.Engine, sch sched.Driver, cfg Config, rec *trace
 		rec:   rec,
 	}
 	sys := m.state.System()
-	m.utilNames = make([]string, sys.NumECUs)
-	for j := range m.utilNames {
-		m.utilNames[j] = fmt.Sprintf("util.ecu%d", j)
+	m.utilHs = make([]*trace.Series, sys.NumECUs)
+	m.reclaimedHs = make([]*trace.Series, sys.NumECUs)
+	m.restoredHs = make([]*trace.Series, sys.NumECUs)
+	for j := 0; j < sys.NumECUs; j++ {
+		m.utilHs[j] = rec.Handle(fmt.Sprintf("util.ecu%d", j))
+		m.reclaimedHs[j] = rec.Handle(fmt.Sprintf("outer.reclaimed.ecu%d", j))
+		m.restoredHs[j] = rec.Handle(fmt.Sprintf("outer.restored.ecu%d", j))
 	}
-	m.rateNames = make([]string, len(sys.Tasks))
-	m.missNames = make([]string, len(sys.Tasks))
+	m.rateHs = make([]*trace.Series, len(sys.Tasks))
+	m.missHs = make([]*trace.Series, len(sys.Tasks))
 	for i := range sys.Tasks {
-		m.rateNames[i] = fmt.Sprintf("rate.t%d", i+1)
-		m.missNames[i] = fmt.Sprintf("missratio.t%d", i+1)
+		m.rateHs[i] = rec.Handle(fmt.Sprintf("rate.t%d", i+1))
+		m.missHs[i] = rec.Handle(fmt.Sprintf("missratio.t%d", i+1))
 	}
+	m.overallH = rec.Handle("missratio.overall")
+	m.precisionH = rec.Handle("precision.total")
+	m.restoreRoundH = rec.Handle("outer.restore_round")
 	var err error
 	if cfg.Mode == ModeEUCON || cfg.Mode == ModeAutoE2E {
 		if cfg.DecentralizedInner {
@@ -198,8 +214,33 @@ func (m *Middleware) Start() {
 		panic("core: Middleware.Start called twice")
 	}
 	m.started = true
-	m.lastCounters = m.sch.Counters()
-	m.eng.After(m.cfg.InnerPeriod, m.innerTick)
+	m.lastCounters = m.sch.CountersInto(m.lastCounters)
+	m.eng.AfterCall(m.cfg.InnerPeriod, middlewareTickEvent, m)
+}
+
+// Reset returns the middleware to its just-constructed state so a Session
+// can rerun it against a reset scheduler and recorder. The interned series
+// handles, name strings, and sampling buffers are kept — that reuse is the
+// point.
+func (m *Middleware) Reset() {
+	if m.inner != nil {
+		m.inner.Reset()
+	}
+	if m.outer != nil {
+		m.outer.Reset()
+	}
+	m.onInner = nil
+	m.innerCount = 0
+	m.started = false
+	m.err = nil
+}
+
+// middlewareTickEvent is the engine trampoline for the inner control tick.
+// A package-level function scheduled via AfterCall with the middleware as
+// the argument, it avoids the per-tick method-value closure allocation that
+// m.innerTick as an EventFunc would cost.
+func middlewareTickEvent(now simtime.Time, arg any) {
+	arg.(*Middleware).innerTick(now)
 }
 
 // innerTick runs one inner control period: sample monitors, record metrics,
@@ -232,18 +273,18 @@ func (m *Middleware) innerTick(now simtime.Time) {
 			}
 			for j := range res.Reclaimed {
 				if res.Reclaimed[j] > 0 {
-					m.rec.Add(fmt.Sprintf("outer.reclaimed.ecu%d", j), now.Seconds(), res.Reclaimed[j].Float())
+					m.reclaimedHs[j].Add(now.Seconds(), res.Reclaimed[j].Float())
 				}
 				if res.Restored[j] > 0 {
-					m.rec.Add(fmt.Sprintf("outer.restored.ecu%d", j), now.Seconds(), res.Restored[j].Float())
+					m.restoredHs[j].Add(now.Seconds(), res.Restored[j].Float())
 				}
 			}
 			if res.RestoreRound > 0 {
-				m.rec.Add("outer.restore_round", now.Seconds(), float64(res.RestoreRound))
+				m.restoreRoundH.Add(now.Seconds(), float64(res.RestoreRound))
 			}
 		}
 	}
-	m.eng.After(m.cfg.InnerPeriod, m.innerTick)
+	m.eng.AfterCall(m.cfg.InnerPeriod, middlewareTickEvent, m)
 }
 
 // recordMetrics appends the per-period observability series: utilization
@@ -252,7 +293,7 @@ func (m *Middleware) innerTick(now simtime.Time) {
 func (m *Middleware) recordMetrics(now simtime.Time, utils []units.Util) {
 	t := now.Seconds()
 	for j, u := range utils {
-		m.rec.Add(m.utilNames[j], t, u.Float())
+		m.utilHs[j].Add(t, u.Float())
 	}
 	sys := m.state.System()
 	// Double-buffer the counter snapshots: the previous snapshot becomes
@@ -260,9 +301,9 @@ func (m *Middleware) recordMetrics(now simtime.Time, utils []units.Util) {
 	counters := m.sch.CountersInto(m.countersBuf)
 	var windowMissed, windowResolved uint64
 	for i := range sys.Tasks {
-		m.rec.Add(m.rateNames[i], t, m.state.Rate(taskmodel.TaskID(i)).Float())
+		m.rateHs[i].Add(t, m.state.Rate(taskmodel.TaskID(i)).Float())
 		d := counters[i].Sub(m.lastCounters[i])
-		m.rec.Add(m.missNames[i], t, d.MissRatio())
+		m.missHs[i].Add(t, d.MissRatio())
 		windowMissed += d.Missed
 		windowResolved += d.Missed + d.Completed
 	}
@@ -270,8 +311,8 @@ func (m *Middleware) recordMetrics(now simtime.Time, utils []units.Util) {
 	if windowResolved > 0 {
 		overall = float64(windowMissed) / float64(windowResolved)
 	}
-	m.rec.Add("missratio.overall", t, overall)
-	m.rec.Add("precision.total", t, m.state.TotalPrecision())
+	m.overallH.Add(t, overall)
+	m.precisionH.Add(t, m.state.TotalPrecision())
 	m.countersBuf = m.lastCounters
 	m.lastCounters = counters
 }

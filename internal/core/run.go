@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/autoe2e/autoe2e/internal/exectime"
@@ -62,6 +63,16 @@ type RunResult struct {
 	Counters []sched.TaskCounter
 	// State is the final operating point.
 	State *taskmodel.State
+}
+
+// Clone returns an independent deep copy of the result, for callers that
+// must retain it past the owning Session's next run.
+func (r *RunResult) Clone() *RunResult {
+	return &RunResult{
+		Trace:    r.Trace.Clone(),
+		Counters: append([]sched.TaskCounter(nil), r.Counters...),
+		State:    r.State.Clone(),
+	}
 }
 
 // OverallMissRatio aggregates misses across all tasks for the whole run.
@@ -141,17 +152,19 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	}, nil
 }
 
-// RunAll executes several independent experiments over a bounded worker
-// pool and returns their results in input order. Each Run builds its own
-// engine, state, scheduler and middleware, so runs share nothing mutable;
-// parallelism changes wall-clock time only, never results. workers <= 0
-// means parallel.Workers(); workers == 1 runs serially.
+// RunStream executes the experiments produced by next — pulled on demand,
+// so the config list never needs to exist in memory at once — over a pool
+// of reusable Sessions, one per worker, and streams the outcomes to
+// onResult in input order. It is the fleet-scale batch runner: after each
+// worker's first run, steady-state runs allocate approximately nothing.
 //
-// On failure RunAll returns the error of the lowest-indexed failing run
-// (deterministic regardless of completion order) along with the full
-// result slice — successful runs keep their results, failed or skipped
-// entries are nil.
-func RunAll(cfgs []RunConfig, workers int) ([]*RunResult, error) {
+// onResult is called serially, in input order, exactly once per config,
+// with either a result or an error (never both non-nil). The *RunResult is
+// owned by a session and valid only during the callback — it is overwritten
+// by that worker's next run. Callers that retain results must Clone them.
+// workers <= 0 means parallel.Workers(); workers == 1 runs serially on one
+// session. Results are byte-identical for every worker count.
+func RunStream(next func() (RunConfig, bool), workers int, onResult func(i int, r *RunResult, err error)) {
 	if workers <= 0 {
 		workers = parallel.Workers()
 	}
@@ -159,18 +172,50 @@ func RunAll(cfgs []RunConfig, workers int) ([]*RunResult, error) {
 		res *RunResult
 		err error
 	}
-	outs := parallel.Map(len(cfgs), workers, func(i int) outcome {
-		res, err := Run(cfgs[i])
-		return outcome{res, err}
-	})
+	sessions := make([]*Session, workers)
+	parallel.Stream(next, workers,
+		func(worker, _ int, cfg RunConfig) outcome {
+			s := sessions[worker]
+			if s == nil {
+				s = NewSession()
+				sessions[worker] = s
+			}
+			res, err := s.Run(cfg)
+			return outcome{res, err}
+		},
+		func(i int, o outcome) {
+			onResult(i, o.res, o.err)
+		})
+}
+
+// RunAll executes several independent experiments over a bounded worker
+// pool of reusable sessions and returns their results in input order.
+// Sessions share nothing mutable across workers and reset completely
+// between runs; parallelism changes wall-clock time only, never results.
+// workers <= 0 means parallel.Workers(); workers == 1 runs serially.
+//
+// On failure RunAll reports every failing run, joined in input order with
+// the lowest-indexed failure first (deterministic regardless of completion
+// order), along with the full result slice — successful runs keep their
+// results, failed entries are nil.
+func RunAll(cfgs []RunConfig, workers int) ([]*RunResult, error) {
 	results := make([]*RunResult, len(cfgs))
-	var firstErr error
-	for i, o := range outs {
-		results[i] = o.res
-		if o.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("core: run %d: %w", i, o.err)
-			results[i] = nil
+	errs := make([]error, 0, len(cfgs))
+	i := 0
+	next := func() (RunConfig, bool) {
+		if i >= len(cfgs) {
+			return RunConfig{}, false
 		}
+		cfg := cfgs[i]
+		i++
+		return cfg, true
 	}
-	return results, firstErr
+	RunStream(next, workers, func(j int, r *RunResult, err error) {
+		if err != nil {
+			errs = append(errs, fmt.Errorf("core: run %d: %w", j, err))
+			return
+		}
+		results[j] = r.Clone()
+	})
+	return results, errors.Join(errs...)
 }

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/autoe2e/autoe2e/internal/sched"
+	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/trace"
+)
+
+// Session is a reusable experiment runner: one engine, scheduler, state and
+// middleware built once and reset between runs, so steady-state batch
+// execution (parameter sweeps, fleet evaluations, Monte Carlo seeds)
+// allocates approximately nothing per run. A Session produces byte-identical
+// traces, counters and final state to the fresh-allocation Run — the golden
+// and fuzz tests pin that equivalence.
+//
+// The shape of a session — the task system and the middleware configuration
+// — is fixed by the first Run call; a later call with a different System
+// pointer or Middleware config tears the plumbing down and rebuilds it
+// (correct, but no longer allocation-free). Per-run knobs (Exec, LinkDelay,
+// Duration, Events, hooks) may change freely between runs.
+//
+// A Session is not safe for concurrent use; RunStream shards work over one
+// session per worker. The returned RunResult and its Trace are owned by the
+// session and valid only until the next Run call — callers that retain
+// results across runs must copy what they need first.
+type Session struct {
+	eng   *simtime.Engine
+	rec   *trace.Recorder
+	state *taskmodel.State
+	sch   *sched.Scheduler
+	mw    *Middleware
+
+	// Shape keys: rebuilding triggers when either differs on the next run.
+	sys   *taskmodel.System
+	mwCfg Config // normalized (withDefaults)
+	built bool
+
+	eventArgs []sessionEvent
+	res       RunResult
+}
+
+// sessionEvent binds one scripted scenario action to the session state so
+// the engine trampoline can dispatch it without a per-event closure.
+type sessionEvent struct {
+	st *taskmodel.State
+	do func(st *taskmodel.State)
+}
+
+// sessionEventCall is the engine trampoline for scripted scenario events.
+func sessionEventCall(_ simtime.Time, arg any) {
+	ev := arg.(*sessionEvent)
+	ev.do(ev.st)
+}
+
+// NewSession returns an empty session; the first Run builds the plumbing.
+func NewSession() *Session { return &Session{} }
+
+// Run executes one experiment on the session's reusable plumbing, exactly
+// as the package-level Run would: same validation, same event ordering,
+// same results. ReferenceSubstrate configs delegate to the fresh-allocation
+// Run — the naive scheduler exists to be rebuilt from scratch.
+func (s *Session) Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.System == nil {
+		return nil, fmt.Errorf("core: RunConfig.System is required")
+	}
+	if cfg.Exec == nil {
+		return nil, fmt.Errorf("core: RunConfig.Exec is required")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("core: RunConfig.Duration = %v, want > 0", cfg.Duration)
+	}
+	for _, ev := range cfg.Events {
+		if ev.Do == nil {
+			return nil, fmt.Errorf("core: scenario event at %v has nil action", ev.At)
+		}
+	}
+	mwCfg := cfg.Middleware.withDefaults()
+	if err := mwCfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ReferenceSubstrate {
+		return Run(cfg)
+	}
+
+	schedCfg := sched.Config{
+		Exec:      cfg.Exec,
+		LinkDelay: cfg.LinkDelay,
+		OnChain:   cfg.OnChain,
+	}
+	if s.built && s.sys == cfg.System && s.mwCfg == mwCfg {
+		// Warm path: reset every component in place. The state must reach
+		// its run-start operating point before Middleware.Reset, because
+		// the outer controller re-snapshots the rate floors it restores
+		// toward, exactly as construction does.
+		s.eng.Reset()
+		s.rec.Reset()
+		s.state.Reset()
+		if cfg.Setup != nil {
+			cfg.Setup(s.state)
+		}
+		s.sch.Reset(schedCfg)
+		s.mw.Reset()
+	} else {
+		// Cold path: build fresh components, committing to the session
+		// fields only once everything constructed, so a failed rebuild
+		// leaves the session consistently unbuilt rather than half-swapped.
+		s.built = false
+		eng := simtime.NewEngine()
+		rec := trace.NewRecorder()
+		state := taskmodel.NewState(cfg.System)
+		if cfg.Setup != nil {
+			cfg.Setup(state)
+		}
+		scheduler := sched.New(eng, state, schedCfg)
+		mw, err := NewMiddleware(eng, scheduler, mwCfg, rec)
+		if err != nil {
+			return nil, err
+		}
+		s.eng, s.rec, s.state, s.sch, s.mw = eng, rec, state, scheduler, mw
+		s.sys, s.mwCfg = cfg.System, mwCfg
+		s.built = true
+	}
+
+	s.mw.onInner = cfg.OnInnerTick
+	// Scenario events ride the reusable argument buffer; pointers into it
+	// are taken only after every append, so growth cannot invalidate them.
+	s.eventArgs = s.eventArgs[:0]
+	for _, ev := range cfg.Events {
+		s.eventArgs = append(s.eventArgs, sessionEvent{st: s.state, do: ev.Do})
+	}
+	for i, ev := range cfg.Events {
+		s.eng.ScheduleCall(ev.At, sessionEventCall, &s.eventArgs[i])
+	}
+	if cfg.Attach != nil {
+		cfg.Attach(s.eng, s.state)
+	}
+	s.sch.Start()
+	s.mw.Start()
+	s.eng.Run(simtime.Time(cfg.Duration))
+	if err := s.mw.Err(); err != nil {
+		return nil, err
+	}
+
+	s.res = RunResult{
+		Trace:    s.rec,
+		Counters: s.sch.CountersInto(s.res.Counters),
+		State:    s.state,
+	}
+	return &s.res, nil
+}

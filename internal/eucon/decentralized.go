@@ -153,6 +153,11 @@ func (d *Decentralized) computeOne(ti int) {
 // neighbor ECUs' measured utilizations. It returns the same Result shape as
 // the centralized controller; the Result's slices are reused by the next
 // Step (see Result).
+// Reset is a no-op: the decentralized controller carries no state across
+// periods (every buffer is per-Step scratch). It exists so both inner
+// controllers satisfy the same reuse contract.
+func (d *Decentralized) Reset() {}
+
 func (d *Decentralized) Step(utils []units.Util) (Result, error) {
 	sys := d.state.System()
 	n, m := sys.NumECUs, len(sys.Tasks)

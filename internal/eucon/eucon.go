@@ -147,6 +147,18 @@ type Controller struct {
 
 // New builds a controller operating on the given mutable state. It returns
 // an error on invalid configuration.
+// Reset clears all cross-period state — the previous move Δr(k−1) of the
+// control-change penalty, the warm-start solution, and the solver's
+// carried eigenvector — so the next Step behaves exactly like the first
+// Step of a freshly-built controller on the current State.
+func (c *Controller) Reset() {
+	for i := range c.prevDelta {
+		c.prevDelta[i] = 0
+	}
+	c.warm = false
+	c.ws.Reset()
+}
+
 func New(state *taskmodel.State, cfg Config) (*Controller, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {

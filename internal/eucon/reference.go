@@ -190,11 +190,11 @@ func (c *Reference) Step(utils []units.Util) (Result, error) {
 	return res, nil
 }
 
-// solveNaive is projected gradient descent on the normal equations,
-// matching BoxLSQWorkspace.SolveNormal operation for operation but with
-// fresh buffers each call. The power-iteration eigenvector is the one piece
-// of threaded state (c.eig / c.haveEig), exactly as the workspace carries
-// it.
+// solveNaive is accelerated projected gradient (FISTA with gradient
+// restart) on the normal equations, matching BoxLSQWorkspace.SolveNormal
+// operation for operation but with fresh buffers each call. The
+// power-iteration eigenvector is the one piece of threaded state
+// (c.eig / c.haveEig), exactly as the workspace carries it.
 func (c *Reference) solveNaive(ata *linalg.Matrix, atb, lo, hi, x0 []float64, opts linalg.BoxLSQOptions) ([]float64, error) {
 	nn := ata.Cols()
 	for i := 0; i < nn; i++ {
@@ -227,17 +227,35 @@ func (c *Reference) solveNaive(ata *linalg.Matrix, atb, lo, hi, x0 []float64, op
 	}
 	linalg.ClampVec(x, lo, hi)
 
+	xn := make([]float64, nn)
+	y := make([]float64, nn)
+	copy(y, x)
+	t := 1.0
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		grad := ata.MulVec(x)
+		grad := ata.MulVec(y)
 		maxMove := 0.0
+		restart := 0.0
 		for i := 0; i < nn; i++ {
 			g := grad[i] - atb[i]
-			next := linalg.Clamp(x[i]-step*g, lo[i], hi[i])
-			if d := math.Abs(next - x[i]); d > maxMove {
+			next := linalg.Clamp(y[i]-step*g, lo[i], hi[i])
+			if d := math.Abs(next - y[i]); d > maxMove {
 				maxMove = d
 			}
-			x[i] = next
+			restart += (y[i] - next) * (next - x[i])
+			xn[i] = next
 		}
+		if restart > 0 {
+			t = 1
+			copy(y, xn)
+		} else {
+			tn := (1 + math.Sqrt(1+4*t*t)) / 2
+			beta := (t - 1) / tn
+			for i := 0; i < nn; i++ {
+				y[i] = xn[i] + beta*(xn[i]-x[i])
+			}
+			t = tn
+		}
+		copy(x, xn)
 		if maxMove <= opts.Tol {
 			break
 		}

@@ -37,6 +37,12 @@ type BoxLSQOptions struct {
 	Tol float64
 	// Ridge adds Tikhonov regularization, improving conditioning.
 	Ridge float64
+	// Plain selects the original fixed-step projected-gradient iteration
+	// instead of the accelerated (FISTA + adaptive restart) default. The
+	// plain method converges far more slowly; it is retained for callers
+	// whose closed-loop tuning depends on its heavily damped approximate
+	// solutions when the iteration budget runs out (the LTV tracking MPC).
+	Plain bool
 }
 
 // DefaultBoxLSQOptions are sensible defaults for the controller problems in
@@ -54,6 +60,8 @@ func DefaultBoxLSQOptions() BoxLSQOptions {
 // and is valid only until the next solve.
 type BoxLSQWorkspace struct {
 	x    []float64 // solution buffer, returned to the caller
+	xn   []float64 // next iterate (projected gradient step from y)
+	y    []float64 // extrapolated point the gradient is evaluated at
 	grad []float64 // gradient buffer
 	eig  []float64 // power-iteration eigenvector, warm-started across solves
 	pw   []float64 // power-iteration scratch (m·v)
@@ -68,11 +76,18 @@ type BoxLSQWorkspace struct {
 // and are reused afterwards.
 func NewBoxLSQWorkspace() *BoxLSQWorkspace { return &BoxLSQWorkspace{} }
 
+// Reset discards the carried warm-start state (the power-iteration
+// eigenvector) while keeping the buffers, so the next solve behaves
+// exactly like the first solve of a fresh workspace.
+func (ws *BoxLSQWorkspace) Reset() { ws.haveEig = false }
+
 // ensure sizes every buffer for an n-dimensional solve. Changing dimension
 // discards the warm-start state (it belongs to a different problem).
 func (ws *BoxLSQWorkspace) ensure(n int) {
 	if len(ws.x) != n {
 		ws.x = make([]float64, n)
+		ws.xn = make([]float64, n)
+		ws.y = make([]float64, n)
 		ws.grad = make([]float64, n)
 		ws.eig = make([]float64, n)
 		ws.pw = make([]float64, n)
@@ -141,17 +156,64 @@ func (ws *BoxLSQWorkspace) SolveNormal(ata *Matrix, atb, lo, hi, x0 []float64, o
 	ClampVec(x, lo, hi)
 
 	grad := ws.grad
+	if opts.Plain {
+		for iter := 0; iter < opts.MaxIter; iter++ {
+			ata.MulVecInto(grad, x) // grad = ata·x
+			maxMove := 0.0
+			for i := 0; i < n; i++ {
+				g := grad[i] - atb[i]
+				next := Clamp(x[i]-step*g, lo[i], hi[i])
+				if d := math.Abs(next - x[i]); d > maxMove {
+					maxMove = d
+				}
+				x[i] = next
+			}
+			if maxMove <= opts.Tol {
+				break
+			}
+		}
+		return x, nil
+	}
+
+	// Accelerated projected gradient (FISTA): take the 1/L gradient step at
+	// the extrapolated point y instead of at x, with the O'Donoghue–Candès
+	// gradient restart — when the momentum direction opposes the step just
+	// taken ((y−x⁺)·(x⁺−x) > 0), drop the momentum and continue as plain
+	// projected gradient from x⁺. On the near-singular ridge-regularized
+	// problems here this converges in tens of iterations where the fixed-step
+	// method needed the better part of MaxIter.
+	xn, y := ws.xn, ws.y
+	copy(y, x)
+	t := 1.0
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		ata.MulVecInto(grad, x) // grad = ata·x
+		ata.MulVecInto(grad, y) // grad = ata·y
+		// maxMove is the prox-gradient residual |x⁺ − y|∞: it bounds the
+		// projected-gradient stationarity of the point the step was taken
+		// at, and reduces to the plain-method criterion when momentum is off
+		// (y == x).
 		maxMove := 0.0
+		restart := 0.0
 		for i := 0; i < n; i++ {
 			g := grad[i] - atb[i]
-			next := Clamp(x[i]-step*g, lo[i], hi[i])
-			if d := math.Abs(next - x[i]); d > maxMove {
+			next := Clamp(y[i]-step*g, lo[i], hi[i])
+			if d := math.Abs(next - y[i]); d > maxMove {
 				maxMove = d
 			}
-			x[i] = next
+			restart += (y[i] - next) * (next - x[i])
+			xn[i] = next
 		}
+		if restart > 0 {
+			t = 1
+			copy(y, xn)
+		} else {
+			tn := (1 + math.Sqrt(1+4*t*t)) / 2
+			beta := (t - 1) / tn
+			for i := 0; i < n; i++ {
+				y[i] = xn[i] + beta*(xn[i]-x[i])
+			}
+			t = tn
+		}
+		copy(x, xn)
 		if maxMove <= opts.Tol {
 			break
 		}
@@ -160,10 +222,10 @@ func (ws *BoxLSQWorkspace) SolveNormal(ata *Matrix, atb, lo, hi, x0 []float64, o
 }
 
 // BoxLSQ solves min_x ||a·x − b||² subject to lo ≤ x ≤ hi element-wise,
-// using projected gradient descent with a fixed 1/L step where L is the
-// spectral norm of aᵀa (estimated by power iteration). x0 is the starting
-// point and is clamped into the box before use; pass nil to start from the
-// box midpoint.
+// using accelerated projected gradient (FISTA with adaptive restart) with a
+// fixed 1/L step where L is the spectral norm of aᵀa (estimated by power
+// iteration). x0 is the starting point and is clamped into the box before
+// use; pass nil to start from the box midpoint.
 //
 // This is the one-shot convenience wrapper: it forms the normal equations
 // from the stacked matrix and solves with a fresh workspace (cold-started

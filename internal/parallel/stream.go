@@ -1,0 +1,98 @@
+package parallel
+
+import "sync"
+
+// Stream pulls items from next until it reports exhaustion, processes each
+// with fn on one of at most `workers` goroutines, and hands every output to
+// emit serially in input order. It is the pool for pipelines whose outputs
+// live in per-worker reusable storage: a worker blocks after fn until its
+// output's turn to emit has passed, so emit always observes the output
+// before the worker that produced it can overwrite it with its next item.
+//
+// fn receives the worker index (0 ≤ worker < workers) for sharding mutable
+// scratch — worker w is the only goroutine ever passed that index, so
+// scratch[w] needs no locking. The item index counts from 0 in pull order.
+// next and emit are always called serially (never concurrently with
+// themselves or each other), so they may close over shared state freely.
+//
+// workers <= 1 runs everything serially in the calling goroutine. Panics
+// from next, fn or emit follow the package contract: the first recovered
+// value re-panics in the calling goroutine after all workers have drained,
+// and remaining items are abandoned.
+func Stream[I, O any](next func() (I, bool), workers int, fn func(worker, index int, item I) O, emit func(index int, out O)) {
+	if workers <= 1 {
+		for i := 0; ; i++ {
+			item, ok := next()
+			if !ok {
+				return
+			}
+			emit(i, fn(0, i, item))
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.Cond{L: &mu}
+		wg       sync.WaitGroup
+		nextIdx  int
+		emitIdx  int
+		aborted  bool
+		panicVal any
+		panicked bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if !panicked {
+						panicked, panicVal = true, r
+					}
+					aborted = true
+					cond.Broadcast()
+					mu.Unlock()
+				}
+			}()
+			for {
+				mu.Lock()
+				if aborted {
+					mu.Unlock()
+					return
+				}
+				item, ok := next()
+				if !ok {
+					mu.Unlock()
+					return
+				}
+				idx := nextIdx
+				nextIdx++
+				mu.Unlock()
+
+				out := fn(worker, idx, item)
+
+				mu.Lock()
+				for emitIdx != idx && !aborted {
+					cond.Wait()
+				}
+				if aborted {
+					mu.Unlock()
+					return
+				}
+				func() {
+					// Unlock via defer so a panicking emit still releases
+					// the mutex before the worker's recover needs it.
+					defer mu.Unlock()
+					emit(idx, out)
+					emitIdx++
+					cond.Broadcast()
+				}()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+}

@@ -105,6 +105,10 @@ type Controller struct {
 	// usually sufficient).
 	restoreRoundCount int
 
+	// ws is the reusable knapsack scratch shared by the reclaim and
+	// restore paths.
+	ws Workspace
+
 	// res holds the Result buffers handed back by Step; see Result for
 	// the ownership rule.
 	res Result
@@ -195,7 +199,7 @@ func (o *Controller) Step(utils []units.Util) (Result, error) {
 		if e <= 0 {
 			continue
 		}
-		if got := ReduceRatios(o.state, j, e); got > 0 {
+		if got := o.ws.ReduceRatios(o.state, j, e); got > 0 {
 			res.Reclaimed[j] = got
 			reduced = true
 			o.det.Reset(j)
@@ -267,7 +271,7 @@ func (o *Controller) runRestoreRound(res *Result) {
 	for j := 0; j < sys.NumECUs; j++ {
 		budget := (sys.UtilBound[j] - o.cfg.RestoreSlack) - o.state.EstimatedUtilization(j)
 		if budget > 0 {
-			res.Restored[j] += RestoreRatios(o.state, j, budget)
+			res.Restored[j] += o.ws.RestoreRatios(o.state, j, budget)
 		}
 	}
 }
@@ -297,6 +301,19 @@ func (o *Controller) floorsDropped() bool {
 		}
 	}
 	return false
+}
+
+// Reset returns the controller to its freshly-constructed state on the
+// current contents of its State: saturation streaks clear, the restorer
+// idles, and the floor snapshot is retaken. Callers must put the State
+// into its run-start condition first — Reset observes it exactly as New
+// does at construction.
+func (o *Controller) Reset() {
+	o.det.ResetAll()
+	o.phase = restoreIdle
+	o.dropPending = false
+	o.restoreRoundCount = 0
+	o.snapshotFloors()
 }
 
 // snapshotFloors records the rate floors seen this outer period so the next

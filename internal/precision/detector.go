@@ -71,3 +71,11 @@ func (d *Detector) StronglySaturated() []bool {
 // Reset clears one ECU's streak (called after the outer loop has acted on
 // it, so re-latching requires fresh evidence).
 func (d *Detector) Reset(ecu int) { d.counts[ecu] = 0 }
+
+// ResetAll clears every ECU's saturation streak, returning the detector to
+// its freshly-constructed state.
+func (d *Detector) ResetAll() {
+	for j := range d.counts {
+		d.counts[j] = 0
+	}
+}

@@ -16,8 +16,6 @@
 package precision
 
 import (
-	"sort"
-
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
 	"github.com/autoe2e/autoe2e/internal/units"
 )
@@ -35,11 +33,20 @@ type ratioItem struct {
 	headroom float64
 }
 
-// items collects the adjustable subtasks of ECU j with their knapsack
-// coefficients. decrease selects the direction headroom is measured in.
-func items(st *taskmodel.State, ecu int, decrease bool) []ratioItem {
+// Workspace holds the reusable scratch of the knapsack solvers so hot
+// loops — the outer controller reclaims and restores every saturated ECU
+// each tick — allocate nothing at steady state. The zero value is ready
+// to use; a workspace is owned by exactly one loop at a time.
+type Workspace struct {
+	items []ratioItem
+}
+
+// collect gathers the adjustable subtasks of ECU j with their knapsack
+// coefficients into the reused item buffer. decrease selects the
+// direction headroom is measured in.
+func (w *Workspace) collect(st *taskmodel.State, ecu int, decrease bool) []ratioItem {
 	sys := st.System()
-	var out []ratioItem
+	out := w.items[:0]
 	for _, ref := range sys.OnECU(ecu) {
 		sub := sys.Subtask(ref)
 		if !sub.Adjustable() {
@@ -62,7 +69,37 @@ func items(st *taskmodel.State, ecu int, decrease bool) []ratioItem {
 			headroom: head.Float(),
 		})
 	}
+	w.items = out
 	return out
+}
+
+// sortByDensity stable-sorts items by profit density w/(c·r) — ascending
+// for reclaim (cheapest precision sacrificed first), descending for
+// restore (most valuable precision returns first). A stable insertion
+// sort: the knapsack rarely sees more than a handful of items per ECU,
+// and unlike sort.SliceStable it allocates nothing. Stability makes the
+// result the unique stable permutation, so ties still resolve by task
+// order exactly as before.
+func sortByDensity(list []ratioItem, descending bool) {
+	for i := 1; i < len(list); i++ {
+		it := list[i]
+		j := i - 1
+		for j >= 0 && densityBefore(it, list[j], descending) {
+			list[j+1] = list[j]
+			j--
+		}
+		list[j+1] = it
+	}
+}
+
+// densityBefore reports whether a sorts strictly before b, comparing the
+// profit densities cross-multiplied (a.profit/a.cost vs b.profit/b.cost
+// without the division).
+func densityBefore(a, b ratioItem, descending bool) bool {
+	if descending {
+		return a.profit*b.cost > b.profit*a.cost
+	}
+	return a.profit*b.cost < b.profit*a.cost
 }
 
 // ReduceRatios solves the reversed relaxed knapsack of Equation (8) for one
@@ -72,16 +109,21 @@ func items(st *taskmodel.State, ecu int, decrease bool) []ratioItem {
 // the state and returns the utilization actually reclaimed, which is less
 // than requested when every adjustable ratio is already at its floor.
 func ReduceRatios(st *taskmodel.State, ecu int, reclaim units.Util) units.Util {
+	var w Workspace
+	return w.ReduceRatios(st, ecu, reclaim)
+}
+
+// ReduceRatios is the workspace form of the package-level ReduceRatios:
+// identical result, zero allocations once the item buffer has grown.
+func (w *Workspace) ReduceRatios(st *taskmodel.State, ecu int, reclaim units.Util) units.Util {
 	if reclaim <= 0 {
 		return 0
 	}
-	list := items(st, ecu, true)
+	list := w.collect(st, ecu, true)
 	// Ascending profit-to-cost: cheapest precision (least weight per
 	// reclaimed utilization) is sacrificed first. Ties resolve by task
 	// order for determinism.
-	sort.SliceStable(list, func(i, j int) bool {
-		return list[i].profit*list[j].cost < list[j].profit*list[i].cost
-	})
+	sortByDensity(list, false)
 	reclaimed := units.Util(0)
 	for _, it := range list {
 		if reclaim-reclaimed <= 0 {
@@ -110,13 +152,18 @@ func ReduceRatios(st *taskmodel.State, ecu int, reclaim units.Util) units.Util {
 // Equation 8, where e_j is negative and Δa_il comes out negative). It
 // mutates the state and returns the utilization actually consumed.
 func RestoreRatios(st *taskmodel.State, ecu int, budget units.Util) units.Util {
+	var w Workspace
+	return w.RestoreRatios(st, ecu, budget)
+}
+
+// RestoreRatios is the workspace form of the package-level RestoreRatios:
+// identical result, zero allocations once the item buffer has grown.
+func (w *Workspace) RestoreRatios(st *taskmodel.State, ecu int, budget units.Util) units.Util {
 	if budget <= 0 {
 		return 0
 	}
-	list := items(st, ecu, false)
-	sort.SliceStable(list, func(i, j int) bool {
-		return list[i].profit*list[j].cost > list[j].profit*list[i].cost
-	})
+	list := w.collect(st, ecu, false)
+	sortByDensity(list, true)
 	spent := units.Util(0)
 	for _, it := range list {
 		if budget-spent <= 0 {

@@ -156,6 +156,21 @@ func (j *job) higherPriorityThan(other *job) bool {
 }
 
 // readyHeap orders jobs by higherPriorityThan.
+// reset clears all execution state for a new run: the ready queue, the
+// running job, and the utilization-window accounting, which restarts at
+// the given instant exactly as construction does.
+func (e *ecuRunner) reset(now simtime.Time) {
+	for i := range e.ready {
+		e.ready[i] = nil
+	}
+	e.ready = e.ready[:0]
+	e.running = nil
+	e.startedAt = 0
+	e.completion = 0
+	e.busy = 0
+	e.lastSample = now
+}
+
 type readyHeap []*job
 
 func (h readyHeap) Len() int           { return len(h) }

@@ -160,6 +160,11 @@ type Scheduler struct {
 	taskArgs  []taskArg
 	freeChain *chain
 	freeJob   *job
+	// allChains/allJobs register every pooled object ever allocated, so
+	// Reset can rebuild the free lists even when a mid-run engine stop
+	// left objects live outside them. Appended only when a pool grows.
+	allChains []*chain
+	allJobs   []*job
 	nextSeq   uint64
 	started   bool
 }
@@ -219,6 +224,49 @@ func (s *Scheduler) Start() {
 	for ti := range s.sys.Tasks {
 		s.eng.ScheduleCall(s.eng.Now(), firstReleaseEvent, &s.taskArgs[ti])
 	}
+}
+
+// Reset returns the scheduler to its freshly-constructed state for a new
+// run under the given configuration, reusing every pooled chain and job —
+// including objects left live by a mid-run engine stop, which the
+// registries recover. The engine must already be reset (its pending
+// events, including this scheduler's, are gone and Now is back to zero).
+// A reset scheduler replays a workload exactly as a fresh one: counters
+// zero, release guards clear, sequence numbers restart.
+func (s *Scheduler) Reset(cfg Config) {
+	if cfg.Exec == nil {
+		panic("sched: Config.Exec is required")
+	}
+	s.cfg = cfg
+	for i := range s.counters {
+		s.counters[i] = TaskCounter{}
+	}
+	for i := range s.lastRel {
+		s.lastRel[i] = -1
+	}
+	s.freeChain = nil
+	for _, c := range s.allChains {
+		c.job = nil
+		c.dead = false
+		c.deadlineEv = 0
+		c.pendingEv = 0
+		c.pendingStage = 0
+		c.nextFree = s.freeChain
+		s.freeChain = c
+	}
+	s.freeJob = nil
+	for _, j := range s.allJobs {
+		j.chain = nil
+		j.index = -1
+		j.nextFree = s.freeJob
+		s.freeJob = j
+	}
+	now := s.eng.Now()
+	for _, e := range s.ecus {
+		e.reset(now)
+	}
+	s.nextSeq = 0
+	s.started = false
 }
 
 // Counters returns a snapshot of the cumulative per-task accounting.
@@ -302,7 +350,9 @@ func linkReleaseEvent(now simtime.Time, arg any) {
 func (s *Scheduler) getChain() *chain {
 	c := s.freeChain
 	if c == nil {
-		return &chain{s: s}
+		c = &chain{s: s}
+		s.allChains = append(s.allChains, c)
+		return c
 	}
 	s.freeChain = c.nextFree
 	c.nextFree = nil
@@ -323,7 +373,9 @@ func (s *Scheduler) putChain(c *chain) {
 func (s *Scheduler) getJob() *job {
 	j := s.freeJob
 	if j == nil {
-		return &job{}
+		j = &job{}
+		s.allJobs = append(s.allJobs, j)
+		return j
 	}
 	s.freeJob = j.nextFree
 	j.nextFree = nil

@@ -64,6 +64,31 @@ type Engine struct {
 // NewEngine returns an engine with the clock at zero and an empty queue.
 func NewEngine() *Engine { return &Engine{} }
 
+// Reset returns the engine to its freshly-constructed observable state —
+// clock at zero, empty queue, not stopped — while keeping the slot arena's
+// capacity. Every slot's generation bumps, so any EventID retained from
+// before the reset is stale: Cancel on it reports false and can never
+// touch a reused slot. The free list is rebuilt so slots hand out in
+// ascending index order, matching the order a fresh engine appends them;
+// event ordering is a total order on (at, seq) either way, so a reset
+// engine replays a schedule identically to a fresh one.
+func (e *Engine) Reset() {
+	for i := range e.slots {
+		s := &e.slots[i]
+		s.gen++
+		s.heapIdx = -1
+		s.fn, s.call, s.arg = nil, nil, nil
+	}
+	e.heap = e.heap[:0]
+	e.free = e.free[:0]
+	for i := len(e.slots) - 1; i >= 0; i-- {
+		e.free = append(e.free, uint32(i))
+	}
+	e.now = 0
+	e.nextSeq = 0
+	e.stopped = false
+}
+
 // Now reports the current simulated instant.
 func (e *Engine) Now() Time { return e.now }
 

@@ -44,6 +44,18 @@ func NewState(sys *System) *State {
 // System returns the static description this state belongs to.
 func (st *State) System() *System { return st.sys }
 
+// Reset returns every rate, floor, and precision ratio to its initial
+// value in place, exactly as NewState sets them, reusing the buffers.
+func (st *State) Reset() {
+	for i, task := range st.sys.Tasks {
+		st.rates[i] = task.InitRate
+		st.floors[i] = task.RateMin
+		for l := range st.ratios[i] {
+			st.ratios[i][l] = 1
+		}
+	}
+}
+
 // Rate returns the current invocation rate of task i in Hz.
 func (st *State) Rate(i TaskID) units.Rate { return st.rates[i] }
 

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -17,10 +18,24 @@ type Series struct {
 	Name string
 	T    []float64 // seconds
 	V    []float64
+
+	// rec points at the owning recorder for interned series (nil on a
+	// standalone Series); gen is the recorder cycle the series last
+	// registered in. Together they let the first sample of each cycle
+	// enter the series into the recorder's output order, so handles stay
+	// valid across Recorder.Reset and output order always equals
+	// first-sample order — exactly what per-sample Add produced before
+	// handles existed.
+	rec *Recorder
+	gen uint64
 }
 
 // Add appends one sample.
 func (s *Series) Add(t, v float64) {
+	if s.rec != nil && s.gen != s.rec.gen {
+		s.gen = s.rec.gen
+		s.rec.order = append(s.rec.order, s.Name)
+	}
 	s.T = append(s.T, t)
 	s.V = append(s.V, v)
 }
@@ -64,48 +79,128 @@ func (s *Series) WindowBounds(from, to float64) (lo, hi int) {
 	return lo, hi
 }
 
-// Recorder collects named series in insertion order.
+// Recorder collects named series in insertion order. A Recorder is
+// reusable: Reset truncates every series and starts a new registration
+// cycle, after which it behaves exactly like a fresh recorder while
+// recycling the sample buffers of any name that registers again.
 type Recorder struct {
 	series map[string]*Series
 	order  []string
+	all    []*Series // every series ever interned, for Reset
+	gen    uint64    // current registration cycle, starts at 1
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{series: make(map[string]*Series)}
+	return &Recorder{series: make(map[string]*Series), gen: 1}
+}
+
+// Handle interns the named series and returns it, creating it on first
+// use. Hot loops call Handle once at setup and append through the returned
+// pointer, skipping the per-sample map lookup that Add pays. Interning
+// alone does not register the series: it enters the output order on its
+// first sample of the cycle, so a pre-interned handle that never samples
+// is invisible. Handles stay valid across Reset, keeping their grown
+// buffers.
+func (r *Recorder) Handle(name string) *Series {
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name, rec: r}
+		r.series[name] = s
+		r.all = append(r.all, s)
+	}
+	return s
 }
 
 // Add appends a sample to the named series, creating it on first use.
 func (r *Recorder) Add(name string, t, v float64) {
-	s, ok := r.series[name]
-	if !ok {
-		s = &Series{Name: name}
-		r.series[name] = s
-		r.order = append(r.order, name)
+	r.Handle(name).Add(t, v)
+}
+
+// Reset truncates every series (keeping capacity) and clears the
+// registration order, returning the recorder to its freshly-constructed
+// observable state. Handles obtained before the reset remain valid.
+func (r *Recorder) Reset() {
+	for _, s := range r.all {
+		s.T = s.T[:0]
+		s.V = s.V[:0]
 	}
-	s.Add(t, v)
+	r.order = r.order[:0]
+	r.gen++
 }
 
-// Series returns the named series, or nil if never written.
-func (r *Recorder) Series(name string) *Series { return r.series[name] }
+// Clone returns an independent deep copy: same series, same samples, same
+// registration order, byte-identical CSV output. Batch drivers use it to
+// retain a session-owned recorder's contents past the session's next run.
+func (r *Recorder) Clone() *Recorder {
+	c := NewRecorder()
+	for _, name := range r.order {
+		s := r.series[name]
+		cs := c.Handle(name)
+		cs.gen = c.gen
+		c.order = append(c.order, name)
+		cs.T = append([]float64(nil), s.T...)
+		cs.V = append([]float64(nil), s.V...)
+	}
+	return c
+}
 
-// Names returns the series names in insertion order.
+// Series returns the named series, or nil if it holds no samples — an
+// interned-but-empty handle is indistinguishable from a never-written
+// name, exactly as before handles existed.
+func (r *Recorder) Series(name string) *Series {
+	s := r.series[name]
+	if s == nil || len(s.T) == 0 {
+		return nil
+	}
+	return s
+}
+
+// Names returns the names of the series holding samples, in registration
+// order. Pre-interned handles that never received a sample are omitted,
+// so output layout does not depend on which handles a setup path interned.
 func (r *Recorder) Names() []string {
-	return append([]string(nil), r.order...)
+	out := make([]string, 0, len(r.order))
+	for _, name := range r.order {
+		if len(r.series[name].T) > 0 {
+			out = append(out, name)
+		}
+	}
+	return out
 }
+
+// csvFlushAt bounds the encoder's in-memory buffer: rows accumulate until
+// the buffer passes this size, then flush in one Write. Large enough that
+// a whole scenario trace usually flushes once.
+const csvFlushAt = 1 << 15
 
 // WriteCSV emits the recorder in long format: series,t,value — one row per
-// sample, series in insertion order.
+// sample, series in insertion order. Rows are encoded with
+// strconv.AppendFloat into a reused buffer (byte-identical to the fmt
+// verbs %.6f / %.6g) and written in large chunks.
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "series,t,value"); err != nil {
-		return err
-	}
+	buf := make([]byte, 0, csvFlushAt+256)
+	buf = append(buf, "series,t,value\n"...)
 	for _, name := range r.order {
 		s := r.series[name]
 		for i := range s.T {
-			if _, err := fmt.Fprintf(w, "%s,%.6f,%.6g\n", name, s.T[i], s.V[i]); err != nil {
-				return err
+			buf = append(buf, name...)
+			buf = append(buf, ',')
+			buf = strconv.AppendFloat(buf, s.T[i], 'f', 6, 64)
+			buf = append(buf, ',')
+			buf = strconv.AppendFloat(buf, s.V[i], 'g', 6, 64)
+			buf = append(buf, '\n')
+			if len(buf) >= csvFlushAt {
+				if _, err := w.Write(buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
 			}
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -113,14 +208,20 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 
 // WriteWideCSV emits t plus one column per selected series, aligning rows
 // on the union of timestamps (missing samples are left empty). Pass no
-// names to include every series.
+// names to include every series that holds samples.
 func (r *Recorder) WriteWideCSV(w io.Writer, names ...string) error {
 	if len(names) == 0 {
-		names = r.order
+		names = r.Names()
+	}
+	// Dense column handles and cursors, resolved once: the inner loop
+	// indexes slices instead of paying a string-keyed map lookup per cell.
+	cols := make([]*Series, len(names))
+	for i, name := range names {
+		cols[i] = r.series[name] // nil for unknown names: empty column
 	}
 	stamps := map[float64]bool{}
-	for _, name := range names {
-		if s := r.series[name]; s != nil {
+	for _, s := range cols {
+		if s != nil {
 			for _, t := range s.T {
 				stamps[t] = true
 			}
@@ -131,36 +232,53 @@ func (r *Recorder) WriteWideCSV(w io.Writer, names ...string) error {
 		ts = append(ts, t)
 	}
 	sort.Float64s(ts)
-	if _, err := fmt.Fprintf(w, "t,%s\n", strings.Join(names, ",")); err != nil {
-		return err
+	buf := make([]byte, 0, csvFlushAt+256)
+	buf = append(buf, 't')
+	for _, name := range names {
+		buf = append(buf, ',')
+		buf = append(buf, name...)
 	}
+	buf = append(buf, '\n')
 	// Per-series cursor advances monotonically with sorted timestamps.
-	cursor := make(map[string]int, len(names))
+	cursors := make([]int, len(names))
 	for _, t := range ts {
-		row := make([]string, 0, len(names)+1)
-		row = append(row, fmt.Sprintf("%.6f", t))
-		for _, name := range names {
-			s := r.series[name]
-			cell := ""
-			if s != nil {
-				i := cursor[name]
-				for i < len(s.T) && s.T[i] < t {
-					i++
-				}
-				// Several samples can share a timestamp; emit the
-				// last one so none is silently dropped on later rows.
-				// Exact match is intended: t is drawn from the same
-				// stored values it is compared against.
-				//lint:allow floateq matching identical stored values, not computed ones
-				for i < len(s.T) && s.T[i] == t {
-					cell = fmt.Sprintf("%.6g", s.V[i])
-					i++
-				}
-				cursor[name] = i
+		buf = strconv.AppendFloat(buf, t, 'f', 6, 64)
+		for ci, s := range cols {
+			buf = append(buf, ',')
+			if s == nil {
+				continue
 			}
-			row = append(row, cell)
+			i := cursors[ci]
+			for i < len(s.T) && s.T[i] < t {
+				i++
+			}
+			// Several samples can share a timestamp; emit the
+			// last one so none is silently dropped on later rows.
+			// Exact match is intended: t is drawn from the same
+			// stored values it is compared against.
+			has := false
+			v := 0.0
+			//lint:allow floateq matching identical stored values, not computed ones
+			for i < len(s.T) && s.T[i] == t {
+				v = s.V[i]
+				has = true
+				i++
+			}
+			cursors[ci] = i
+			if has {
+				buf = strconv.AppendFloat(buf, v, 'g', 6, 64)
+			}
 		}
-		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+		buf = append(buf, '\n')
+		if len(buf) >= csvFlushAt {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}

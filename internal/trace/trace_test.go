@@ -199,20 +199,23 @@ func (w *failWriter) Write(p []byte) (int, error) {
 }
 
 func TestWriteCSVPropagatesErrors(t *testing.T) {
+	// Enough samples to overflow the encoder's flush buffer several times,
+	// so a writer that fails after the first chunk still sees the error.
 	r := NewRecorder()
-	r.Add("a", 0, 1)
-	r.Add("a", 1, 2)
+	for i := 0; i < 5000; i++ {
+		r.Add("a", float64(i), float64(2*i))
+	}
 	if err := r.WriteCSV(&failWriter{left: 0}); err == nil {
-		t.Error("header write error not propagated")
+		t.Error("first-chunk write error not propagated")
 	}
 	if err := r.WriteCSV(&failWriter{left: 1}); err == nil {
-		t.Error("row write error not propagated")
+		t.Error("later-chunk write error not propagated")
 	}
 	if err := r.WriteWideCSV(&failWriter{left: 0}); err == nil {
-		t.Error("wide header write error not propagated")
+		t.Error("wide first-chunk write error not propagated")
 	}
 	if err := r.WriteWideCSV(&failWriter{left: 1}); err == nil {
-		t.Error("wide row write error not propagated")
+		t.Error("wide later-chunk write error not propagated")
 	}
 }
 
@@ -234,5 +237,76 @@ func TestWriteWideCSVDuplicateTimestamps(t *testing.T) {
 	}
 	if lines[2] != "1.000000,3" {
 		t.Errorf("row at t=1 = %q, want 3 (not dropped)", lines[2])
+	}
+}
+
+func TestRecorderResetBehavesLikeFresh(t *testing.T) {
+	r := NewRecorder()
+	h := r.Handle("b")
+	r.Add("a", 0, 1)
+	h.Add(0, 2)
+	r.Reset()
+	if n := r.Names(); len(n) != 0 {
+		t.Fatalf("Names after Reset = %v, want empty", n)
+	}
+	if r.Series("a") != nil {
+		t.Fatal("Series(a) non-nil after Reset")
+	}
+	// The pre-Reset handle stays valid and re-registers on first use; a
+	// different registration order this cycle must be honored.
+	h.Add(1, 3)
+	r.Add("a", 1, 4)
+	var fresh, reused strings.Builder
+	if err := r.WriteCSV(&reused); err != nil {
+		t.Fatal(err)
+	}
+	f := NewRecorder()
+	f.Add("b", 1, 3)
+	f.Add("a", 1, 4)
+	if err := f.WriteCSV(&fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.String() != reused.String() {
+		t.Fatalf("reset recorder CSV diverged:\nfresh:\n%s\nreused:\n%s", fresh.String(), reused.String())
+	}
+}
+
+func TestPreInternedEmptySeriesInvisible(t *testing.T) {
+	r := NewRecorder()
+	r.Handle("never.sampled")
+	r.Add("a", 0, 1)
+	if got := r.Names(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Names = %v, want [a]", got)
+	}
+	if r.Series("never.sampled") != nil {
+		t.Fatal("empty interned series visible through Series()")
+	}
+	var sb strings.Builder
+	if err := r.WriteWideCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "never.sampled") {
+		t.Fatalf("empty interned series leaked into wide CSV:\n%s", sb.String())
+	}
+}
+
+// TestHandleAppendZeroAlloc is the memory-discipline gate for the
+// handle-based recording path: once buffers have grown, appends through a
+// handle must not allocate.
+func TestHandleAppendZeroAlloc(t *testing.T) {
+	r := NewRecorder()
+	h := r.Handle("x")
+	for i := 0; i < 4096; i++ {
+		h.Add(float64(i), 1)
+	}
+	r.Reset()
+	h = r.Handle("x")
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Add(float64(i), 2)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("handle append allocates %v allocs/op after warm-up", allocs)
 	}
 }

@@ -200,7 +200,12 @@ func (c *Controller) Steer(s vehicle.State, path vehicle.Path, n int) float64 {
 		lo[k] = -c.cfg.Params.MaxSteer
 		hi[k] = c.cfg.Params.MaxSteer
 	}
-	x, err := linalg.BoxLSQ(a, b, lo, hi, nil, linalg.DefaultBoxLSQOptions())
+	// The plain fixed-step iteration, not the accelerated default: the
+	// tracking gains are tuned around the damped steering sequences the
+	// budget-capped plain method produces from a cold midpoint start.
+	opts := linalg.DefaultBoxLSQOptions()
+	opts.Plain = true
+	x, err := linalg.BoxLSQ(a, b, lo, hi, nil, opts)
 	if err != nil {
 		// The box is always non-empty and the matrix finite; a solver
 		// failure is a programming error, but a safe steering output

@@ -19,8 +19,9 @@ race:
 
 # autoe2e-lint is this repository's own invariant checker (internal/lint):
 # determinism, simtime-only durations, float equality, map-iteration
-# order, panic discipline, and typed physical units. See the Invariants
-# section of DESIGN.md.
+# order, panic discipline, typed physical units, owned-buffer lifetimes,
+# pooled-type reset completeness, and the //lint:noalloc escape gate. See
+# the Invariants and "Ownership & lifetimes" sections of DESIGN.md.
 lint:
 	$(GO) run ./cmd/autoe2e-lint ./...
 

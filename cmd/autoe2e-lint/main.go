@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	autoe2e-lint [-only name,name] [-list] [packages]
+//	autoe2e-lint [-only name,name] [-list] [-escape-report] [packages]
 //
 // The package arguments are accepted for familiarity ("./...") but the
 // tool always loads the whole module containing the working directory:
 // the invariants are module-wide by design.
+//
+// -escape-report prints every heap-escape site the compiler reports for
+// the module, one "file:line:col: message" per line, annotated or not —
+// the raw material CI diffs against a base revision to comment on newly
+// escaping sites.
 package main
 
 import (
@@ -31,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	escapeReport := fs.Bool("escape-report", false, "print every module heap-escape site and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -39,6 +45,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *list {
 		for _, a := range analyzers {
 			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *escapeReport {
+		wd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintln(stderr, "autoe2e-lint:", err)
+			return 2
+		}
+		root, err := lint.FindModuleRoot(wd)
+		if err != nil {
+			fmt.Fprintln(stderr, "autoe2e-lint:", err)
+			return 2
+		}
+		sites, err := lint.EscapeReport(root)
+		if err != nil {
+			fmt.Fprintln(stderr, "autoe2e-lint:", err)
+			return 2
+		}
+		for _, s := range sites {
+			fmt.Fprintln(stdout, s)
 		}
 		return 0
 	}

@@ -25,9 +25,31 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exit %d: %s", code, errb.String())
 	}
-	for _, name := range []string{"nodeterminism", "simtimemix", "floateq", "mapiter", "panicguard", "unitsafe"} {
+	for _, name := range []string{
+		"nodeterminism", "simtimemix", "floateq", "mapiter", "panicguard",
+		"unitsafe", "ownedbuf", "resetcomplete", "hotpathalloc",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestEscapeReport pins the report format CI diffs between revisions: zero
+// exit, one "path:line:col: message" per line with module-relative paths.
+func TestEscapeReport(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-escape-report"}, &out, &errb); code != 0 {
+		t.Fatalf("-escape-report exit %d: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("-escape-report printed no sites; the module certainly heap-allocates somewhere")
+	}
+	for _, line := range lines {
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) != 4 || strings.HasPrefix(parts[0], "/") {
+			t.Errorf("site %q: want relative path:line:col: message", line)
 		}
 	}
 }

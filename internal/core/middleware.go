@@ -127,13 +127,16 @@ type Middleware struct {
 	reclaimedHs   []*trace.Series
 	restoredHs    []*trace.Series
 	restoreRoundH *trace.Series
-	utilsBuf      []units.Util
+	//lint:sticky sampling scratch, fully overwritten by SampleUtilizationsInto before each read
+	utilsBuf []units.Util
 
-	innerCount   int
+	innerCount int
+	//lint:sticky double-buffer; Start refills it before the first tick reads it
 	lastCounters []sched.TaskCounter
-	countersBuf  []sched.TaskCounter
-	started      bool
-	err          error
+	//lint:sticky double-buffer scratch, fully overwritten by CountersInto before each read
+	countersBuf []sched.TaskCounter
+	started     bool
+	err         error
 }
 
 // NewMiddleware wires the controllers to a scheduler. The recorder may be
@@ -209,6 +212,8 @@ func (m *Middleware) fail(err error) {
 
 // Start schedules the periodic control ticks. Call once, before running the
 // engine.
+//
+//lint:noalloc
 func (m *Middleware) Start() {
 	if m.started {
 		panic("core: Middleware.Start called twice")
@@ -222,6 +227,8 @@ func (m *Middleware) Start() {
 // can rerun it against a reset scheduler and recorder. The interned series
 // handles, name strings, and sampling buffers are kept — that reuse is the
 // point.
+//
+//lint:noalloc
 func (m *Middleware) Reset() {
 	if m.inner != nil {
 		m.inner.Reset()
@@ -239,6 +246,8 @@ func (m *Middleware) Reset() {
 // A package-level function scheduled via AfterCall with the middleware as
 // the argument, it avoids the per-tick method-value closure allocation that
 // m.innerTick as an EventFunc would cost.
+//
+//lint:noalloc
 func middlewareTickEvent(now simtime.Time, arg any) {
 	arg.(*Middleware).innerTick(now)
 }
@@ -246,6 +255,8 @@ func middlewareTickEvent(now simtime.Time, arg any) {
 // innerTick runs one inner control period: sample monitors, record metrics,
 // run the rate controller, and every OuterEvery-th period run the outer
 // precision controller.
+//
+//lint:noalloc
 func (m *Middleware) innerTick(now simtime.Time) {
 	m.utilsBuf = m.sch.SampleUtilizationsInto(m.utilsBuf)
 	utils := m.utilsBuf
@@ -255,7 +266,7 @@ func (m *Middleware) innerTick(now simtime.Time) {
 		if _, err := m.inner.Step(utils); err != nil {
 			// The MPC can only fail on programmer error (dimension
 			// mismatch); stopping the run loudly beats silently coasting.
-			m.fail(fmt.Errorf("core: inner loop at %v: %w", now, err))
+			m.fail(fmt.Errorf("core: inner loop at %v: %w", now, err)) //lint:allow hotpathalloc error path; the run is already failing
 			return
 		}
 	}
@@ -268,7 +279,7 @@ func (m *Middleware) innerTick(now simtime.Time) {
 		if m.innerCount%m.cfg.OuterEvery == 0 {
 			res, err := m.outer.Step(utils)
 			if err != nil {
-				m.fail(fmt.Errorf("core: outer loop at %v: %w", now, err))
+				m.fail(fmt.Errorf("core: outer loop at %v: %w", now, err)) //lint:allow hotpathalloc error path; the run is already failing
 				return
 			}
 			for j := range res.Reclaimed {
@@ -290,6 +301,8 @@ func (m *Middleware) innerTick(now simtime.Time) {
 // recordMetrics appends the per-period observability series: utilization
 // per ECU, rate per task, windowed miss ratio per task and overall, and the
 // total computation precision.
+//
+//lint:noalloc
 func (m *Middleware) recordMetrics(now simtime.Time, utils []units.Util) {
 	t := now.Seconds()
 	for j, u := range utils {

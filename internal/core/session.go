@@ -50,6 +50,8 @@ type sessionEvent struct {
 }
 
 // sessionEventCall is the engine trampoline for scripted scenario events.
+//
+//lint:noalloc
 func sessionEventCall(_ simtime.Time, arg any) {
 	ev := arg.(*sessionEvent)
 	ev.do(ev.st)
@@ -62,6 +64,8 @@ func NewSession() *Session { return &Session{} }
 // as the package-level Run would: same validation, same event ordering,
 // same results. ReferenceSubstrate configs delegate to the fresh-allocation
 // Run — the naive scheduler exists to be rebuilt from scratch.
+//
+//lint:noalloc
 func (s *Session) Run(cfg RunConfig) (*RunResult, error) {
 	if cfg.System == nil {
 		return nil, fmt.Errorf("core: RunConfig.System is required")
@@ -70,11 +74,11 @@ func (s *Session) Run(cfg RunConfig) (*RunResult, error) {
 		return nil, fmt.Errorf("core: RunConfig.Exec is required")
 	}
 	if cfg.Duration <= 0 {
-		return nil, fmt.Errorf("core: RunConfig.Duration = %v, want > 0", cfg.Duration)
+		return nil, fmt.Errorf("core: RunConfig.Duration = %v, want > 0", cfg.Duration) //lint:allow hotpathalloc config-error path, never taken in a valid run
 	}
 	for _, ev := range cfg.Events {
 		if ev.Do == nil {
-			return nil, fmt.Errorf("core: scenario event at %v has nil action", ev.At)
+			return nil, fmt.Errorf("core: scenario event at %v has nil action", ev.At) //lint:allow hotpathalloc config-error path, never taken in a valid run
 		}
 	}
 	mwCfg := cfg.Middleware.withDefaults()
@@ -108,9 +112,9 @@ func (s *Session) Run(cfg RunConfig) (*RunResult, error) {
 		// fields only once everything constructed, so a failed rebuild
 		// leaves the session consistently unbuilt rather than half-swapped.
 		s.built = false
-		eng := simtime.NewEngine()
-		rec := trace.NewRecorder()
-		state := taskmodel.NewState(cfg.System)
+		eng := simtime.NewEngine()              //lint:allow hotpathalloc cold path: the first run builds the plumbing
+		rec := trace.NewRecorder()              //lint:allow hotpathalloc cold path: the first run builds the plumbing
+		state := taskmodel.NewState(cfg.System) //lint:allow hotpathalloc cold path: the first run builds the plumbing
 		if cfg.Setup != nil {
 			cfg.Setup(state)
 		}
@@ -144,10 +148,8 @@ func (s *Session) Run(cfg RunConfig) (*RunResult, error) {
 		return nil, err
 	}
 
-	s.res = RunResult{
-		Trace:    s.rec,
-		Counters: s.sch.CountersInto(s.res.Counters),
-		State:    s.state,
-	}
+	s.res.Trace = s.rec
+	s.res.State = s.state
+	s.res.Counters = s.sch.CountersInto(s.res.Counters) //lint:allow hotpathalloc first-run sizing; warm runs reuse the buffer
 	return &s.res, nil
 }

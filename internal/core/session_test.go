@@ -309,3 +309,121 @@ func TestRunAllJoinsAllErrors(t *testing.T) {
 		t.Error("failed runs kept non-nil results")
 	}
 }
+
+// TestSessionDecentralizedReuseGolden pins the decentralized inner loop's
+// no-op Reset: eucon.Decentralized carries no warm state across periods
+// (every buffer is per-Step scratch), so a session reused after a run that
+// drove the system to a different operating point must reproduce the fresh
+// runner byte-for-byte. If any scratch ever becomes load-bearing across
+// runs, this test catches it before the golden sweeps do.
+func TestSessionDecentralizedReuseGolden(t *testing.T) {
+	sys := testSystem(t)
+	golden := RunConfig{
+		System: sys,
+		Exec:   exectime.Nominal{},
+		Middleware: Config{
+			Mode:               ModeAutoE2E,
+			InnerPeriod:        simtime.Second,
+			DecentralizedInner: true,
+		},
+		Duration: 12 * simtime.Second,
+	}
+	fresh, err := Run(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := sessionCSV(t, fresh)
+	wantCounters := fresh.Counters
+
+	// Dirty the warm plumbing: same shape (warm-path reuse), different
+	// per-run knobs, scripted rate kicks pushing every controller off the
+	// golden trajectory.
+	dirty := golden
+	dirty.Duration = 7 * simtime.Second
+	dirty.Events = []Event{
+		{At: simtime.At(1), Do: func(st *taskmodel.State) {
+			st.SetRate(0, 40)
+			st.SetRate(1, 5)
+		}},
+	}
+	s := NewSession()
+	if _, err := s.Run(dirty); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Run(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sessionCSV(t, got), wantCSV) {
+		t.Error("reused decentralized session diverged from fresh Run (trace mismatch)")
+	}
+	if len(got.Counters) != len(wantCounters) {
+		t.Fatalf("counters length %d != %d", len(got.Counters), len(wantCounters))
+	}
+	for i := range wantCounters {
+		if got.Counters[i] != wantCounters[i] {
+			t.Errorf("task %d counters = %+v, want %+v", i, got.Counters[i], wantCounters[i])
+		}
+	}
+}
+
+// TestRunStreamRetainWithoutClone demonstrates end-to-end the aliasing bug
+// the ownedbuf analyzer exists to catch: a RunStream callback that retains
+// the *RunResult pointer observes it silently overwritten by the worker's
+// next run, while a Clone taken inside the callback keeps the first run's
+// data. (Test files are exempt from the analyzer, which is what lets this
+// file retain without Clone on purpose.)
+func TestRunStreamRetainWithoutClone(t *testing.T) {
+	sys := testSystem(t)
+	mk := func(d simtime.Duration) RunConfig {
+		return RunConfig{
+			System:     sys,
+			Exec:       exectime.Nominal{},
+			Middleware: Config{Mode: ModeAutoE2E, InnerPeriod: simtime.Second},
+			Duration:   d,
+		}
+	}
+	cfgs := []RunConfig{mk(4 * simtime.Second), mk(9 * simtime.Second)}
+
+	i := 0
+	next := func() (RunConfig, bool) {
+		if i >= len(cfgs) {
+			return RunConfig{}, false
+		}
+		cfg := cfgs[i]
+		i++
+		return cfg, true
+	}
+	var retained, cloned *RunResult
+	RunStream(next, 1, func(idx int, r *RunResult, err error) {
+		if err != nil {
+			t.Errorf("run %d: %v", idx, err)
+			return
+		}
+		if idx == 0 {
+			retained = r
+			cloned = r.Clone()
+		}
+	})
+
+	want0, err := Run(cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1, err := Run(cfgs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clone is the first run, byte for byte.
+	if !bytes.Equal(sessionCSV(t, cloned), sessionCSV(t, want0)) {
+		t.Error("in-callback Clone does not match the first run")
+	}
+	// The retained pointer is not: the single worker's session overwrote
+	// it with the second run's data — the corruption this test pins.
+	if bytes.Equal(sessionCSV(t, retained), sessionCSV(t, want0)) {
+		t.Error("retained result still matches run 0; expected it to be overwritten (did Session stop reusing buffers?)")
+	}
+	if !bytes.Equal(sessionCSV(t, retained), sessionCSV(t, want1)) {
+		t.Error("retained result matches neither run; expected exactly the second run's data")
+	}
+}

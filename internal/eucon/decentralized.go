@@ -39,16 +39,24 @@ type Decentralized struct {
 	cfg   DecentralizedConfig
 
 	// Persistent scratch reused across Steps (the decentralized loop is
-	// also a hot path in the scalability sweeps).
-	load    []float64 // m×n flattened: load[ti*n+j] = F_{j,ti}
-	tasksOn []int     // n: tasks loading each ECU
-	counted []bool    // n
-	deltas  []float64 // m: computed moves (NaN = task touches no ECU)
-	res     Result
+	// also a hot path in the scalability sweeps). Reset leaves all of it
+	// alone on proof that Step never reads a cell it has not written this
+	// period — see the sticky justifications and the Session-reuse golden
+	// test.
+	//lint:sticky scratch; Step rewrites every cell from the system description before any read
+	load []float64 // m×n flattened: load[ti*n+j] = F_{j,ti}
+	//lint:sticky scratch; Step recounts every ECU from zero before any read
+	tasksOn []int // n: tasks loading each ECU
+	//lint:sticky scratch; Step clears and refills it for every task before any read
+	counted []bool // n
+	//lint:sticky scratch; the parallel phase writes every task's move before the serial apply reads any
+	deltas []float64 // m: computed moves (NaN = task touches no ECU)
+	res    Result
 
 	// curUtils holds the current period's measurements for computeOne;
 	// the closure handed to the worker pool is built once in
 	// NewDecentralized so that Step does not allocate it per call.
+	//lint:sticky aliases Step's utils argument during the parallel phase and is nilled before Step returns
 	curUtils  []units.Util
 	computeFn func(ti int)
 }
@@ -125,6 +133,8 @@ func NewDecentralized(state *taskmodel.State, cfg DecentralizedConfig) (*Decentr
 // load/tasksOn/curUtils snapshots and writes only deltas[ti] (NaN marks a
 // task with no load anywhere) — the parallel package's determinism
 // contract.
+//
+//lint:noalloc
 func (d *Decentralized) computeOne(ti int) {
 	sys := d.state.System()
 	n := sys.NumECUs
@@ -149,20 +159,24 @@ func (d *Decentralized) computeOne(ti int) {
 	d.deltas[ti] = d.cfg.Gain * delta
 }
 
+// Reset is a no-op: the decentralized controller carries no state across
+// periods (every buffer is per-Step scratch, audited field by field above).
+// It exists so both inner controllers satisfy the same reuse contract.
+//
+//lint:noalloc
+func (d *Decentralized) Reset() {}
+
 // Step runs one control period: every task adjusts its rate from its
 // neighbor ECUs' measured utilizations. It returns the same Result shape as
 // the centralized controller; the Result's slices are reused by the next
 // Step (see Result).
-// Reset is a no-op: the decentralized controller carries no state across
-// periods (every buffer is per-Step scratch). It exists so both inner
-// controllers satisfy the same reuse contract.
-func (d *Decentralized) Reset() {}
-
+//
+//lint:noalloc
 func (d *Decentralized) Step(utils []units.Util) (Result, error) {
 	sys := d.state.System()
 	n, m := sys.NumECUs, len(sys.Tasks)
 	if len(utils) != n {
-		return Result{}, fmt.Errorf("eucon: got %d utilizations, want %d", len(utils), n)
+		return Result{}, fmt.Errorf("eucon: got %d utilizations, want %d", len(utils), n) //lint:allow hotpathalloc dimension-error path, never taken in a valid run
 	}
 
 	// Load coefficients and per-ECU task counts (the "neighborhood"

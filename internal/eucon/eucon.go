@@ -126,31 +126,38 @@ type Controller struct {
 	prevDelta []float64
 
 	// Persistent scratch, sized once in New and reused by every Step.
-	f      *linalg.Matrix // n×m load matrix F
-	wf     *linalg.Matrix // n×m row-weighted load matrix, wf[j] = w_j·F[j]
-	gram   *linalg.Matrix // m×m weighted Gram matrix G = wfᵀ·wf
-	ata    *linalg.Matrix // (M·m)×(M·m) normal-equation matrix AᵀA
-	atb    []float64      // M·m right-hand side Aᵀb
-	gb     []float64      // m: Σ_j wf[j,t]·(w_j·hb_j)
-	sums   []float64      // M: s_l = Σ_{i>l} (1 − RefDecay^i)
-	wj     []float64      // n: per-ECU tracking weights
-	wb     []float64      // n: w_j·headroom_j
-	lo, hi []float64      // M·m box bounds
-	prevX  []float64      // previous full solution, PGD warm start
-	warm   bool           // prevX holds a valid previous solution
-	ws     *linalg.BoxLSQWorkspace
+	f    *linalg.Matrix // n×m load matrix F
+	wf   *linalg.Matrix // n×m row-weighted load matrix, wf[j] = w_j·F[j]
+	gram *linalg.Matrix // m×m weighted Gram matrix G = wfᵀ·wf
+	ata  *linalg.Matrix // (M·m)×(M·m) normal-equation matrix AᵀA
+	//lint:sticky scratch, fully rewritten by normalEquations before each solve
+	atb []float64 // M·m right-hand side Aᵀb
+	//lint:sticky scratch, fully rewritten by normalEquations before each solve
+	gb []float64 // m: Σ_j wf[j,t]·(w_j·hb_j)
+	//lint:sticky scratch, fully rewritten by normalEquations before each solve
+	sums []float64 // M: s_l = Σ_{i>l} (1 − RefDecay^i)
+	//lint:sticky scratch, fully rewritten by normalEquations before each solve
+	wj []float64 // n: per-ECU tracking weights
+	//lint:sticky scratch, fully rewritten by normalEquations before each solve
+	wb []float64 // n: w_j·headroom_j
+	//lint:sticky box bounds, fully rewritten by Step before each solve
+	lo, hi []float64 // M·m box bounds
+	//lint:sticky PGD warm start, guarded by warm (Reset clears the flag, not the buffer)
+	prevX []float64 // previous full solution, PGD warm start
+	warm  bool      // prevX holds a valid previous solution
+	ws    *linalg.BoxLSQWorkspace
 
 	// res holds the Result buffers handed back by Step; see Result for the
 	// ownership rule.
 	res Result
 }
 
-// New builds a controller operating on the given mutable state. It returns
-// an error on invalid configuration.
 // Reset clears all cross-period state — the previous move Δr(k−1) of the
 // control-change penalty, the warm-start solution, and the solver's
 // carried eigenvector — so the next Step behaves exactly like the first
 // Step of a freshly-built controller on the current State.
+//
+//lint:noalloc
 func (c *Controller) Reset() {
 	for i := range c.prevDelta {
 		c.prevDelta[i] = 0
@@ -159,6 +166,8 @@ func (c *Controller) Reset() {
 	c.ws.Reset()
 }
 
+// New builds a controller operating on the given mutable state. It returns
+// an error on invalid configuration.
 func New(state *taskmodel.State, cfg Config) (*Controller, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -208,6 +217,8 @@ type Result struct {
 
 // loadMatrixInto fills F: F_ji = Σ_{T_il ∈ S_j} c_il·a_il in seconds, using
 // the controller's offline estimates c_il and the current precision ratios.
+//
+//lint:noalloc
 func loadMatrixInto(f *linalg.Matrix, state *taskmodel.State) {
 	f.Zero()
 	sys := state.System()
@@ -227,6 +238,8 @@ func loadMatrixInto(f *linalg.Matrix, state *taskmodel.State) {
 // (Hz). Scaling ρ by the mean squared column norm of F weights the two
 // terms on comparable scales regardless of the task set's execution-time
 // units.
+//
+//lint:noalloc
 func controlPenaltyRho(f *linalg.Matrix, controlPenalty float64) float64 {
 	n, m := f.Rows(), f.Cols()
 	fScale := 0.0
@@ -267,6 +280,8 @@ func controlPenaltyRho(f *linalg.Matrix, controlPenalty float64) float64 {
 // allocations and straightforward loops; TestNormalEquationsMatchStacked
 // additionally pins them against the explicitly materialized stacked
 // matrix.
+//
+//lint:noalloc
 func normalEquations(c *Controller, utils []units.Util, rho float64) {
 	sys := c.state.System()
 	n, m := sys.NumECUs, len(sys.Tasks)
@@ -357,11 +372,13 @@ func normalEquations(c *Controller, utils []units.Util, rho float64) {
 // the resulting rates. len(utils) must equal the number of ECUs.
 //
 // The returned Result's slices are reused by the next Step; see Result.
+//
+//lint:noalloc
 func (c *Controller) Step(utils []units.Util) (Result, error) {
 	sys := c.state.System()
 	n, m := sys.NumECUs, len(sys.Tasks)
 	if len(utils) != n {
-		return Result{}, fmt.Errorf("eucon: got %d utilizations, want %d", len(utils), n)
+		return Result{}, fmt.Errorf("eucon: got %d utilizations, want %d", len(utils), n) //lint:allow hotpathalloc dimension-error path, never taken in a valid run
 	}
 	mh := c.cfg.ControlHorizon
 

@@ -59,13 +59,20 @@ func DefaultBoxLSQOptions() BoxLSQOptions {
 // concurrent use); the slice returned by SolveNormal aliases the workspace
 // and is valid only until the next solve.
 type BoxLSQWorkspace struct {
-	x    []float64 // solution buffer, returned to the caller
-	xn   []float64 // next iterate (projected gradient step from y)
-	y    []float64 // extrapolated point the gradient is evaluated at
+	//lint:sticky sized by ensure, fully overwritten by each solve before any read
+	x []float64 // solution buffer, returned to the caller
+	//lint:sticky sized by ensure, fully overwritten by each solve before any read
+	xn []float64 // next iterate (projected gradient step from y)
+	//lint:sticky sized by ensure, fully overwritten by each solve before any read
+	y []float64 // extrapolated point the gradient is evaluated at
+	//lint:sticky sized by ensure, fully overwritten by each solve before any read
 	grad []float64 // gradient buffer
-	eig  []float64 // power-iteration eigenvector, warm-started across solves
-	pw   []float64 // power-iteration scratch (m·v)
-	pt   []float64 // power-iteration scratch (m·w)
+	//lint:sticky warm-start state, guarded by haveEig (Reset clears the flag, not the buffer)
+	eig []float64 // power-iteration eigenvector, warm-started across solves
+	//lint:sticky sized by ensure, fully overwritten by spectralNorm before any read
+	pw []float64 // power-iteration scratch (m·v)
+	//lint:sticky sized by ensure, fully overwritten by spectralNorm before any read
+	pt []float64 // power-iteration scratch (m·w)
 
 	// haveEig records that eig holds a converged estimate from a previous
 	// solve of the same dimension, to be reused as the starting vector.
@@ -109,23 +116,25 @@ func (ws *BoxLSQWorkspace) ensure(n int) {
 //
 // The returned point satisfies the KKT conditions of the box-constrained
 // problem to within opts.Tol, exactly as BoxLSQ does.
+//
+//lint:noalloc
 func (ws *BoxLSQWorkspace) SolveNormal(ata *Matrix, atb, lo, hi, x0 []float64, opts BoxLSQOptions) ([]float64, error) {
 	n := ata.Cols()
 	if ata.Rows() != n {
-		return nil, fmt.Errorf("linalg: SolveNormal on non-square %dx%d matrix", ata.Rows(), n)
+		return nil, fmt.Errorf("linalg: SolveNormal on non-square %dx%d matrix", ata.Rows(), n) //lint:allow hotpathalloc dimension-error path, never taken in a valid solve
 	}
 	if len(atb) != n || len(lo) != n || len(hi) != n {
-		return nil, fmt.Errorf("linalg: SolveNormal vector length %d/%d/%d != %d", len(atb), len(lo), len(hi), n)
+		return nil, fmt.Errorf("linalg: SolveNormal vector length %d/%d/%d != %d", len(atb), len(lo), len(hi), n) //lint:allow hotpathalloc dimension-error path, never taken in a valid solve
 	}
 	for i := 0; i < n; i++ {
 		if lo[i] > hi[i] {
-			return nil, fmt.Errorf("linalg: SolveNormal empty box at coordinate %d: [%g, %g]", i, lo[i], hi[i])
+			return nil, fmt.Errorf("linalg: SolveNormal empty box at coordinate %d: [%g, %g]", i, lo[i], hi[i]) //lint:allow hotpathalloc dimension-error path, never taken in a valid solve
 		}
 	}
 	if opts.MaxIter <= 0 {
 		opts = DefaultBoxLSQOptions()
 	}
-	ws.ensure(n)
+	ws.ensure(n) //lint:allow hotpathalloc dimension-change resize; steady state hits the sized path
 	if opts.Ridge > 0 {
 		for i := 0; i < n; i++ {
 			ata.Add(i, i, opts.Ridge)
@@ -145,7 +154,7 @@ func (ws *BoxLSQWorkspace) SolveNormal(ata *Matrix, atb, lo, hi, x0 []float64, o
 
 	if x0 != nil {
 		if len(x0) != n {
-			return nil, fmt.Errorf("linalg: SolveNormal x0 length %d != %d", len(x0), n)
+			return nil, fmt.Errorf("linalg: SolveNormal x0 length %d != %d", len(x0), n) //lint:allow hotpathalloc dimension-error path, never taken in a valid solve
 		}
 		copy(x, x0)
 	} else {
@@ -262,9 +271,11 @@ func BoxLSQ(a *Matrix, b, lo, hi, x0 []float64, opts BoxLSQOptions) ([]float64, 
 // exists. Successive control periods solve nearly identical problems, so
 // the carried vector is already almost the dominant eigenvector and the
 // iteration converges in a step or two instead of tens.
+//
+//lint:noalloc
 func (ws *BoxLSQWorkspace) spectralNorm(m *Matrix) float64 {
 	n := m.Rows()
-	ws.ensure(n)
+	ws.ensure(n) //lint:allow hotpathalloc dimension-change resize; steady state hits the sized path
 	v, w, t := ws.eig[:n], ws.pw[:n], ws.pt[:n]
 	if !ws.haveEig {
 		inv := 1 / math.Sqrt(float64(n))

@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// HotPathAlloc is the compile-time escape gate for the zero-allocation hot
+// path. Functions annotated
+//
+//	//lint:noalloc
+//
+// in their doc comment must not contain heap allocations according to the
+// compiler's own escape analysis (go build -gcflags=-m). The runtime
+// Test*ZeroAlloc gates assert "0 allocs/op" in aggregate; this analyzer
+// turns that into per-site attribution — it reports the exact line the
+// compiler decided escapes, so a regression names its cause instead of a
+// benchmark delta.
+//
+// Known behaviours inherited from the compiler: an allocation in an
+// inlinable callee is attributed to the caller's call line (annotate the
+// caller, or //lint:allow hotpathalloc the call site with a reason), and
+// constant-string escapes (static data, not per-call allocations) are
+// filtered out. Deliberate allocations — amortized pool growth, error and
+// panic construction on failure paths — carry //lint:allow hotpathalloc
+// with a justification.
+//
+// The module is compiled at most once per lint run (the result is cached
+// and shared across packages); fixture files under testdata are compiled
+// individually.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "functions marked //lint:noalloc must pass the compiler's escape analysis with no heap allocations",
+	Run:  runHotPathAlloc,
+}
+
+const noallocPrefix = "lint:noalloc"
+
+// escapeSite is one compiler-attributed heap allocation.
+type escapeSite struct {
+	file string // absolute path
+	line int
+	col  int
+	msg  string
+}
+
+// escapeCache memoizes one `go build -gcflags=-m` per build target, so
+// linting N packages of the module costs one compile, not N.
+var escapeCache = struct {
+	sync.Mutex
+	m map[string]*escapeAnalysis
+}{m: make(map[string]*escapeAnalysis)}
+
+type escapeAnalysis struct {
+	sites []escapeSite
+	err   error
+}
+
+func runHotPathAlloc(pass *Pass) {
+	// Gather annotated functions and police stray markers first: a marker
+	// that is not a function's doc comment silently gates nothing.
+	type gated struct {
+		decl *ast.FuncDecl
+		file *ast.File
+	}
+	var gatedFuncs []gated
+	consumed := make(map[*ast.Comment]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Doc == nil {
+				continue
+			}
+			for _, c := range d.Doc.List {
+				if isNoallocMarker(c) {
+					consumed[c] = true
+					if d.Body != nil {
+						gatedFuncs = append(gatedFuncs, gated{decl: d, file: f})
+					}
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if isNoallocMarker(c) && !consumed[c] {
+					pass.Reportf(c.Pos(), "stray //lint:noalloc: the marker must sit in a function's doc comment")
+				}
+			}
+		}
+	}
+	if len(gatedFuncs) == 0 {
+		return
+	}
+
+	ea := escapeSitesFor(pass)
+	if ea.err != nil {
+		pass.Reportf(pass.Files[0].Name.Pos(), "escape analysis unavailable: %v", ea.err)
+		return
+	}
+
+	// Attribute compiler-reported escapes to annotated function bodies.
+	for _, g := range gatedFuncs {
+		fname := pass.Fset.Position(g.decl.Pos()).Filename
+		abs, err := filepath.Abs(fname)
+		if err != nil {
+			continue
+		}
+		start := pass.Fset.Position(g.decl.Pos()).Line
+		end := pass.Fset.Position(g.decl.End()).Line
+		for _, site := range ea.sites {
+			if site.file != abs || site.line < start || site.line > end {
+				continue
+			}
+			pass.ReportAt(token.Position{Filename: fname, Line: site.line, Column: site.col},
+				"heap allocation in //lint:noalloc function %s: %s", g.decl.Name.Name, site.msg)
+		}
+	}
+}
+
+func isNoallocMarker(c *ast.Comment) bool {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	return text == noallocPrefix || strings.HasPrefix(text, noallocPrefix+" ")
+}
+
+// escapeSitesFor compiles the pass's package and returns the heap-escape
+// sites. Module packages share one whole-module build; fixture files under
+// testdata are compiled individually as single files.
+func escapeSitesFor(pass *Pass) *escapeAnalysis {
+	if underTestdata(pass.Dir) {
+		fname := pass.Fset.Position(pass.Files[0].Pos()).Filename
+		return cachedEscapeRun("file:"+fname, pass.Dir, filepath.Base(fname))
+	}
+	root, err := FindModuleRoot(pass.Dir)
+	if err != nil {
+		return &escapeAnalysis{err: err}
+	}
+	return cachedEscapeRun("module:"+root, root, "./...")
+}
+
+func underTestdata(dir string) bool {
+	for _, seg := range strings.Split(filepath.ToSlash(dir), "/") {
+		if seg == "testdata" {
+			return true
+		}
+	}
+	return false
+}
+
+func cachedEscapeRun(key, dir, target string) *escapeAnalysis {
+	escapeCache.Lock()
+	defer escapeCache.Unlock()
+	if ea := escapeCache.m[key]; ea != nil {
+		return ea
+	}
+	ea := runEscapeBuild(dir, target)
+	escapeCache.m[key] = ea
+	return ea
+}
+
+// escapeLineRe matches one compiler diagnostic: path:line:col: message.
+var escapeLineRe = regexp.MustCompile(`^(.+?):(\d+):(\d+): (.+)$`)
+
+// runEscapeBuild invokes the compiler's escape analysis and parses the
+// heap-escape sites out of its diagnostics. Relative paths (the compiler
+// prints module-root-relative paths for ./... builds and ./file.go for
+// single files) are resolved against dir.
+func runEscapeBuild(dir, target string) *escapeAnalysis {
+	cmd := exec.Command("go", "build", "-gcflags=-m", target)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return &escapeAnalysis{err: fmt.Errorf("go build -gcflags=-m %s: %v\n%s", target, err, out)}
+	}
+	seen := make(map[escapeSite]bool)
+	var sites []escapeSite
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeLineRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !isHeapEscapeMsg(msg) {
+			continue
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		colNo, _ := strconv.Atoi(m[3])
+		path := m[1]
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, path)
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			continue
+		}
+		site := escapeSite{file: abs, line: lineNo, col: colNo, msg: msg}
+		if !seen[site] {
+			seen[site] = true
+			sites = append(sites, site)
+		}
+	}
+	return &escapeAnalysis{sites: sites}
+}
+
+// isHeapEscapeMsg keeps the diagnostics that mean a per-call heap
+// allocation: "... escapes to heap" and "moved to heap: x". Constant
+// strings (static data) and "does not escape" / "leaking param" chatter
+// are dropped.
+func isHeapEscapeMsg(msg string) bool {
+	if strings.HasPrefix(msg, `"`) {
+		return false
+	}
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	return strings.Contains(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap")
+}
+
+// EscapeReport compiles the module rooted at root and returns every
+// heap-escape site as "relpath:line:col: message", sorted. CI's advisory
+// escape-gate job diffs this between base and head to surface
+// newly-escaping sites on PRs, independent of //lint:noalloc coverage.
+func EscapeReport(root string) ([]string, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	ea := cachedEscapeRun("module:"+root, root, "./...")
+	if ea.err != nil {
+		return nil, ea.err
+	}
+	out := make([]string, 0, len(ea.sites))
+	for _, s := range ea.sites {
+		rel, err := filepath.Rel(root, s.file)
+		if err != nil {
+			rel = s.file
+		}
+		out = append(out, fmt.Sprintf("%s:%d:%d: %s", filepath.ToSlash(rel), s.line, s.col, s.msg))
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -50,6 +50,7 @@ type Pass struct {
 	Pkg     *types.Package
 	Info    *types.Info
 	PkgPath string
+	Dir     string
 
 	analyzer *Analyzer
 	report   func(Diagnostic)
@@ -59,6 +60,19 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{
 		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAt records a diagnostic at an externally-computed position — the
+// path used when the source of truth is not a syntax node (e.g. a compiler
+// diagnostic re-attributed by hotpathalloc). The position's Filename must
+// match the file's name in the pass's FileSet so //lint:allow annotations
+// on that line apply as usual.
+func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
 		Analyzer: p.analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -83,6 +97,9 @@ func All() []*Analyzer {
 		MapIter,
 		PanicGuard,
 		Unitsafe,
+		OwnedBuf,
+		ResetComplete,
+		HotPathAlloc,
 	}
 }
 
@@ -109,7 +126,7 @@ func ByName(names []string) ([]*Analyzer, error) {
 // dropped.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	allow := collectAllows(pkg.Fset, pkg.Files)
-	var out []Diagnostic
+	out := allowHygiene(pkg.Fset, pkg.Files)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Fset:     pkg.Fset,
@@ -117,6 +134,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Pkg:      pkg.Pkg,
 			Info:     pkg.Info,
 			PkgPath:  pkg.Path,
+			Dir:      pkg.Dir,
 			analyzer: a,
 		}
 		pass.report = func(d Diagnostic) {
@@ -185,6 +203,51 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 		}
 	}
 	return set
+}
+
+// allowHygiene vets every //lint:allow annotation: each must name only
+// known analyzers (or "all") and carry a non-empty justification. A bare
+// allow silently widens the escape hatch, so the driver rejects it — these
+// diagnostics bypass allow filtering (an allow cannot vouch for itself).
+func allowHygiene(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	known := map[string]bool{"all": true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				names, reason := rest, ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					names, reason = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				pos := fset.Position(c.Pos())
+				if reason == "" {
+					out = append(out, Diagnostic{
+						Pos:      pos,
+						Analyzer: "allow",
+						Message:  "bare //lint:allow without a justification; state why the exception is safe",
+					})
+				}
+				for _, n := range strings.Split(names, ",") {
+					if n = strings.TrimSpace(n); n != "" && !known[n] {
+						out = append(out, Diagnostic{
+							Pos:      pos,
+							Analyzer: "allow",
+							Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", n),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
 }
 
 // allows reports whether an annotation on the diagnostic's line or the line

@@ -2,6 +2,8 @@ package lint
 
 import (
 	"fmt"
+	"go/parser"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -110,6 +112,9 @@ func TestFloatEq(t *testing.T)       { runFixtures(t, FloatEq) }
 func TestMapIter(t *testing.T)       { runFixtures(t, MapIter) }
 func TestPanicGuard(t *testing.T)    { runFixtures(t, PanicGuard) }
 func TestUnitsafe(t *testing.T)      { runFixtures(t, Unitsafe) }
+func TestOwnedBuf(t *testing.T)      { runFixtures(t, OwnedBuf) }
+func TestResetComplete(t *testing.T) { runFixtures(t, ResetComplete) }
+func TestHotPathAlloc(t *testing.T)  { runFixtures(t, HotPathAlloc) }
 
 // TestFixtureCoverage enforces the suite's own quality bar: every analyzer
 // ships at least 3 positive fixture cases (want markers) and at least 2
@@ -162,6 +167,101 @@ func TestAllowSuppression(t *testing.T) {
 	}
 	if diags := RunAnalyzers(pkg, []*Analyzer{NoDeterminism}); len(diags) != 0 {
 		t.Errorf("allow.go: want every diagnostic suppressed, got %v", diags)
+	}
+}
+
+// TestAllowHygiene checks the driver-level vetting of //lint:allow
+// annotations: a bare allow and an unknown analyzer name are rejected even
+// when no analyzer runs, and a justified allow with a known name is not.
+func TestAllowHygiene(t *testing.T) {
+	loader := NewLoader()
+	bad, err := loader.LoadFile(filepath.Join("testdata", "allowhygiene", "bad.go"), defaultFixturePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(bad, nil)
+	if len(diags) != 2 {
+		t.Fatalf("bad.go: want 2 hygiene diagnostics, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "without a justification") || diags[0].Analyzer != "allow" {
+		t.Errorf("bad.go first diagnostic: got %v", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, `unknown analyzer "nodetreminism"`) {
+		t.Errorf("bad.go second diagnostic: got %v", diags[1])
+	}
+
+	good, err := loader.LoadFile(filepath.Join("testdata", "allowhygiene", "good.go"), defaultFixturePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := RunAnalyzers(good, []*Analyzer{FloatEq}); len(diags) != 0 {
+		t.Errorf("good.go: want no diagnostics, got %v", diags)
+	}
+}
+
+// Pinned repo-wide annotation counts. Every //lint:allow and //lint:sticky
+// in linted (non-test, non-testdata) sources is an audited exception to an
+// invariant; a new one must show up in review as a change to these
+// numbers, with its justification next to it in the diff.
+const (
+	repoAllowCount  = 45 // updated by TestAnnotationInventory's failure output
+	repoStickyCount = 24
+)
+
+func TestAnnotationInventory(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var allows, stickies []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, _ := filepath.Rel(root, path)
+		// Parse the file so only real comments count: the analyzers' own
+		// diagnostic strings mention the markers inside string literals,
+		// and doc-comment prose continuation lines retain a leading "//".
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				at := fmt.Sprintf("%s:%d", rel, fset.Position(c.Pos()).Line)
+				if strings.HasPrefix(text, "lint:allow") {
+					allows = append(allows, at)
+				}
+				if strings.HasPrefix(text, "lint:sticky") {
+					stickies = append(stickies, at)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allows) != repoAllowCount {
+		t.Errorf("repo-wide //lint:allow count = %d, pinned %d; update repoAllowCount if the new exception is justified:\n  %s",
+			len(allows), repoAllowCount, strings.Join(allows, "\n  "))
+	}
+	if len(stickies) != repoStickyCount {
+		t.Errorf("repo-wide //lint:sticky count = %d, pinned %d; update repoStickyCount if the new warm state is justified:\n  %s",
+			len(stickies), repoStickyCount, strings.Join(stickies, "\n  "))
 	}
 }
 

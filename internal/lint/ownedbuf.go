@@ -1,0 +1,355 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// OwnedBuf flags retained aliases of owner-reused values. The pooled
+// runtime hands out buffers it overwrites on the next cycle — the
+// *core.RunResult a Session returns (and RunStream passes to its
+// callback), the Result structs of the eucon/precision/Decentralized
+// Steps, the CountersInto/SampleUtilizationsInto double-buffers, the
+// solution vector of BoxLSQWorkspace.SolveNormal, and the raw slice behind
+// trace.Series.Values. Reading such a value inside the tick or callback
+// that produced it is the contract; storing it anywhere that outlives that
+// scope without an intervening Clone (or an explicit copy) is silent data
+// corruption one run later.
+//
+// The analyzer tracks ownership intraprocedurally: a value is owned if it
+// comes from a registry call, from a func-literal parameter of an owned
+// type (the RunStream callback shape, including wrappers that forward the
+// callback), or from a local assigned one of those. Ownership propagates
+// through field selection, slicing, and dereference — res.Trace is as
+// owned as res — but not through Clone calls or element reads (an indexed
+// element is a value copy). Reported sinks: stores into struct fields,
+// slice/map elements, or pointer targets; appends; channel sends; stores
+// into composite literals; and assignments to variables captured from an
+// outer scope (closure capture) or declared at package level.
+//
+// Two deliberate holes: each owner package is trusted with its own buffers
+// (that is where the pooling is implemented), and the *Into double-buffer
+// rotation — storing the returned slice back into the struct whose field
+// supplied the destination buffer — is recognized as the intended pattern.
+//
+// trace.Recorder handles are NOT owned: handles are persistent by design
+// (they survive Reset), only the sample slices behind Values() are reused.
+var OwnedBuf = &Analyzer{
+	Name: "ownedbuf",
+	Doc:  "owner-reused buffers (RunResult, Step Results, *Into slices) must not be retained without Clone",
+	Run:  runOwnedBuf,
+}
+
+// ownedVal describes why a value is owned by its producer.
+type ownedVal struct {
+	what  string // human description for diagnostics
+	owner string // import-path suffix of the owning package, exempt from reports
+	// dstBase, when non-nil, is the object whose field supplied the
+	// destination buffer of a *Into call: storing the result back into a
+	// field of the same object is the double-buffer rotation, not a leak.
+	dstBase types.Object
+}
+
+func runOwnedBuf(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if d, ok := decl.(*ast.FuncDecl); ok && d.Body != nil {
+				obAnalyzeFunc(pass, d)
+			}
+		}
+	}
+}
+
+// obAnalyzeFunc runs the two-phase analysis on one function: a fixpoint
+// marking owned locals, then a sink walk reporting retained aliases.
+func obAnalyzeFunc(pass *Pass, decl *ast.FuncDecl) {
+	a := &obAnalysis{pass: pass, owned: make(map[types.Object]*ownedVal)}
+
+	// Seed: parameters of func literals whose type is an owned named type —
+	// the RunStream callback shape. Parameters of named functions are not
+	// seeded: a helper taking a result is presumed to use it within the
+	// caller's tick.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		flit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		for _, field := range flit.Type.Params.List {
+			for _, name := range field.Names {
+				obj := pass.Info.ObjectOf(name)
+				if obj == nil {
+					continue
+				}
+				if v := ownedNamedType(obj.Type()); v != nil {
+					a.owned[obj] = v
+				}
+			}
+		}
+		return true
+	})
+
+	// Fixpoint: locals assigned from owned expressions become owned.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			mark := func(lhs ast.Expr, v *ownedVal) {
+				id, isIdent := lhs.(*ast.Ident)
+				if !isIdent || v == nil {
+					return
+				}
+				obj := pass.Info.ObjectOf(id)
+				if obj == nil || a.owned[obj] != nil {
+					return
+				}
+				a.owned[obj] = v
+				changed = true
+			}
+			if len(as.Lhs) == len(as.Rhs) {
+				for i := range as.Lhs {
+					mark(as.Lhs[i], a.ownedOf(as.Rhs[i]))
+				}
+			} else if len(as.Rhs) == 1 {
+				// Tuple form: res, err := s.Run(cfg). The owned value is
+				// the call's first result.
+				if call, isCall := as.Rhs[0].(*ast.CallExpr); isCall {
+					mark(as.Lhs[0], a.ownedFromCall(call))
+				}
+			}
+			return true
+		})
+	}
+
+	a.walkSinks(decl.Body, nil)
+}
+
+type obAnalysis struct {
+	pass  *Pass
+	owned map[types.Object]*ownedVal
+}
+
+// ownedNamedType recognizes the owned result types themselves (behind at
+// most one pointer): core.RunResult and the controller Result structs. A
+// value copy of these still shares its slices, so values count too.
+func ownedNamedType(t types.Type) *ownedVal {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	path := obj.Pkg().Path()
+	switch {
+	case obj.Name() == "RunResult" && strings.HasSuffix(path, "internal/core"):
+		return &ownedVal{
+			what:  "session-owned *core.RunResult (overwritten by the session's next run)",
+			owner: "internal/core",
+		}
+	case obj.Name() == "Result" && strings.HasSuffix(path, "internal/eucon"):
+		return &ownedVal{
+			what:  "controller-owned eucon.Result (its slices are overwritten by the next Step)",
+			owner: "internal/eucon",
+		}
+	case obj.Name() == "Result" && strings.HasSuffix(path, "internal/precision"):
+		return &ownedVal{
+			what:  "controller-owned precision.Result (its slices are overwritten by the next Step)",
+			owner: "internal/precision",
+		}
+	}
+	return nil
+}
+
+// ownedFromCall recognizes registry calls that hand out owner-reused
+// buffers.
+func (a *obAnalysis) ownedFromCall(call *ast.CallExpr) *ownedVal {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	msel := a.pass.Info.Selections[sel]
+	if msel == nil || msel.Kind() != types.MethodVal {
+		return nil
+	}
+	sig, ok := msel.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+
+	// Any Step whose first result is a controller Result struct — covers
+	// both concrete controllers, Decentralized, and interface dispatch.
+	if sel.Sel.Name == "Step" && sig.Results().Len() > 0 {
+		if v := ownedNamedType(sig.Results().At(0).Type()); v != nil {
+			return v
+		}
+	}
+
+	recv := msel.Recv()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	path := named.Obj().Pkg().Path()
+	switch {
+	case named.Obj().Name() == "Session" && strings.HasSuffix(path, "internal/core") && sel.Sel.Name == "Run":
+		return &ownedVal{
+			what:  "session-owned *core.RunResult (overwritten by the session's next run)",
+			owner: "internal/core",
+		}
+	case named.Obj().Name() == "Scheduler" && strings.HasSuffix(path, "internal/sched") &&
+		(sel.Sel.Name == "CountersInto" || sel.Sel.Name == "SampleUtilizationsInto"):
+		v := &ownedVal{
+			what:  "double-buffered " + sel.Sel.Name + " slice (the caller's own buffer, reused each cycle)",
+			owner: "internal/sched",
+		}
+		if len(call.Args) > 0 {
+			v.dstBase = rootObjectOf(a.pass, call.Args[0])
+		}
+		return v
+	case named.Obj().Name() == "BoxLSQWorkspace" && strings.HasSuffix(path, "internal/linalg") && sel.Sel.Name == "SolveNormal":
+		return &ownedVal{
+			what:  "workspace-owned solution vector of SolveNormal (overwritten by the next solve)",
+			owner: "internal/linalg",
+		}
+	case named.Obj().Name() == "Series" && strings.HasSuffix(path, "internal/trace") && sel.Sel.Name == "Values":
+		return &ownedVal{
+			what:  "recorder-owned sample slice of Series.Values (truncated and reused across Reset)",
+			owner: "internal/trace",
+		}
+	}
+	return nil
+}
+
+// ownedOf reports the ownership of an expression. Ownership flows through
+// field selection, slicing, dereference, and address-of; it stops at Clone
+// calls, element reads (value copies), and everything else.
+func (a *obAnalysis) ownedOf(e ast.Expr) *ownedVal {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := a.pass.Info.ObjectOf(x); obj != nil {
+			return a.owned[obj]
+		}
+	case *ast.ParenExpr:
+		return a.ownedOf(x.X)
+	case *ast.SelectorExpr:
+		if sel := a.pass.Info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			return a.ownedOf(x.X)
+		}
+	case *ast.SliceExpr:
+		return a.ownedOf(x.X)
+	case *ast.StarExpr:
+		return a.ownedOf(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return a.ownedOf(x.X)
+		}
+	case *ast.CallExpr:
+		return a.ownedFromCall(x)
+	}
+	return nil
+}
+
+// rootObjectOf resolves an expression chain to the object of its leftmost
+// identifier.
+func rootObjectOf(pass *Pass, e ast.Expr) types.Object {
+	id := rootIdentOf(e)
+	if id == nil {
+		return nil
+	}
+	return pass.Info.ObjectOf(id)
+}
+
+// walkSinks reports owned values reaching a location that outlives the
+// current tick or callback. flit is the innermost enclosing func literal
+// (nil in the named function's own body) — the scope whose locals are safe.
+func (a *obAnalysis) walkSinks(n ast.Node, flit *ast.FuncLit) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			a.walkSinks(x.Body, x)
+			return false
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					a.checkStore(x.Lhs[i], x.Rhs[i], flit)
+				}
+			}
+		case *ast.SendStmt:
+			if v := a.ownedOf(x.Value); v != nil {
+				a.reportSink(x.Value.Pos(), v, "sent on a channel")
+			}
+		case *ast.CallExpr:
+			if fun, ok := x.Fun.(*ast.Ident); ok && fun.Name == "append" && len(x.Args) > 1 && x.Ellipsis == token.NoPos {
+				for _, arg := range x.Args[1:] {
+					if v := a.ownedOf(arg); v != nil {
+						a.reportSink(arg.Pos(), v, "appended to a slice")
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range x.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if v := a.ownedOf(val); v != nil {
+					a.reportSink(val.Pos(), v, "stored in a composite literal")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkStore reports one assignment pair if it retains an owned value.
+func (a *obAnalysis) checkStore(lhs, rhs ast.Expr, flit *ast.FuncLit) {
+	v := a.ownedOf(rhs)
+	if v == nil {
+		return
+	}
+	switch l := lhs.(type) {
+	case *ast.SelectorExpr:
+		// The double-buffer rotation: storing the *Into result back into a
+		// field of the struct whose field supplied the buffer.
+		if v.dstBase != nil && rootObjectOf(a.pass, l) == v.dstBase {
+			return
+		}
+		a.reportSink(lhs.Pos(), v, "stored into a struct field")
+	case *ast.IndexExpr:
+		a.reportSink(lhs.Pos(), v, "stored into a slice or map element")
+	case *ast.StarExpr:
+		a.reportSink(lhs.Pos(), v, "stored through a pointer")
+	case *ast.Ident:
+		obj := a.pass.Info.ObjectOf(l)
+		if obj == nil {
+			return // blank identifier
+		}
+		if flit != nil {
+			if obj.Pos() < flit.Pos() || obj.Pos() > flit.End() {
+				a.reportSink(lhs.Pos(), v, "assigned to a variable captured from outside the callback")
+			}
+		} else if obj.Parent() == a.pass.Pkg.Scope() {
+			a.reportSink(lhs.Pos(), v, "assigned to a package-level variable")
+		}
+	}
+}
+
+func (a *obAnalysis) reportSink(pos token.Pos, v *ownedVal, how string) {
+	// The owner package manages these buffers; pooling lives there.
+	if strings.HasSuffix(a.pass.PkgPath, v.owner) {
+		return
+	}
+	a.pass.Reportf(pos, "%s %s; it outlives the tick/callback — take .Clone() (or copy out) first", v.what, how)
+}

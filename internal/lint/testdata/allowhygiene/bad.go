@@ -1,0 +1,11 @@
+// Exercises driver-level allow hygiene: a bare allow and a typo'd
+// analyzer name must both be rejected. Loaded by TestAllowHygiene, not by
+// the per-analyzer fixture harness.
+package fixture
+
+func wait(n int) int {
+	n *= 2 //lint:allow floateq
+	//lint:allow nodetreminism the analyzer list is misspelled here
+	n++
+	return n
+}

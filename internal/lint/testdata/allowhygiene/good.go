@@ -1,0 +1,6 @@
+// A justified allow with a known analyzer name passes hygiene.
+package fixture
+
+func scale(x float64) bool {
+	return x == 1 //lint:allow floateq exact sentinel comparison in a fixture
+}

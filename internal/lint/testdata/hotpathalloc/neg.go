@@ -1,0 +1,24 @@
+// Negative cases: a clean annotated function, an unannotated allocator,
+// and the allow escape hatch on a justified growth path.
+package fixture
+
+//lint:noalloc
+func sum(xs []int) int { // NEG: pure arithmetic allocates nothing
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func alloc() *int {
+	return new(int) // NEG: allocates, but is not annotated
+}
+
+//lint:noalloc
+func grow(dst []byte, n int) []byte {
+	if cap(dst) < n {
+		dst = make([]byte, n) //lint:allow hotpathalloc amortized growth, only when capacity is exceeded // NEG
+	}
+	return dst[:n]
+}

@@ -1,0 +1,30 @@
+// Positive cases: annotated functions whose bodies heap-allocate, plus a
+// stray marker that gates nothing.
+package fixture
+
+var sink *int
+
+// escapes leaks its allocation through a package variable.
+//
+//lint:noalloc
+func escapes() {
+	p := new(int) // want "heap allocation in //lint:noalloc function escapes"
+	sink = p
+}
+
+//lint:noalloc
+func grows(n int) []int {
+	return make([]int, n) // want "escapes to heap"
+}
+
+//lint:noalloc
+func closure() func() int {
+	i := 0              // want "moved to heap"
+	return func() int { // want "func literal escapes"
+		i++
+		return i
+	}
+}
+
+//lint:noalloc // want "stray"
+var boxed = new(int)

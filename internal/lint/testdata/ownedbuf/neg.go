@@ -1,0 +1,41 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/fixture/ownedbuf
+
+// Negative cases: reading owned values inside their scope, Clone before
+// retaining, the double-buffer rotation, and element copies.
+package fixture
+
+import (
+	"github.com/autoe2e/autoe2e/internal/core"
+	"github.com/autoe2e/autoe2e/internal/sched"
+)
+
+type store struct {
+	last     *core.RunResult
+	miss     []float64
+	counters []sched.TaskCounter
+	first    sched.TaskCounter
+}
+
+func cloneToRetain(s *core.Session, cfg core.RunConfig, k *store) {
+	res, err := s.Run(cfg)
+	if err != nil {
+		return
+	}
+	k.last = res.Clone()                            // NEG: Clone makes an independent copy
+	k.miss = append(k.miss, res.OverallMissRatio()) // NEG: derived scalar, not the buffer
+}
+
+func rotate(sch *sched.Scheduler, k *store) {
+	k.counters = sch.CountersInto(k.counters) // NEG: rotation back into the field that supplied the buffer
+}
+
+func localUse(s *core.Session, cfg core.RunConfig) float64 {
+	res, _ := s.Run(cfg)
+	alias := res // NEG: a local alias dies with the tick
+	return alias.OverallMissRatio()
+}
+
+func elementCopy(sch *sched.Scheduler, k *store) {
+	c0 := sch.CountersInto(nil)[0]
+	k.first = c0 // NEG: an indexed element is a value copy, not an alias
+}

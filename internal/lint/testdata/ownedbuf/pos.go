@@ -1,0 +1,73 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/fixture/ownedbuf
+
+// Positive cases: retaining owner-reused values past the tick or callback
+// that produced them, in every sink shape the analyzer knows.
+package fixture
+
+import (
+	"github.com/autoe2e/autoe2e/internal/core"
+	"github.com/autoe2e/autoe2e/internal/eucon"
+	"github.com/autoe2e/autoe2e/internal/sched"
+	"github.com/autoe2e/autoe2e/internal/trace"
+	"github.com/autoe2e/autoe2e/internal/units"
+)
+
+type sink struct {
+	last     *core.RunResult
+	all      []*core.RunResult
+	byName   map[string]*core.RunResult
+	rec      *trace.Recorder
+	res      eucon.Result
+	vals     []float64
+	counters []sched.TaskCounter
+}
+
+var latest *core.RunResult
+
+func retain(s *core.Session, cfg core.RunConfig, k *sink) {
+	res, err := s.Run(cfg)
+	if err != nil {
+		return
+	}
+	k.last = res               // want "stored into a struct field"
+	k.all = append(k.all, res) // want "appended to a slice"
+	k.byName["last"] = res     // want "slice or map element"
+	latest = res               // want "package-level variable"
+	k.rec = res.Trace          // want "stored into a struct field"
+}
+
+func send(s *core.Session, cfg core.RunConfig, ch chan *core.RunResult) {
+	res, _ := s.Run(cfg)
+	ch <- res // want "sent on a channel"
+}
+
+type pair struct {
+	idx int
+	r   *core.RunResult
+}
+
+func collect(s *core.Session, cfg core.RunConfig) []pair {
+	res, _ := s.Run(cfg)
+	return []pair{{idx: 0, r: res}} // want "stored in a composite literal"
+}
+
+func capture(k *sink) {
+	var keep *core.RunResult
+	core.RunStream(nil, 1, func(i int, r *core.RunResult, err error) {
+		keep = r                              // want "captured from outside the callback"
+		k.vals = r.Trace.Series("u").Values() // want "stored into a struct field"
+	})
+	_ = keep
+}
+
+func retainStep(c *eucon.Controller, utils []units.Util, k *sink) {
+	res, err := c.Step(utils)
+	if err != nil {
+		return
+	}
+	k.res = res // want "stored into a struct field"
+}
+
+func crossBuffer(sch *sched.Scheduler, m, other *sink) {
+	other.counters = sch.CountersInto(m.counters) // want "stored into a struct field"
+}

@@ -1,0 +1,67 @@
+// Negative cases: every classification that must not be flagged —
+// reset-assigned fields (directly, transitively, through ranges and
+// Reset-like calls), constructor-only fields, and justified sticky state.
+package fixture
+
+type helper struct{ n int }
+
+func (h *helper) Reset() { h.n = 0 }
+
+// clean is reused across runs and restores everything it mutates.
+//
+//lint:pooled
+type clean struct {
+	cfg   []int // NEG: constructor-only, a reused value cannot have changed it
+	buf   []int
+	items []*helper
+	sub   *helper
+	gen   int
+	//lint:sticky interned warm state persists across Reset by contract // NEG
+	warm map[string]int
+	dims [][]float64
+}
+
+func NewClean(cfg []int) *clean {
+	return &clean{cfg: cfg, sub: &helper{}, warm: map[string]int{}}
+}
+
+func (c *clean) Reset() {
+	c.buf = c.buf[:0]
+	for _, h := range c.items {
+		h.n = 0
+	}
+	c.sub.Reset()
+	c.gen++
+	c.resetDims()
+}
+
+func (c *clean) resetDims() {
+	for i := range c.dims {
+		for l := range c.dims[i] {
+			c.dims[i][l] = 0
+		}
+	}
+}
+
+func (c *clean) Step() {
+	c.buf = append(c.buf, 1)
+	c.items = append(c.items, c.sub)
+	c.sub = &helper{n: 1}
+	c.warm["k"]++
+	c.dims = append(c.dims, nil)
+}
+
+// multi names a custom restore method.
+//
+//lint:pooled ResetAll
+type multi struct {
+	counts []int // NEG: restored by the method named in the marker
+}
+
+func (m *multi) ResetAll() {
+	for i := range m.counts {
+		m.counts[i] = 0
+	}
+}
+
+func (m *multi) Observe(j int) { m.counts[j]++ }

@@ -1,0 +1,37 @@
+// Positive cases: a pooled struct leaking a field, a bare sticky marker,
+// an orphaned sticky marker, and a pooled type with no reset method.
+package fixture
+
+// pool is reused across runs.
+//
+//lint:pooled
+type pool struct {
+	buf  []int
+	seen []int // want "neither reset by Reset nor annotated"
+	//lint:sticky
+	gen int // want "bare //lint:sticky"
+}
+
+func (p *pool) Reset() {
+	p.buf = p.buf[:0]
+}
+
+func (p *pool) Step() {
+	p.buf = append(p.buf, 1)
+	p.seen = append(p.seen, 2)
+	p.gen++
+}
+
+// nomethod claims to be pooled but cannot be restored.
+//
+//lint:pooled
+type nomethod struct { // want "no Reset method"
+	x int
+}
+
+type unpooled struct {
+	//lint:sticky this type is not pooled, so the marker gates nothing // want "no effect"
+	q int
+}
+
+func (u *unpooled) bump() { u.q++ }

@@ -1,0 +1,8 @@
+//lintpath:example.com/internal/trace
+
+// The built-in registry applies by import-path suffix: this package claims
+// to be internal/trace but declares no Recorder, so the registration
+// itself is reported rather than silently gating nothing.
+package fixture // want "registered with resetcomplete but not declared"
+
+type other struct{ n int }

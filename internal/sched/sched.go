@@ -157,6 +157,7 @@ type Scheduler struct {
 	counters []TaskCounter
 	// taskArgs pre-binds the periodic first-release callback argument for
 	// each task, so releases schedule no closures.
+	//lint:sticky pre-bound (s, ti) callback arguments, constant after New; only their addresses are taken
 	taskArgs  []taskArg
 	freeChain *chain
 	freeJob   *job
@@ -216,6 +217,8 @@ func (s *Scheduler) State() *taskmodel.State { return s.state }
 
 // Start schedules the first release of every task at the current instant.
 // It must be called exactly once.
+//
+//lint:noalloc
 func (s *Scheduler) Start() {
 	if s.started {
 		panic("sched: Start called twice")
@@ -233,6 +236,8 @@ func (s *Scheduler) Start() {
 // events, including this scheduler's, are gone and Now is back to zero).
 // A reset scheduler replays a workload exactly as a fresh one: counters
 // zero, release guards clear, sequence numbers restart.
+//
+//lint:noalloc
 func (s *Scheduler) Reset(cfg Config) {
 	if cfg.Exec == nil {
 		panic("sched: Config.Exec is required")
@@ -275,9 +280,11 @@ func (s *Scheduler) Counters() []TaskCounter { return s.CountersInto(nil) }
 // CountersInto writes the cumulative per-task accounting into dst, growing
 // it if needed, and returns it. The control tick calls this with a reused
 // buffer so sampling allocates nothing.
+//
+//lint:noalloc
 func (s *Scheduler) CountersInto(dst []TaskCounter) []TaskCounter {
 	if cap(dst) < len(s.counters) {
-		dst = make([]TaskCounter, len(s.counters))
+		dst = make([]TaskCounter, len(s.counters)) //lint:allow hotpathalloc first-call sizing; steady state reuses dst
 	}
 	dst = dst[:len(s.counters)]
 	copy(dst, s.counters)
@@ -295,10 +302,12 @@ func (s *Scheduler) SampleUtilizations() []units.Util { return s.SampleUtilizati
 // SampleUtilizationsInto is SampleUtilizations writing into dst, growing it
 // if needed. The control tick calls this with a reused buffer so sampling
 // allocates nothing.
+//
+//lint:noalloc
 func (s *Scheduler) SampleUtilizationsInto(dst []units.Util) []units.Util {
 	now := s.eng.Now()
 	if cap(dst) < len(s.ecus) {
-		dst = make([]units.Util, len(s.ecus))
+		dst = make([]units.Util, len(s.ecus)) //lint:allow hotpathalloc first-call sizing; steady state reuses dst
 	}
 	dst = dst[:len(s.ecus)]
 	for j, e := range s.ecus {
@@ -315,12 +324,16 @@ func (s *Scheduler) SampleUtilizationsInto(dst []units.Util) []units.Util {
 // periodic releases and the *chain itself for chain-lifecycle events.
 
 // firstReleaseEvent fires a task's periodic release.
+//
+//lint:noalloc
 func firstReleaseEvent(now simtime.Time, arg any) {
 	ta := arg.(*taskArg)
 	ta.s.releaseFirst(ta.ti, now)
 }
 
 // chainDeadlineEvent fires at a chain's absolute end-to-end deadline.
+//
+//lint:noalloc
 func chainDeadlineEvent(_ simtime.Time, arg any) {
 	c := arg.(*chain)
 	c.s.chainDeadline(c)
@@ -328,6 +341,8 @@ func chainDeadlineEvent(_ simtime.Time, arg any) {
 
 // guardReleaseEvent fires a release-guard-delayed subtask admission
 // (c.pendingStage holds which stage was held back).
+//
+//lint:noalloc
 func guardReleaseEvent(now simtime.Time, arg any) {
 	c := arg.(*chain)
 	c.pendingEv = 0
@@ -335,6 +350,8 @@ func guardReleaseEvent(now simtime.Time, arg any) {
 }
 
 // linkReleaseEvent fires a successor release after a communication delay.
+//
+//lint:noalloc
 func linkReleaseEvent(now simtime.Time, arg any) {
 	c := arg.(*chain)
 	c.pendingEv = 0
@@ -347,10 +364,12 @@ func linkReleaseEvent(now simtime.Time, arg any) {
 
 // getChain takes a chain from the intrusive free list (or allocates the
 // pool's next object). The caller initializes every field.
+//
+//lint:noalloc
 func (s *Scheduler) getChain() *chain {
 	c := s.freeChain
 	if c == nil {
-		c = &chain{s: s}
+		c = &chain{s: s} //lint:allow hotpathalloc pool refill when empty; steady state recycles via putChain
 		s.allChains = append(s.allChains, c)
 		return c
 	}
@@ -362,6 +381,8 @@ func (s *Scheduler) getChain() *chain {
 // putChain recycles a resolved chain. The chain must have no outstanding
 // engine events or live job: completion cancels the deadline event, and
 // the deadline path cancels any pending delayed release, before freeing.
+//
+//lint:noalloc
 func (s *Scheduler) putChain(c *chain) {
 	c.job = nil
 	c.nextFree = s.freeChain
@@ -370,10 +391,12 @@ func (s *Scheduler) putChain(c *chain) {
 
 // getJob takes a job from the intrusive free list. The caller initializes
 // every field.
+//
+//lint:noalloc
 func (s *Scheduler) getJob() *job {
 	j := s.freeJob
 	if j == nil {
-		j = &job{}
+		j = &job{} //lint:allow hotpathalloc pool refill when empty; steady state recycles via putJob
 		s.allJobs = append(s.allJobs, j)
 		return j
 	}
@@ -383,6 +406,8 @@ func (s *Scheduler) getJob() *job {
 }
 
 // putJob recycles a job that is neither running nor queued on any ECU.
+//
+//lint:noalloc
 func (s *Scheduler) putJob(j *job) {
 	j.chain = nil
 	j.nextFree = s.freeJob
@@ -392,10 +417,12 @@ func (s *Scheduler) putJob(j *job) {
 // releaseFirst releases a new instance of task ti and schedules the next
 // periodic release. The period is read from the current rate, so rate
 // changes by the inner controller take effect at the next release.
+//
+//lint:noalloc
 func (s *Scheduler) releaseFirst(ti taskmodel.TaskID, now simtime.Time) {
 	period := s.state.Period(ti)
 	n := len(s.sys.Tasks[ti].Subtasks)
-	c := s.getChain()
+	c := s.getChain() //lint:allow hotpathalloc pool refill when empty; steady state recycles via putChain
 	c.task = ti
 	c.instance = s.counters[ti].Released
 	c.release = now
@@ -418,6 +445,8 @@ func (s *Scheduler) releaseFirst(ti taskmodel.TaskID, now simtime.Time) {
 // releaseStage releases subtask `stage` of chain c, honouring the release
 // guard: consecutive releases of the same subtask are separated by at least
 // the chain period (unless greedy synchronization was configured).
+//
+//lint:noalloc
 func (s *Scheduler) releaseStage(c *chain, stage int, now simtime.Time) {
 	at := now
 	// Greedy synchronization only affects successor stages; the first
@@ -440,6 +469,8 @@ func (s *Scheduler) releaseStage(c *chain, stage int, now simtime.Time) {
 
 // admitJob creates the job for subtask `stage` of chain c and enqueues it on
 // its ECU.
+//
+//lint:noalloc
 func (s *Scheduler) admitJob(c *chain, stage int, now simtime.Time) {
 	if c.dead {
 		return // chain was aborted while the release was pending
@@ -449,7 +480,7 @@ func (s *Scheduler) admitJob(c *chain, stage int, now simtime.Time) {
 	sub := s.sys.Subtask(ref)
 	demand := s.cfg.Exec.Demand(s.sys, ref, now, s.state.Ratio(ref))
 	s.nextSeq++
-	j := s.getJob()
+	j := s.getJob() //lint:allow hotpathalloc pool refill when empty; steady state recycles via putJob
 	j.chain = c
 	j.ref = ref
 	j.release = now
@@ -466,6 +497,8 @@ func (s *Scheduler) admitJob(c *chain, stage int, now simtime.Time) {
 }
 
 // jobFinished is called by an ECU runner when a job runs to completion.
+//
+//lint:noalloc
 func (s *Scheduler) jobFinished(j *job, now simtime.Time) {
 	c := j.chain
 	if c.dead {
@@ -511,6 +544,8 @@ func (s *Scheduler) jobFinished(j *job, now simtime.Time) {
 // it if it has not completed: the stale result is discarded and the
 // actuator keeps its previous command, exactly the failure mode of
 // Figure 3.
+//
+//lint:noalloc
 func (s *Scheduler) chainDeadline(c *chain) {
 	if c.dead {
 		return

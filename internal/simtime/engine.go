@@ -72,6 +72,8 @@ func NewEngine() *Engine { return &Engine{} }
 // ascending index order, matching the order a fresh engine appends them;
 // event ordering is a total order on (at, seq) either way, so a reset
 // engine replays a schedule identically to a fresh one.
+//
+//lint:noalloc
 func (e *Engine) Reset() {
 	for i := range e.slots {
 		s := &e.slots[i]
@@ -99,6 +101,8 @@ func (e *Engine) Now() Time { return e.now }
 // The fn value itself is stored without allocating, but building a fresh
 // closure at the call site costs one allocation per event; steady-state
 // code should pre-bind a CallFunc and use ScheduleCall instead.
+//
+//lint:noalloc
 func (e *Engine) Schedule(at Time, fn EventFunc) EventID {
 	if fn == nil {
 		panic("simtime: schedule with nil EventFunc")
@@ -110,6 +114,8 @@ func (e *Engine) Schedule(at Time, fn EventFunc) EventID {
 // It is the closure-free counterpart of Schedule: fn is a long-lived
 // function and arg carries the per-event state, so scheduling allocates
 // nothing when arg is pointer-shaped. Scheduling in the past panics.
+//
+//lint:noalloc
 func (e *Engine) ScheduleCall(at Time, fn CallFunc, arg any) EventID {
 	if fn == nil {
 		panic("simtime: schedule with nil CallFunc")
@@ -118,26 +124,32 @@ func (e *Engine) ScheduleCall(at Time, fn CallFunc, arg any) EventID {
 }
 
 // After enqueues fn to run d after the current instant.
+//
+//lint:noalloc
 func (e *Engine) After(d Duration, fn EventFunc) EventID {
 	if d < 0 {
-		panic(fmt.Sprintf("simtime: negative delay %v", d))
+		panic(fmt.Sprintf("simtime: negative delay %v", d)) //lint:allow hotpathalloc panic-path boxing only
 	}
 	return e.Schedule(e.now.Add(d), fn)
 }
 
 // AfterCall enqueues fn(now, arg) to run d after the current instant — the
 // closure-free counterpart of After.
+//
+//lint:noalloc
 func (e *Engine) AfterCall(d Duration, fn CallFunc, arg any) EventID {
 	if d < 0 {
-		panic(fmt.Sprintf("simtime: negative delay %v", d))
+		panic(fmt.Sprintf("simtime: negative delay %v", d)) //lint:allow hotpathalloc panic-path boxing only
 	}
 	return e.ScheduleCall(e.now.Add(d), fn, arg)
 }
 
 // enqueue places one event into a recycled (or fresh) slot and the heap.
+//
+//lint:noalloc
 func (e *Engine) enqueue(at Time, fn EventFunc, call CallFunc, arg any) EventID {
 	if at < e.now {
-		panic(fmt.Sprintf("simtime: schedule at %v before now %v", at, e.now))
+		panic(fmt.Sprintf("simtime: schedule at %v before now %v", at, e.now)) //lint:allow hotpathalloc panic-path boxing only
 	}
 	e.nextSeq++
 	var idx uint32
@@ -158,6 +170,8 @@ func (e *Engine) enqueue(at Time, fn EventFunc, call CallFunc, arg any) EventID 
 // release returns a slot to the free list and invalidates outstanding
 // EventIDs for it by bumping the generation. Callback references are
 // cleared so the arena does not retain dead closures or arguments.
+//
+//lint:noalloc
 func (e *Engine) release(idx uint32) {
 	s := &e.slots[idx]
 	s.gen++
@@ -170,6 +184,8 @@ func (e *Engine) release(idx uint32) {
 // pending; cancelling an already-run or already-cancelled event is a no-op
 // (the slot's generation has moved on, so a reused slot is never cancelled
 // under a stale ID).
+//
+//lint:noalloc
 func (e *Engine) Cancel(id EventID) bool {
 	if id == 0 {
 		return false
@@ -200,6 +216,8 @@ func (e *Engine) Stop() { e.stopped = true }
 // drained earlier (so that periodic samplers observe a full window). After
 // a Stop the clock stays at the stopping event's instant: the run did not
 // cover the full window and the clock must not pretend it did.
+//
+//lint:noalloc
 func (e *Engine) Run(until Time) {
 	e.stopped = false
 	for !e.stopped && len(e.heap) > 0 {
@@ -229,6 +247,8 @@ func (e *Engine) Run(until Time) {
 // Step executes exactly one event if any is pending, and reports whether an
 // event ran. It is intended for tests that need to observe intermediate
 // states.
+//
+//lint:noalloc
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
@@ -260,6 +280,8 @@ type ticker struct {
 
 // tickerFire runs one periodic occurrence and re-arms unless stopped. It is
 // package-level so re-arming never builds a closure.
+//
+//lint:noalloc
 func tickerFire(now Time, arg any) {
 	t := arg.(*ticker)
 	t.fn(now)

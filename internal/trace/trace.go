@@ -31,6 +31,8 @@ type Series struct {
 }
 
 // Add appends one sample.
+//
+//lint:noalloc
 func (s *Series) Add(t, v float64) {
 	if s.rec != nil && s.gen != s.rec.gen {
 		s.gen = s.rec.gen
@@ -84,6 +86,7 @@ func (s *Series) WindowBounds(from, to float64) (lo, hi int) {
 // cycle, after which it behaves exactly like a fresh recorder while
 // recycling the sample buffers of any name that registers again.
 type Recorder struct {
+	//lint:sticky interned handles survive Reset by contract; Reset truncates each series through all
 	series map[string]*Series
 	order  []string
 	all    []*Series // every series ever interned, for Reset
@@ -120,6 +123,8 @@ func (r *Recorder) Add(name string, t, v float64) {
 // Reset truncates every series (keeping capacity) and clears the
 // registration order, returning the recorder to its freshly-constructed
 // observable state. Handles obtained before the reset remain valid.
+//
+//lint:noalloc
 func (r *Recorder) Reset() {
 	for _, s := range r.all {
 		s.T = s.T[:0]

@@ -20,10 +20,14 @@ race:
 # autoe2e-lint is this repository's own invariant checker (internal/lint):
 # determinism, simtime-only durations, float equality, map-iteration
 # order, panic discipline, typed physical units, owned-buffer lifetimes,
-# pooled-type reset completeness, and the //lint:noalloc escape gate. See
-# the Invariants and "Ownership & lifetimes" sections of DESIGN.md.
+# pooled-type reset completeness, the //lint:noalloc escape gate, and the
+# interprocedural effect certifications (//lint:certify roots, parallel
+# worker-closure safety). See the Invariants and "Ownership & lifetimes"
+# sections of DESIGN.md. -timing prints each analyzer's wall time and
+# -budget fails the gate if the whole run exceeds a minute, so an analyzer
+# whose cost regresses shows up here before it slows every CI run.
 lint:
-	$(GO) run ./cmd/autoe2e-lint ./...
+	$(GO) run ./cmd/autoe2e-lint -timing -budget 60s ./...
 
 # bench times the control-plane hot paths — the combined inner+outer
 # controller tick, the Equation-8 knapsack ablation, the constrained
@@ -31,7 +35,7 @@ lint:
 # batch runtime (fresh vs reused-session vs streaming runs/sec) — and
 # records ns/op, B/op and allocs/op in BENCH_control.json so both speed and
 # memory-discipline regressions show up in review diffs.
-BENCH_SET = BenchmarkControllerOverhead|BenchmarkAblationKnapsackOrder|BenchmarkBoxLSQ|BenchmarkSchedulerThroughput|BenchmarkSchedulerSteadyState|BenchmarkFleetThroughput
+BENCH_SET = BenchmarkControllerOverhead|BenchmarkAblationKnapsackOrder|BenchmarkBoxLSQ|BenchmarkSchedulerThroughput|BenchmarkSchedulerSteadyState|BenchmarkFleetThroughput|BenchmarkLintLoader
 bench:
 	@out="$$($(GO) test -run '^$$' -bench '^($(BENCH_SET))$$' -benchmem .)"; \
 	echo "$$out"; \

@@ -20,6 +20,7 @@ import (
 	"github.com/autoe2e/autoe2e/internal/eucon"
 	"github.com/autoe2e/autoe2e/internal/exectime"
 	"github.com/autoe2e/autoe2e/internal/linalg"
+	"github.com/autoe2e/autoe2e/internal/lint"
 	"github.com/autoe2e/autoe2e/internal/precision"
 	"github.com/autoe2e/autoe2e/internal/scenario"
 	"github.com/autoe2e/autoe2e/internal/sched"
@@ -733,4 +734,28 @@ func BenchmarkFleetThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N*fleet)/b.Elapsed().Seconds(), "runs_per_sec")
 	})
+}
+
+// BenchmarkLintLoader times the dependency-free module loader every
+// autoe2e-lint run starts with: discovering, parsing, and type-checking
+// the whole module with module-internal imports served from the loader's
+// own source-checked results (object identity is what the interprocedural
+// effects/parsafe analyzers lean on). This is the fixed cost of the lint
+// gate, tracked in BENCH_control.json so a loader regression surfaces in
+// review before it slows every `make lint` and CI run.
+func BenchmarkLintLoader(b *testing.B) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkgs, err := lint.NewLoader().LoadModule(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pkgs) < 10 {
+			b.Fatalf("loaded %d packages, expected the whole module", len(pkgs))
+		}
+	}
 }

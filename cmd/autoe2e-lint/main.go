@@ -5,16 +5,33 @@
 //
 // Usage:
 //
-//	autoe2e-lint [-only name,name] [-list] [-escape-report] [packages]
+//	autoe2e-lint [-only name,name] [-list] [-escape-report] [-effects-report]
+//	             [-sarif out.json] [-timing] [-budget 60s] [packages]
 //
 // The package arguments are accepted for familiarity ("./...") but the
 // tool always loads the whole module containing the working directory:
 // the invariants are module-wide by design.
 //
+// Beyond the module's non-test packages, the value-level analyzers
+// mapiter and floateq also run over _test.go files: tests compare floats
+// and iterate maps as readily as product code, and a nondeterministic
+// assertion is a flaky test.
+//
 // -escape-report prints every heap-escape site the compiler reports for
 // the module, one "file:line:col: message" per line, annotated or not —
 // the raw material CI diffs against a base revision to comment on newly
 // escaping sites.
+//
+// -effects-report prints the interprocedural certification summary: every
+// //lint:certify entry point with its verdict, reach, unresolved-edge
+// count, and residual effects, plus the declared hookpoint boundaries.
+//
+// -sarif writes the run's diagnostics as SARIF 2.1.0 for GitHub code
+// scanning, which renders them as inline PR annotations.
+//
+// -timing prints each analyzer's wall time; -budget fails the run when
+// the analyzers' total exceeds the given duration, keeping `make lint`
+// honest about its CI cost.
 package main
 
 import (
@@ -23,6 +40,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/autoe2e/autoe2e/internal/lint"
 )
@@ -31,12 +49,19 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// testFileAnalyzers names the analyzers that extend over _test.go files.
+var testFileAnalyzers = map[string]bool{"mapiter": true, "floateq": true}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("autoe2e-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	escapeReport := fs.Bool("escape-report", false, "print every module heap-escape site and exit")
+	effectsReport := fs.Bool("effects-report", false, "print the //lint:certify certification summary and exit")
+	sarifOut := fs.String("sarif", "", "write diagnostics as SARIF 2.1.0 to this file")
+	timing := fs.Bool("timing", false, "print per-analyzer wall time")
+	budget := fs.Duration("budget", 0, "fail if total analyzer time exceeds this duration (0 = no budget)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -47,35 +72,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
-	}
-	if *escapeReport {
-		wd, err := os.Getwd()
-		if err != nil {
-			fmt.Fprintln(stderr, "autoe2e-lint:", err)
-			return 2
-		}
-		root, err := lint.FindModuleRoot(wd)
-		if err != nil {
-			fmt.Fprintln(stderr, "autoe2e-lint:", err)
-			return 2
-		}
-		sites, err := lint.EscapeReport(root)
-		if err != nil {
-			fmt.Fprintln(stderr, "autoe2e-lint:", err)
-			return 2
-		}
-		for _, s := range sites {
-			fmt.Fprintln(stdout, s)
-		}
-		return 0
-	}
-	if *only != "" {
-		var err error
-		analyzers, err = lint.ByName(strings.Split(*only, ","))
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 2
-		}
 	}
 
 	wd, err := os.Getwd()
@@ -88,22 +84,114 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "autoe2e-lint:", err)
 		return 2
 	}
+
+	if *escapeReport {
+		sites, err := lint.EscapeReport(root)
+		if err != nil {
+			fmt.Fprintln(stderr, "autoe2e-lint:", err)
+			return 2
+		}
+		for _, s := range sites {
+			fmt.Fprintln(stdout, s)
+		}
+		return 0
+	}
+	if *only != "" {
+		analyzers, err = lint.ByName(strings.Split(*only, ","))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
 	pkgs, err := lint.NewLoader().LoadModule(root)
 	if err != nil {
 		fmt.Fprintln(stderr, "autoe2e-lint:", err)
 		return 2
 	}
 
-	violations := 0
-	for _, pkg := range pkgs {
-		for _, d := range lint.RunAnalyzers(pkg, analyzers) {
+	if *effectsReport {
+		report, diags, err := lint.EffectsReport(pkgs)
+		if err != nil {
+			fmt.Fprintln(stderr, "autoe2e-lint:", err)
+			return 2
+		}
+		fmt.Fprint(stdout, report)
+		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
-			violations++
+		}
+		if len(diags) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	diags, timings := lint.RunModule(pkgs, analyzers)
+
+	// The test-file pass: mapiter and floateq over _test.go files, on a
+	// separate loader (test packages would collide with the main file
+	// set's package identities). Diagnostics on non-test files are the
+	// augmented packages re-reporting the main run and are dropped.
+	var testAnalyzers []*lint.Analyzer
+	for _, a := range analyzers {
+		if testFileAnalyzers[a.Name] {
+			testAnalyzers = append(testAnalyzers, a)
 		}
 	}
-	if violations > 0 {
-		fmt.Fprintf(stderr, "autoe2e-lint: %d violation(s) in %d package(s) checked\n", violations, len(pkgs))
-		return 1
+	if len(testAnalyzers) > 0 {
+		testPkgs, err := lint.NewLoader().LoadModuleTests(root)
+		if err != nil {
+			fmt.Fprintln(stderr, "autoe2e-lint:", err)
+			return 2
+		}
+		start := time.Now()
+		testDiags, _ := lint.RunModule(testPkgs, testAnalyzers)
+		for _, d := range testDiags {
+			if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+				diags = append(diags, d)
+			}
+		}
+		timings = append(timings, lint.Timing{Analyzer: "tests(mapiter,floateq)", Elapsed: time.Since(start)})
 	}
-	return 0
+
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if *sarifOut != "" {
+		f, err := os.Create(*sarifOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "autoe2e-lint:", err)
+			return 2
+		}
+		werr := lint.WriteSARIF(f, root, analyzers, diags)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "autoe2e-lint:", werr)
+			return 2
+		}
+	}
+
+	var total time.Duration
+	for _, tm := range timings {
+		total += tm.Elapsed
+	}
+	if *timing {
+		for _, tm := range timings {
+			fmt.Fprintf(stderr, "autoe2e-lint: %-24s %8.0fms\n", tm.Analyzer, tm.Elapsed.Seconds()*1000)
+		}
+		fmt.Fprintf(stderr, "autoe2e-lint: %-24s %8.0fms\n", "total", total.Seconds()*1000)
+	}
+
+	code := 0
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "autoe2e-lint: %d violation(s) in %d package(s) checked\n", len(diags), len(pkgs))
+		code = 1
+	}
+	if *budget > 0 && total > *budget {
+		fmt.Fprintf(stderr, "autoe2e-lint: analyzer time %s exceeds budget %s\n", total.Round(time.Millisecond), *budget)
+		code = 1
+	}
+	return code
 }

@@ -28,6 +28,7 @@ func TestListAnalyzers(t *testing.T) {
 	for _, name := range []string{
 		"nodeterminism", "simtimemix", "floateq", "mapiter", "panicguard",
 		"unitsafe", "ownedbuf", "resetcomplete", "hotpathalloc",
+		"effects", "parsafe",
 	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())

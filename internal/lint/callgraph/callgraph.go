@@ -1,0 +1,670 @@
+// Package callgraph builds a whole-module call graph over go/ast and
+// go/types — no dependency outside the standard library, matching the
+// lint loader it feeds from — and propagates effect bits bottom-up over
+// its strongly-connected components.
+//
+// The graph covers:
+//
+//   - static calls of declared functions and methods;
+//   - method values and method expressions;
+//   - interface dispatch, resolved over the implementing method sets of
+//     every named type declared in the analyzed packages;
+//   - calls through function-typed variables, fields, parameters,
+//     results and container elements, tracked flow-insensitively: every
+//     store anywhere in the module adds to the slot's value set, every
+//     call through the slot fans out to the whole set;
+//   - go and defer statements, marked on the edge.
+//
+// Calls the tracker cannot resolve (an empty or tainted value set —
+// reflection, values received from unanalyzed code) are recorded as
+// Unresolved rather than silently dropped, so a certification pass can
+// turn them into hard errors.
+//
+// The analysis is deliberately an over-approximation: a slot's value set
+// merges every function ever stored to it anywhere in the module, and
+// interface dispatch includes every implementing type whether or not it
+// can flow to the receiver. Certification wants exactly that direction
+// of error.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Package is one type-checked package, mirroring the lint loader's
+// output (this package must not import internal/lint).
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Node is one function in the graph: a declared function or method, a
+// function literal, or a package's synthetic init node (package-level
+// variable initializers).
+type Node struct {
+	// Fn is the declared function or method; nil for literals and init
+	// nodes.
+	Fn *types.Func
+	// Lit is the function literal; nil otherwise.
+	Lit *ast.FuncLit
+	// Decl is the declaration; nil for literals and init nodes.
+	Decl *ast.FuncDecl
+	// Pkg is the package the body lives in.
+	Pkg *Package
+	// Out are the outgoing call edges, in source order.
+	Out []*Edge
+
+	name string
+	pos  token.Pos
+}
+
+// Name returns a stable human-readable name: "pkg.Func",
+// "(*pkg.Type).Method", "pkg.Func$1" for literals, "pkg.init" for the
+// synthetic initializer node.
+func (n *Node) Name() string { return n.name }
+
+// Pos returns the declaration position.
+func (n *Node) Pos() token.Pos { return n.pos }
+
+// Body returns the function body, or nil (external-linkage declarations,
+// init nodes).
+func (n *Node) Body() *ast.BlockStmt {
+	switch {
+	case n.Decl != nil:
+		return n.Decl.Body
+	case n.Lit != nil:
+		return n.Lit.Body
+	}
+	return nil
+}
+
+// EdgeKind classifies how a call site was resolved.
+type EdgeKind uint8
+
+const (
+	// EdgeStatic is a direct call of a declared function or method.
+	EdgeStatic EdgeKind = iota
+	// EdgeFuncValue is a call through a tracked function value.
+	EdgeFuncValue
+	// EdgeInterface is an interface method dispatch.
+	EdgeInterface
+)
+
+// Edge is one resolved call. Exactly one of Callee and External is set:
+// Callee for functions in the analyzed packages, External (a printable
+// key like "fmt.Errorf" or "sync.Mutex.Lock") for everything else.
+type Edge struct {
+	Caller   *Node
+	Callee   *Node
+	External string
+	// ExternalFn is the types object behind External when known.
+	ExternalFn *types.Func
+	Kind       EdgeKind
+	// Go and Deferred mark `go f()` and `defer f()` call statements.
+	Go       bool
+	Deferred bool
+	// FailurePath marks calls inside a block whose last statement
+	// returns a non-nil error — the abort path of a valid run.
+	FailurePath bool
+	Pos         token.Pos
+	// Via describes dynamic resolution for reporting ("interface
+	// sched.Driver.Start", "func value").
+	Via string
+}
+
+// Unresolved is a dynamic call the tracker could not resolve.
+type Unresolved struct {
+	Caller      *Node
+	Pos         token.Pos
+	Reason      string
+	FailurePath bool
+}
+
+// Graph is the assembled call graph.
+type Graph struct {
+	Packages []*Package
+	// Nodes lists every node in creation order (declarations first,
+	// then literals and init nodes as encountered).
+	Nodes []*Node
+	// ByFunc indexes declared functions and methods (by Origin).
+	ByFunc map[*types.Func]*Node
+	// Unresolved lists the dynamic calls with no tracked callee.
+	Unresolved []Unresolved
+
+	fset *token.FileSet
+	// failSpans holds, per file name, the failure-path block spans.
+	failSpans map[string][]span
+	// values is the flow-insensitive slot→functions map after fixpoint.
+	values map[types.Object]*valueSet
+	// tainted marks slots that received a value the tracker cannot
+	// model; calls through them are unresolved even if non-empty.
+	tainted map[types.Object]bool
+	// ifaceImpls caches interface-method → implementations.
+	ifaceImpls map[*types.Func][]implTarget
+	// namedTypes is every named non-interface type in the module.
+	namedTypes []*types.TypeName
+}
+
+type span struct{ from, to token.Pos }
+
+// FailurePos reports whether pos sits inside a failure-path block (a
+// block or case body whose final statement returns a non-nil error).
+func (g *Graph) FailurePos(pos token.Pos) bool {
+	p := g.fset.Position(pos)
+	for _, s := range g.failSpans[p.Filename] {
+		if pos >= s.from && pos <= s.to {
+			return true
+		}
+	}
+	return false
+}
+
+// FailureLine is the line-granular variant of FailurePos, for facts
+// attributed by the compiler (file:line) rather than by syntax node.
+func (g *Graph) FailureLine(filename string, line int) bool {
+	for _, s := range g.failSpans[filename] {
+		if line >= g.fset.Position(s.from).Line && line <= g.fset.Position(s.to).Line {
+			return true
+		}
+	}
+	return false
+}
+
+// ValuesOf returns the resolved value set of a function-typed object
+// (variable, field, parameter or result slot): the module nodes and the
+// external functions that may be stored in it, plus whether the slot is
+// tainted by an untrackable store. Used by analyzers that need to see
+// through function-valued indirection (parsafe's worker resolution).
+func (g *Graph) ValuesOf(obj types.Object) (nodes []*Node, exts []*types.Func, tainted bool) {
+	set := g.values[obj]
+	if set != nil {
+		nodes = sortedNodes(set.nodes)
+		exts = sortedExts(set.exts)
+	}
+	return nodes, exts, g.tainted[obj]
+}
+
+// NodeOf returns the node for a declared function or method (resolved
+// through Origin for generics), or nil.
+func (g *Graph) NodeOf(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.ByFunc[fn.Origin()]
+}
+
+// valueSet is the set of functions a slot may hold.
+type valueSet struct {
+	nodes map[*Node]bool
+	exts  map[*types.Func]bool
+}
+
+func newValueSet() *valueSet {
+	return &valueSet{nodes: make(map[*Node]bool), exts: make(map[*types.Func]bool)}
+}
+
+func (v *valueSet) addNode(n *Node) bool {
+	if v.nodes[n] {
+		return false
+	}
+	v.nodes[n] = true
+	return true
+}
+
+func (v *valueSet) addExt(f *types.Func) bool {
+	if v.exts[f] {
+		return false
+	}
+	v.exts[f] = true
+	return true
+}
+
+func (v *valueSet) empty() bool { return len(v.nodes) == 0 && len(v.exts) == 0 }
+
+// implTarget is one resolution of an interface method.
+type implTarget struct {
+	node *Node       // module implementation
+	ext  *types.Func // implementation promoted from an external type
+}
+
+// callSite is one syntactic call recorded during the body walk.
+type callSite struct {
+	node     *Node
+	call     *ast.CallExpr
+	goStmt   bool
+	deferred bool
+}
+
+// binding is one store into a tracked slot. Exactly one of rhs, call and
+// src describes the source: an expression, result #index of a call, or
+// another slot (range statements).
+type binding struct {
+	pkg   *Package
+	slot  types.Object
+	rhs   ast.Expr
+	call  *ast.CallExpr
+	index int
+	src   types.Object
+}
+
+// Build assembles the graph for the given packages.
+func Build(pkgs []*Package) *Graph {
+	g := &Graph{
+		Packages:   pkgs,
+		ByFunc:     make(map[*types.Func]*Node),
+		failSpans:  make(map[string][]span),
+		values:     make(map[types.Object]*valueSet),
+		tainted:    make(map[types.Object]bool),
+		ifaceImpls: make(map[*types.Func][]implTarget),
+	}
+	if len(pkgs) > 0 {
+		g.fset = pkgs[0].Fset
+	}
+	b := &builder{g: g}
+	b.enumerate()
+	b.collectFailSpans()
+	b.collectBodies()
+	b.fixpoint()
+	b.resolveCalls()
+	return g
+}
+
+type builder struct {
+	g        *Graph
+	sites    []callSite
+	bindings []binding
+	// litCount numbers literals within their enclosing node.
+	litCount map[*Node]int
+	byLit    map[*ast.FuncLit]*Node
+	initNode map[*Package]*Node
+}
+
+// enumerate creates a node per FuncDecl and collects named types.
+func (b *builder) enumerate() {
+	g := b.g
+	b.litCount = make(map[*Node]int)
+	b.byLit = make(map[*ast.FuncLit]*Node)
+	b.initNode = make(map[*Package]*Node)
+	for _, pkg := range g.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				d, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[d.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				n := &Node{Fn: obj, Decl: d, Pkg: pkg, name: funcName(pkg, obj), pos: d.Name.Pos()}
+				g.Nodes = append(g.Nodes, n)
+				g.ByFunc[obj.Origin()] = n
+			}
+		}
+		// Named types for interface-dispatch resolution.
+		scope := pkg.Pkg.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				if _, isIface := tn.Type().Underlying().(*types.Interface); !isIface {
+					g.namedTypes = append(g.namedTypes, tn)
+				}
+			}
+		}
+	}
+}
+
+// funcName renders "(*pkg.Recv).Method" or "pkg.Func".
+func funcName(pkg *Package, fn *types.Func) string {
+	short := pkg.Pkg.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		ptr := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			ptr = "*"
+		}
+		tname := "?"
+		if named, ok := t.(*types.Named); ok {
+			tname = named.Obj().Name()
+		}
+		return fmt.Sprintf("(%s%s.%s).%s", ptr, short, tname, fn.Name())
+	}
+	return short + "." + fn.Name()
+}
+
+// collectFailSpans records every block or clause body whose final
+// statement is a failure return.
+func (b *builder) collectFailSpans() {
+	g := b.g
+	for _, pkg := range g.Packages {
+		for _, f := range pkg.Files {
+			fname := g.fset.Position(f.Pos()).Filename
+			ast.Inspect(f, func(n ast.Node) bool {
+				var stmts []ast.Stmt
+				switch v := n.(type) {
+				case *ast.BlockStmt:
+					stmts = v.List
+				case *ast.CaseClause:
+					stmts = v.Body
+				case *ast.CommClause:
+					stmts = v.Body
+				default:
+					return true
+				}
+				if len(stmts) == 0 {
+					return true
+				}
+				ret, ok := stmts[len(stmts)-1].(*ast.ReturnStmt)
+				if ok && isFailureReturn(pkg, ret) {
+					g.failSpans[fname] = append(g.failSpans[fname],
+						span{from: stmts[0].Pos(), to: stmts[len(stmts)-1].End()})
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isFailureReturn reports whether ret returns an explicit non-nil error:
+// its last result is an identifier or selector of static type error, or
+// a direct call to one of the stdlib error constructors. Delegating tail
+// calls (`return f(x)` of a fallible module function) do not count —
+// their callee's steady-state effects must flow to the caller.
+func isFailureReturn(pkg *Package, ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return false
+	}
+	last := ast.Unparen(ret.Results[len(ret.Results)-1])
+	switch v := last.(type) {
+	case *ast.Ident:
+		if v.Name == "nil" {
+			return false
+		}
+		return isErrorType(pkg.Info.TypeOf(v))
+	case *ast.SelectorExpr:
+		return isErrorType(pkg.Info.TypeOf(v))
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+					p, n := pn.Imported().Path(), sel.Sel.Name
+					return (p == "fmt" && n == "Errorf") ||
+						(p == "errors" && (n == "New" || n == "Join"))
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// collectBodies walks every function body once, recording call sites and
+// value bindings.
+func (b *builder) collectBodies() {
+	for _, n := range append([]*Node(nil), b.g.Nodes...) { // literals append to g.Nodes
+		if n.Decl != nil && n.Decl.Body != nil {
+			b.walkBody(n, n.Decl.Body)
+		}
+	}
+	// Package-level initializers run under a synthetic init node.
+	for _, pkg := range b.g.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, val := range vs.Values {
+						if i < len(vs.Names) {
+							if obj := pkg.Info.Defs[vs.Names[i]]; obj != nil {
+								b.bindings = append(b.bindings, binding{pkg: pkg, slot: obj, rhs: val})
+							}
+						}
+						b.walkBody(b.initOf(pkg), val)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (b *builder) initOf(pkg *Package) *Node {
+	n := b.initNode[pkg]
+	if n == nil {
+		n = &Node{Pkg: pkg, name: pkg.Pkg.Name() + ".init", pos: pkg.Files[0].Pos()}
+		b.initNode[pkg] = n
+		b.g.Nodes = append(b.g.Nodes, n)
+	}
+	return n
+}
+
+// walkBody records the call sites and bindings under root, attributing
+// them to node; nested function literals become their own nodes.
+func (b *builder) walkBody(node *Node, root ast.Node) {
+	pkg := node.Pkg
+	goDefer := make(map[*ast.CallExpr]uint8) // 1 = go, 2 = defer
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			if n == root {
+				return true
+			}
+			lit := b.litNode(node, v)
+			b.walkBody(lit, v.Body)
+			return false
+		case *ast.GoStmt:
+			goDefer[v.Call] = 1
+		case *ast.DeferStmt:
+			goDefer[v.Call] = 2
+		case *ast.CallExpr:
+			b.sites = append(b.sites, callSite{
+				node: node, call: v,
+				goStmt: goDefer[v] == 1, deferred: goDefer[v] == 2,
+			})
+		case *ast.AssignStmt:
+			b.collectAssign(pkg, v)
+		case *ast.ReturnStmt:
+			b.collectReturn(pkg, node, v)
+		case *ast.CompositeLit:
+			b.collectComposite(pkg, v)
+		case *ast.RangeStmt:
+			b.collectRange(pkg, v)
+		case *ast.SendStmt:
+			if obj := rootObj(pkg, v.Chan); obj != nil {
+				b.bindings = append(b.bindings, binding{pkg: pkg, slot: obj, rhs: v.Value})
+			}
+		}
+		return true
+	})
+}
+
+func (b *builder) litNode(parent *Node, lit *ast.FuncLit) *Node {
+	if n := b.byLit[lit]; n != nil {
+		return n
+	}
+	b.litCount[parent]++
+	n := &Node{Lit: lit, Pkg: parent.Pkg,
+		name: fmt.Sprintf("%s$%d", parent.name, b.litCount[parent]), pos: lit.Pos()}
+	b.byLit[lit] = n
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+// collectAssign records LHS ← RHS bindings.
+func (b *builder) collectAssign(pkg *Package, as *ast.AssignStmt) {
+	if len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Lhs {
+			if slot := slotObj(pkg, as.Lhs[i]); slot != nil {
+				b.bindings = append(b.bindings, binding{pkg: pkg, slot: slot, rhs: as.Rhs[i]})
+			}
+		}
+		return
+	}
+	// Multi-value RHS: x, y := f() — bind each LHS to the matching
+	// result slot of the call's callees.
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			for i := range as.Lhs {
+				if slot := slotObj(pkg, as.Lhs[i]); slot != nil {
+					b.bindings = append(b.bindings, binding{pkg: pkg, slot: slot, call: call, index: i})
+				}
+			}
+		}
+	}
+}
+
+// collectReturn binds the enclosing function's result variables to the
+// returned expressions.
+func (b *builder) collectReturn(pkg *Package, node *Node, ret *ast.ReturnStmt) {
+	sig := nodeSignature(pkg, node)
+	if sig == nil || len(ret.Results) == 0 {
+		return
+	}
+	res := sig.Results()
+	if len(ret.Results) == res.Len() {
+		for i, e := range ret.Results {
+			b.bindings = append(b.bindings, binding{pkg: pkg, slot: res.At(i), rhs: e})
+		}
+	} else if len(ret.Results) == 1 {
+		if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			for i := 0; i < res.Len(); i++ {
+				b.bindings = append(b.bindings, binding{pkg: pkg, slot: res.At(i), call: call, index: i})
+			}
+		}
+	}
+}
+
+func nodeSignature(pkg *Package, node *Node) *types.Signature {
+	switch {
+	case node.Fn != nil:
+		sig, _ := node.Fn.Type().(*types.Signature)
+		return sig
+	case node.Lit != nil:
+		if t := pkg.Info.TypeOf(node.Lit); t != nil {
+			sig, _ := t.(*types.Signature)
+			return sig
+		}
+	}
+	return nil
+}
+
+// collectComposite binds struct-literal fields. Container literals are
+// handled at resolution time (the whole literal resolves to the union of
+// its elements).
+func (b *builder) collectComposite(pkg *Package, lit *ast.CompositeLit) {
+	t := pkg.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	st, _ := deref(t).Underlying().(*types.Struct)
+	if st == nil {
+		return
+	}
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				if obj := pkg.Info.Uses[id]; obj != nil {
+					b.bindings = append(b.bindings, binding{pkg: pkg, slot: obj, rhs: kv.Value})
+				}
+			}
+			continue
+		}
+		if i < st.NumFields() {
+			b.bindings = append(b.bindings, binding{pkg: pkg, slot: st.Field(i), rhs: elt})
+		}
+	}
+}
+
+// collectRange binds `for _, f := range c` value variables to the
+// container slot, conflating container and element as the whole tracker
+// does.
+func (b *builder) collectRange(pkg *Package, r *ast.RangeStmt) {
+	if r.Value == nil {
+		return
+	}
+	slot := slotObj(pkg, r.Value)
+	src := rootObj(pkg, r.X)
+	if slot != nil && src != nil {
+		b.bindings = append(b.bindings, binding{pkg: pkg, slot: slot, src: src})
+	}
+}
+
+// slotObj maps an assignable expression to its tracking slot: the
+// variable, field, or — for index and star expressions — the root
+// container object.
+func slotObj(pkg *Package, e ast.Expr) types.Object {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v.Name == "_" {
+			return nil
+		}
+		if obj := pkg.Info.Defs[v]; obj != nil {
+			return obj
+		}
+		return pkg.Info.Uses[v]
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[v]; ok {
+			return sel.Obj()
+		}
+		return pkg.Info.Uses[v.Sel]
+	case *ast.IndexExpr:
+		return rootObj(pkg, v.X)
+	case *ast.IndexListExpr:
+		return rootObj(pkg, v.X)
+	case *ast.StarExpr:
+		return rootObj(pkg, v.X)
+	}
+	return nil
+}
+
+// rootObj finds the object at the base of a chain of selections,
+// indexing and dereferences.
+func rootObj(pkg *Package, e ast.Expr) types.Object {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[v]; obj != nil {
+			return obj
+		}
+		return pkg.Info.Defs[v]
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[v]; ok {
+			return sel.Obj()
+		}
+		return pkg.Info.Uses[v.Sel]
+	case *ast.IndexExpr:
+		return rootObj(pkg, v.X)
+	case *ast.IndexListExpr:
+		return rootObj(pkg, v.X)
+	case *ast.StarExpr:
+		return rootObj(pkg, v.X)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND || v.Op == token.ARROW {
+			return rootObj(pkg, v.X)
+		}
+	}
+	return nil
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

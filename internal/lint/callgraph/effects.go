@@ -1,0 +1,321 @@
+package callgraph
+
+import (
+	"go/token"
+)
+
+// Effect is a bitset over the five effect dimensions the engine tracks.
+type Effect uint8
+
+const (
+	// Allocates marks a heap allocation (compiler escape analysis).
+	Allocates Effect = 1 << iota
+	// Panics marks an explicit panic that is not an audited assertion.
+	Panics
+	// WallClock marks wall-clock time, global math/rand, or environment
+	// reads — anything that breaks seed-replay determinism.
+	WallClock
+	// Blocks marks lock acquisition, channel operations, selects, and
+	// other potentially-blocking synchronization.
+	Blocks
+	// Spawns marks goroutine creation.
+	Spawns
+)
+
+// EffectNames renders the set as a stable comma-separated list.
+func (e Effect) String() string {
+	names := ""
+	add := func(bit Effect, name string) {
+		if e&bit != 0 {
+			if names != "" {
+				names += ","
+			}
+			names += name
+		}
+	}
+	add(Allocates, "allocates")
+	add(Panics, "panics")
+	add(WallClock, "wall-clock")
+	add(Blocks, "blocks")
+	add(Spawns, "spawns-goroutine")
+	if names == "" {
+		return "none"
+	}
+	return names
+}
+
+// Fact is one intrinsic effect attributed to a position inside a node.
+type Fact struct {
+	Effect Effect
+	Pos    token.Pos
+	What   string
+}
+
+// PropagateConfig parameterizes the bottom-up propagation.
+type PropagateConfig struct {
+	// Facts returns a node's intrinsic facts (its own effect sources,
+	// before callees are considered).
+	Facts func(*Node) []Fact
+	// External returns the modeled effects of an external callee edge.
+	External func(*Edge) Effect
+	// Cut reports whether an edge is a declared boundary: the callee's
+	// effects do not flow to the caller through it. Failure-path edges
+	// are always cut in addition to this.
+	Cut func(*Edge) bool
+	// MaskPanics reports whether a node swallows panics from its own
+	// frame and below (a deferred recover), clearing its Panics bit
+	// before propagation to callers.
+	MaskPanics func(*Node) bool
+}
+
+// Propagation is the result of one bottom-up pass.
+type Propagation struct {
+	g   *Graph
+	cfg PropagateConfig
+	// effects is the per-node transitive effect set, post-masking.
+	effects map[*Node]Effect
+	// facts caches the per-node intrinsic facts used for the pass.
+	facts map[*Node][]Fact
+}
+
+// EffectsOf returns the transitive effect set computed for n.
+func (p *Propagation) EffectsOf(n *Node) Effect { return p.effects[n] }
+
+// cut applies the uniform edge-cut rule: failure paths and declared
+// boundaries.
+func (p *Propagation) cut(e *Edge) bool {
+	if e.FailurePath {
+		return true
+	}
+	return p.cfg.Cut != nil && p.cfg.Cut(e)
+}
+
+// Propagate runs Tarjan's SCC algorithm over the graph and accumulates
+// effects in reverse topological order: each component's effect set is
+// the union of its members' intrinsic facts, modeled external callees,
+// and the (post-mask) effects of successor components through uncut
+// edges.
+func (g *Graph) Propagate(cfg PropagateConfig) *Propagation {
+	p := &Propagation{
+		g:       g,
+		cfg:     cfg,
+		effects: make(map[*Node]Effect, len(g.Nodes)),
+		facts:   make(map[*Node][]Fact, len(g.Nodes)),
+	}
+	for _, n := range g.Nodes {
+		if cfg.Facts != nil {
+			p.facts[n] = cfg.Facts(n)
+		}
+	}
+
+	// Tarjan, iterative to keep deep call chains off the goroutine
+	// stack.
+	index := make(map[*Node]int, len(g.Nodes))
+	low := make(map[*Node]int, len(g.Nodes))
+	onStack := make(map[*Node]bool, len(g.Nodes))
+	var stack []*Node
+	var sccs [][]*Node
+	next := 0
+
+	type frame struct {
+		n  *Node
+		ei int
+	}
+	for _, root := range g.Nodes {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		frames := []frame{{n: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.ei < len(f.n.Out) {
+				e := f.n.Out[f.ei]
+				f.ei++
+				if e.Callee == nil || p.cut(e) {
+					continue
+				}
+				w := e.Callee
+				if _, seen := index[w]; !seen {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{n: w})
+					advanced = true
+					break
+				} else if onStack[w] && index[w] < low[f.n] {
+					low[f.n] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.n is done.
+			if low[f.n] == index[f.n] {
+				var scc []*Node
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == f.n {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].n
+				if low[f.n] < low[parent] {
+					low[parent] = low[f.n]
+				}
+			}
+		}
+	}
+
+	// Tarjan emits components in reverse topological order of the
+	// condensation (callees before callers), so one pass accumulates.
+	for _, scc := range sccs {
+		var eff Effect
+		inSCC := make(map[*Node]bool, len(scc))
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		for _, n := range scc {
+			for _, fact := range p.facts[n] {
+				eff |= fact.Effect
+			}
+			for _, e := range n.Out {
+				if p.cut(e) {
+					continue
+				}
+				if e.Callee != nil {
+					if !inSCC[e.Callee] {
+						eff |= p.effects[e.Callee]
+					}
+				} else if cfg.External != nil {
+					eff |= cfg.External(e)
+				}
+			}
+		}
+		for _, n := range scc {
+			ne := eff
+			if cfg.MaskPanics != nil && cfg.MaskPanics(n) {
+				ne &^= Panics
+			}
+			p.effects[n] = ne
+		}
+	}
+	return p
+}
+
+// ChainStep is one frame of an explanation path.
+type ChainStep struct {
+	Node *Node
+	// Via annotates the edge taken INTO this node ("" for the root).
+	Via string
+}
+
+// Explanation pins one effect bit of a root to its nearest source.
+type Explanation struct {
+	// Path walks root → … → the node carrying the source.
+	Path []ChainStep
+	// Pos is the position of the intrinsic fact or external call.
+	Pos token.Pos
+	// What describes the source ("boxes its argument", "calls
+	// fmt.Errorf").
+	What string
+}
+
+// Explain finds a shortest uncut path from root to an intrinsic fact or
+// modeled external call carrying the given effect bit. Returns nil when
+// the root does not have the effect.
+func (p *Propagation) Explain(root *Node, effect Effect) *Explanation {
+	if p.effects[root]&effect == 0 {
+		return nil
+	}
+	visits := []visitItem{{n: root, prev: -1}}
+	seen := map[*Node]bool{root: true}
+	for qi := 0; qi < len(visits); qi++ {
+		cur := visits[qi]
+		// Masked nodes would not have propagated the bit upward.
+		if qi != 0 && p.cfg.MaskPanics != nil && effect == Panics && p.cfg.MaskPanics(cur.n) {
+			continue
+		}
+		// Own fact?
+		for _, f := range p.facts[cur.n] {
+			if f.Effect&effect != 0 {
+				return p.explanationFor(visits, qi, f.Pos, f.What)
+			}
+		}
+		// Modeled external call?
+		for _, e := range cur.n.Out {
+			if e.Callee != nil || p.cut(e) || p.cfg.External == nil {
+				continue
+			}
+			if p.cfg.External(e)&effect != 0 {
+				return p.explanationFor(visits, qi, e.Pos, "calls "+e.External)
+			}
+		}
+		// Descend into callees that carry the bit.
+		for _, e := range cur.n.Out {
+			if e.Callee == nil || p.cut(e) || seen[e.Callee] {
+				continue
+			}
+			if p.effects[e.Callee]&effect != 0 {
+				seen[e.Callee] = true
+				visits = append(visits, visitItem{n: e.Callee, prev: qi, via: e.Via})
+			}
+		}
+	}
+	return nil
+}
+
+type visitItem struct {
+	n    *Node
+	prev int // index into the visit list, -1 for root
+	via  string
+}
+
+func (p *Propagation) explanationFor(visits []visitItem, qi int, pos token.Pos, what string) *Explanation {
+	var path []ChainStep
+	for i := qi; i >= 0; i = visits[i].prev {
+		path = append(path, ChainStep{Node: visits[i].n, Via: visits[i].via})
+	}
+	// Reverse to root-first.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return &Explanation{Path: path, Pos: pos, What: what}
+}
+
+// Reachable returns the set of nodes reachable from the roots through
+// uncut edges (the roots themselves included).
+func (p *Propagation) Reachable(roots []*Node) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	var queue []*Node
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if e.Callee == nil || p.cut(e) || seen[e.Callee] {
+				continue
+			}
+			seen[e.Callee] = true
+			queue = append(queue, e.Callee)
+		}
+	}
+	return seen
+}

@@ -1,0 +1,703 @@
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// fixpoint iterates the flow-insensitive binding rules until no slot's
+// value set grows. Each round re-evaluates every recorded binding and
+// binds call arguments to the parameters of every currently-resolved
+// module callee; sets only grow, so the loop terminates.
+func (b *builder) fixpoint() {
+	for round := 0; round < 64; round++ {
+		changed := false
+		for _, bd := range b.bindings {
+			if b.applyBinding(bd) {
+				changed = true
+			}
+		}
+		for i := range b.sites {
+			if b.bindArgs(&b.sites[i]) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func (b *builder) applyBinding(bd binding) bool {
+	switch {
+	case bd.rhs != nil:
+		if !functiony(bd.pkg, bd.rhs) {
+			return false
+		}
+		set, taint := b.resolveFuncExpr(bd.pkg, bd.rhs)
+		return b.mergeInto(bd.slot, set, taint)
+	case bd.call != nil:
+		out := newValueSet()
+		taint := b.addCallResults(bd.pkg, bd.call, bd.index, out)
+		return b.mergeInto(bd.slot, out, taint)
+	case bd.src != nil:
+		out := newValueSet()
+		taint := b.addSlot(bd.src, out)
+		return b.mergeInto(bd.slot, out, taint)
+	}
+	return false
+}
+
+// functiony reports whether an expression could carry function values —
+// the filter that keeps the fixpoint from chewing on every int store.
+func functiony(pkg *Package, e ast.Expr) bool {
+	t := pkg.Info.TypeOf(e)
+	return t != nil && containsSignature(t, 0)
+}
+
+func containsSignature(t types.Type, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	switch v := t.Underlying().(type) {
+	case *types.Signature:
+		return true
+	case *types.Slice:
+		return containsSignature(v.Elem(), depth+1)
+	case *types.Array:
+		return containsSignature(v.Elem(), depth+1)
+	case *types.Map:
+		return containsSignature(v.Elem(), depth+1)
+	case *types.Chan:
+		return containsSignature(v.Elem(), depth+1)
+	case *types.Pointer:
+		return containsSignature(v.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < v.NumFields(); i++ {
+			if containsSignature(v.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (b *builder) mergeInto(slot types.Object, set *valueSet, taint bool) bool {
+	if slot == nil {
+		return false
+	}
+	dst := b.g.values[slot]
+	if dst == nil {
+		dst = newValueSet()
+		b.g.values[slot] = dst
+	}
+	changed := false
+	if taint && !b.g.tainted[slot] {
+		b.g.tainted[slot] = true
+		changed = true
+	}
+	if set == nil {
+		return changed
+	}
+	for n := range set.nodes {
+		if dst.addNode(n) {
+			changed = true
+		}
+	}
+	for f := range set.exts {
+		if dst.addExt(f) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// resolveFuncExpr computes the set of functions an expression may
+// evaluate to, under the current value sets. taint=true means the
+// expression had a component the tracker cannot model.
+func (b *builder) resolveFuncExpr(pkg *Package, e ast.Expr) (*valueSet, bool) {
+	out := newValueSet()
+	taint := b.addFuncExpr(pkg, e, out)
+	return out, taint
+}
+
+func (b *builder) addFuncExpr(pkg *Package, e ast.Expr, out *valueSet) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		if n := b.byLit[v]; n != nil {
+			out.addNode(n)
+			return false
+		}
+		return true
+	case *ast.Ident:
+		switch obj := useOf(pkg, v).(type) {
+		case *types.Func:
+			b.addConcrete(obj, out)
+			return false
+		case *types.Var:
+			return b.addSlot(obj, out)
+		}
+		return false
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[v]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				m, _ := sel.Obj().(*types.Func)
+				if m == nil {
+					return true
+				}
+				if isInterface(sel.Recv()) {
+					b.addIfaceImpls(m, out)
+					if m.Pkg() != nil && !b.modulePkg(m.Pkg()) {
+						out.addExt(m)
+					}
+					return false
+				}
+				b.addConcrete(m, out)
+				return false
+			case types.FieldVal:
+				return b.addSlot(sel.Obj(), out)
+			}
+			return true
+		}
+		switch obj := pkg.Info.Uses[v.Sel].(type) {
+		case *types.Func:
+			b.addConcrete(obj, out)
+			return false
+		case *types.Var:
+			return b.addSlot(obj, out)
+		}
+		return false
+	case *ast.CallExpr:
+		if isConversion(pkg, v) {
+			if len(v.Args) == 1 {
+				return b.addFuncExpr(pkg, v.Args[0], out)
+			}
+			return false
+		}
+		if id, ok := v.Fun.(*ast.Ident); ok {
+			if bi, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
+				// append returns a slice that may carry any function
+				// value flowing in through its arguments; other
+				// builtins never produce trackable functions.
+				if bi.Name() != "append" {
+					return false
+				}
+				taint := false
+				for _, arg := range v.Args {
+					if b.addFuncExpr(pkg, arg, out) {
+						taint = true
+					}
+				}
+				return taint
+			}
+		}
+		return b.addCallResults(pkg, v, 0, out)
+	case *ast.IndexExpr:
+		return b.addIndexed(pkg, v.X, out)
+	case *ast.IndexListExpr:
+		return b.addIndexed(pkg, v.X, out)
+	case *ast.UnaryExpr:
+		if v.Op == token.ARROW {
+			if obj := rootObj(pkg, v.X); obj != nil {
+				return b.addSlot(obj, out)
+			}
+			return true
+		}
+		return false
+	case *ast.StarExpr:
+		if obj := rootObj(pkg, v.X); obj != nil {
+			return b.addSlot(obj, out)
+		}
+		return true
+	case *ast.TypeAssertExpr:
+		return true // function recovered from an interface: untracked
+	case *ast.CompositeLit:
+		// Container literal of functions: union of the elements.
+		taint := false
+		for _, elt := range v.Elts {
+			ee := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				ee = kv.Value
+			}
+			if functiony(pkg, ee) && b.addFuncExpr(pkg, ee, out) {
+				taint = true
+			}
+		}
+		return taint
+	}
+	return false
+}
+
+// addIndexed resolves x in x[i]: a generic function instantiation
+// resolves through its identifier, a container index through the
+// container slot.
+func (b *builder) addIndexed(pkg *Package, x ast.Expr, out *valueSet) bool {
+	switch v := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		if f, ok := useOf(pkg, v).(*types.Func); ok {
+			b.addConcrete(f, out)
+			return false
+		}
+	case *ast.SelectorExpr:
+		if _, isSel := pkg.Info.Selections[v]; !isSel {
+			if f, ok := pkg.Info.Uses[v.Sel].(*types.Func); ok {
+				b.addConcrete(f, out)
+				return false
+			}
+		}
+	}
+	if obj := rootObj(pkg, x); obj != nil {
+		return b.addSlot(obj, out)
+	}
+	return true
+}
+
+func useOf(pkg *Package, id *ast.Ident) types.Object {
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+// addConcrete routes a declared function into the set: module functions
+// by node, abstract interface methods via their implementations,
+// everything else as external.
+func (b *builder) addConcrete(f *types.Func, out *valueSet) {
+	if recvInterface(f) != nil {
+		b.addIfaceImpls(f, out)
+		if f.Pkg() != nil && !b.modulePkg(f.Pkg()) {
+			out.addExt(f)
+		}
+		return
+	}
+	if n := b.g.ByFunc[f.Origin()]; n != nil {
+		out.addNode(n)
+	} else {
+		out.addExt(f.Origin())
+	}
+}
+
+func (b *builder) addSlot(obj types.Object, out *valueSet) bool {
+	if obj == nil {
+		return true
+	}
+	if set := b.g.values[obj]; set != nil {
+		for n := range set.nodes {
+			out.addNode(n)
+		}
+		for f := range set.exts {
+			out.addExt(f)
+		}
+	}
+	return b.g.tainted[obj]
+}
+
+// addCallResults feeds the value sets of result slot #index of every
+// module callee the call can reach.
+func (b *builder) addCallResults(pkg *Package, call *ast.CallExpr, index int, out *valueSet) bool {
+	callees, _, taint := b.calleesOf(pkg, call)
+	if callees == nil {
+		return taint
+	}
+	for n := range callees.nodes {
+		sig := nodeSignature(n.Pkg, n)
+		if sig == nil || index >= sig.Results().Len() {
+			continue
+		}
+		if !containsSignature(sig.Results().At(index).Type(), 0) {
+			continue
+		}
+		if b.addSlot(sig.Results().At(index), out) {
+			taint = true
+		}
+	}
+	// An external callee returning a function is untracked — but only
+	// taint when the result slot really carries functions.
+	for f := range callees.exts {
+		if sig, ok := f.Type().(*types.Signature); ok {
+			if index < sig.Results().Len() && containsSignature(sig.Results().At(index).Type(), 0) {
+				taint = true
+			}
+		}
+	}
+	return taint
+}
+
+// isConversion reports whether a CallExpr is a type conversion.
+func isConversion(pkg *Package, call *ast.CallExpr) bool {
+	if tv, ok := pkg.Info.Types[call.Fun]; ok {
+		return tv.IsType()
+	}
+	return false
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// addIfaceImpls adds every module implementation of interface method m.
+func (b *builder) addIfaceImpls(m *types.Func, out *valueSet) {
+	for _, t := range b.implsOf(m) {
+		if t.node != nil {
+			out.addNode(t.node)
+		} else if t.ext != nil {
+			out.addExt(t.ext)
+		}
+	}
+}
+
+// implsOf resolves an interface method over the module's named types.
+func (b *builder) implsOf(m *types.Func) []implTarget {
+	g := b.g
+	if impls, ok := g.ifaceImpls[m]; ok {
+		return impls
+	}
+	var impls []implTarget
+	if iface := recvInterface(m); iface != nil {
+		for _, tn := range g.namedTypes {
+			T := tn.Type()
+			var recv types.Type
+			if types.Implements(T, iface) {
+				recv = T
+			} else if ptr := types.NewPointer(T); types.Implements(ptr, iface) {
+				recv = ptr
+			} else {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(recv, true, m.Pkg(), m.Name())
+			impl, _ := obj.(*types.Func)
+			if impl == nil {
+				continue
+			}
+			if n := g.ByFunc[impl.Origin()]; n != nil {
+				impls = append(impls, implTarget{node: n})
+			} else {
+				impls = append(impls, implTarget{ext: impl.Origin()})
+			}
+		}
+	}
+	g.ifaceImpls[m] = impls
+	return impls
+}
+
+// recvInterface returns the interface type an interface method belongs
+// to, or nil for concrete methods and plain functions.
+func recvInterface(m *types.Func) *types.Interface {
+	sig, _ := m.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// calleesOf resolves one call expression under the current value sets.
+// A nil set means "not a call" (builtin or conversion). The via string
+// describes dynamic resolution; taint means resolution is incomplete.
+func (b *builder) calleesOf(pkg *Package, call *ast.CallExpr) (*valueSet, string, bool) {
+	if isConversion(pkg, call) {
+		return nil, "", false
+	}
+	switch v := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		out := newValueSet()
+		if n := b.byLit[v]; n != nil {
+			out.addNode(n)
+		}
+		return out, "", false
+	case *ast.Ident:
+		switch obj := useOf(pkg, v).(type) {
+		case *types.Func:
+			out := newValueSet()
+			b.addConcrete(obj, out)
+			return out, "", false
+		case *types.Var:
+			out := newValueSet()
+			taint := b.addSlot(obj, out)
+			return out, "func value " + v.Name, taint
+		}
+		return nil, "", false
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[v]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				m, _ := sel.Obj().(*types.Func)
+				if m == nil {
+					return nil, "dynamic call", true
+				}
+				if isInterface(sel.Recv()) {
+					out := newValueSet()
+					b.addIfaceImpls(m, out)
+					if m.Pkg() != nil && !b.modulePkg(m.Pkg()) {
+						out.addExt(m)
+					}
+					return out, "interface " + typeName(sel.Recv()) + "." + m.Name(), false
+				}
+				out := newValueSet()
+				b.addConcrete(m, out)
+				return out, "", false
+			case types.FieldVal:
+				out := newValueSet()
+				taint := b.addSlot(sel.Obj(), out)
+				return out, "func field " + sel.Obj().Name(), taint
+			}
+			return nil, "dynamic call", true
+		}
+		switch obj := pkg.Info.Uses[v.Sel].(type) {
+		case *types.Func:
+			out := newValueSet()
+			b.addConcrete(obj, out)
+			return out, "", false
+		case *types.Var:
+			out := newValueSet()
+			taint := b.addSlot(obj, out)
+			return out, "func value " + v.Sel.Name, taint
+		}
+		return nil, "", false
+	case *ast.IndexExpr:
+		return b.calleesOfIndexed(pkg, v.X)
+	case *ast.IndexListExpr:
+		return b.calleesOfIndexed(pkg, v.X)
+	case *ast.CallExpr:
+		out := newValueSet()
+		taint := b.addCallResults(pkg, v, 0, out)
+		return out, "returned func value", taint
+	}
+	return nil, "dynamic call", true
+}
+
+func (b *builder) calleesOfIndexed(pkg *Package, x ast.Expr) (*valueSet, string, bool) {
+	out := newValueSet()
+	taint := b.addIndexed(pkg, x, out)
+	via := ""
+	if len(out.nodes)+len(out.exts) != 1 || taint {
+		via = "indexed func value"
+	}
+	// A pure generic instantiation resolves to exactly one function and
+	// reads as a static call.
+	return out, via, taint
+}
+
+func (b *builder) modulePkg(p *types.Package) bool {
+	for _, pkg := range b.g.Packages {
+		if pkg.Pkg == p {
+			return true
+		}
+	}
+	return false
+}
+
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		if p := named.Obj().Pkg(); p != nil {
+			return p.Name() + "." + named.Obj().Name()
+		}
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// bindArgs binds a call's arguments to the parameter slots of every
+// currently-resolved module callee. Returns true if any set grew.
+func (b *builder) bindArgs(site *callSite) bool {
+	pkg := site.node.Pkg
+	callees, _, _ := b.calleesOf(pkg, site.call)
+	if callees == nil {
+		return false
+	}
+	changed := false
+	for n := range callees.nodes {
+		params := nodeParams(n)
+		variadic := nodeVariadic(n)
+		for i, arg := range site.call.Args {
+			var param types.Object
+			switch {
+			case i < len(params):
+				param = params[i]
+			case variadic && len(params) > 0:
+				param = params[len(params)-1]
+			}
+			if b.bindOne(pkg, param, arg) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (b *builder) bindOne(pkg *Package, param types.Object, arg ast.Expr) bool {
+	if param == nil || !functiony(pkg, arg) {
+		return false
+	}
+	set, taint := b.resolveFuncExpr(pkg, arg)
+	return b.mergeInto(param, set, taint)
+}
+
+func nodeParams(n *Node) []types.Object {
+	sig := nodeSignature(n.Pkg, n)
+	if sig == nil {
+		return nil
+	}
+	out := make([]types.Object, sig.Params().Len())
+	for i := range out {
+		out[i] = sig.Params().At(i)
+	}
+	return out
+}
+
+func nodeVariadic(n *Node) bool {
+	sig := nodeSignature(n.Pkg, n)
+	return sig != nil && sig.Variadic()
+}
+
+// resolveCalls converts the recorded call sites into edges, after the
+// value sets have reached fixpoint.
+func (b *builder) resolveCalls() {
+	g := b.g
+	for i := range b.sites {
+		site := &b.sites[i]
+		pkg := site.node.Pkg
+		call := site.call
+		fail := g.FailurePos(call.Pos())
+		callees, via, taint := b.calleesOf(pkg, call)
+		if callees == nil {
+			continue // builtin or conversion
+		}
+		if taint || callees.empty() {
+			reason := via
+			if reason == "" {
+				reason = "dynamic call"
+			}
+			g.Unresolved = append(g.Unresolved, Unresolved{
+				Caller: site.node, Pos: call.Pos(),
+				Reason: reason + " with no tracked callee", FailurePath: fail,
+			})
+		}
+		kind := EdgeStatic
+		if via != "" {
+			kind = EdgeFuncValue
+			if strings.HasPrefix(via, "interface ") {
+				kind = EdgeInterface
+			}
+		}
+		for _, n := range sortedNodes(callees.nodes) {
+			site.addEdge(&Edge{Callee: n, Kind: kind, Via: via, FailurePath: fail})
+		}
+		exts := sortedExts(callees.exts)
+		for _, f := range exts {
+			site.addEdge(&Edge{External: externalKey(f), ExternalFn: f, Kind: kind, Via: via, FailurePath: fail})
+		}
+		if len(exts) > 0 {
+			b.bindExternalArgs(site, fail)
+		}
+	}
+}
+
+// bindExternalArgs models an external callee invoking its function- and
+// interface-typed arguments (sort.Slice(less), sync.Once.Do(f),
+// container/heap's Interface methods).
+func (b *builder) bindExternalArgs(site *callSite, fail bool) {
+	g := b.g
+	pkg := site.node.Pkg
+	for _, arg := range site.call.Args {
+		t := pkg.Info.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if _, ok := t.Underlying().(*types.Signature); ok {
+			set, taint := b.resolveFuncExpr(pkg, arg)
+			if taint {
+				g.Unresolved = append(g.Unresolved, Unresolved{
+					Caller: site.node, Pos: arg.Pos(),
+					Reason: "func value passed to external call with no tracked callee", FailurePath: fail,
+				})
+			}
+			for _, n := range sortedNodes(set.nodes) {
+				site.addEdge(&Edge{Callee: n, Kind: EdgeFuncValue, Via: "passed to external call",
+					FailurePath: fail, Pos: arg.Pos()})
+			}
+			for _, f := range sortedExts(set.exts) {
+				site.addEdge(&Edge{External: externalKey(f), ExternalFn: f, Kind: EdgeFuncValue,
+					Via: "passed to external call", FailurePath: fail, Pos: arg.Pos()})
+			}
+			continue
+		}
+		if iface, ok := t.Underlying().(*types.Interface); ok && iface.NumMethods() > 0 {
+			for i := 0; i < iface.NumMethods(); i++ {
+				for _, impl := range b.implsOf(iface.Method(i)) {
+					if impl.node != nil {
+						site.addEdge(&Edge{Callee: impl.node, Kind: EdgeInterface,
+							Via: "interface arg to external call", FailurePath: fail, Pos: arg.Pos()})
+					} else if impl.ext != nil {
+						site.addEdge(&Edge{External: externalKey(impl.ext), ExternalFn: impl.ext,
+							Kind: EdgeInterface, Via: "interface arg to external call", FailurePath: fail, Pos: arg.Pos()})
+					}
+				}
+			}
+		}
+	}
+}
+
+func (site *callSite) addEdge(e *Edge) {
+	e.Caller = site.node
+	e.Go = site.goStmt
+	e.Deferred = site.deferred
+	if e.Pos == 0 {
+		e.Pos = site.call.Pos()
+	}
+	site.node.Out = append(site.node.Out, e)
+}
+
+// externalKey renders a stable lookup key for an out-of-module callee:
+// "fmt.Errorf", "sync.Mutex.Lock" (pointer receivers stripped),
+// "(error).Error" for methods of external interfaces.
+func externalKey(f *types.Func) string {
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if isInterface(rt) {
+			return "(" + typeName(rt) + ")." + f.Name()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			if p := named.Obj().Pkg(); p != nil {
+				return p.Path() + "." + named.Obj().Name() + "." + f.Name()
+			}
+			return named.Obj().Name() + "." + f.Name()
+		}
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Path() + "." + f.Name()
+	}
+	return f.Name()
+}
+
+func sortedNodes(m map[*Node]bool) []*Node {
+	out := make([]*Node, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].pos < out[j].pos
+	})
+	return out
+}
+
+func sortedExts(m map[*types.Func]bool) []*types.Func {
+	out := make([]*types.Func, 0, len(m))
+	for f := range m {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return externalKey(out[i]) < externalKey(out[j]) })
+	return out
+}

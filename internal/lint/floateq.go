@@ -4,13 +4,14 @@ import (
 	"go/ast"
 	"go/constant"
 	"go/token"
+	"strings"
 )
 
-// FloatEq flags == and != between floating-point operands outside test
-// files. Controller gains, utilizations, and precision ratios accumulate
-// rounding error; exact comparison silently turns into "never equal" (or
-// worse, "equal on this architecture only"). Use an epsilon comparison —
-// stats.ApproxEqual — or compare in integer units instead.
+// FloatEq flags == and != between floating-point operands. Controller
+// gains, utilizations, and precision ratios accumulate rounding error;
+// exact comparison silently turns into "never equal" (or worse, "equal on
+// this architecture only"). Use an epsilon comparison — stats.ApproxEqual
+// — or compare in integer units instead.
 //
 // Two exemptions keep the check focused on real hazards: comparisons where
 // both operands are compile-time constants (exact by construction), and
@@ -18,6 +19,15 @@ import (
 // sentinel for "field left unset" (`if cfg.Gain == 0 { cfg.Gain = … }`) and
 // for exact-zero guards before division. Anything else that is deliberately
 // exact carries a //lint:allow floateq annotation with a reason.
+//
+// In _test.go files the invariant inverts: exact comparison of results is
+// the determinism pin this repository is built on (`resA.Rates[i] !=
+// resB.Rates[i]` failing IS the bug report), and expected-value pins
+// against exactly-representable constants assert that the computation is
+// exact. So in tests only two shapes are flagged: NaN comparisons (always
+// wrong) and comparisons whose operand performs non-constant float
+// arithmetic at the comparison site (`sum/n == avg`) — fresh rounding
+// introduced in the very expression being compared deserves an epsilon.
 var FloatEq = &Analyzer{
 	Name: "floateq",
 	Doc:  "flag ==/!= between floating-point operands outside tests",
@@ -31,6 +41,7 @@ func runFloatEq(pass *Pass) {
 		return
 	}
 	for _, f := range pass.Files {
+		testFile := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
 		ast.Inspect(f, func(n ast.Node) bool {
 			be, ok := n.(*ast.BinaryExpr)
 			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
@@ -52,6 +63,14 @@ func runFloatEq(pass *Pass) {
 			if isConst(pass, be.X) && isConst(pass, be.Y) {
 				return true
 			}
+			if testFile {
+				// Tests pin exactness and determinism on purpose; only
+				// rounding introduced at the comparison itself is a hazard.
+				if hasFloatArith(pass, be.X) || hasFloatArith(pass, be.Y) {
+					pass.Reportf(be.OpPos, "exact %s on freshly-computed float arithmetic; pin a stored result or use an epsilon", be.Op)
+				}
+				return true
+			}
 			// Zero-value sentinel: comparing against the constant 0 is the
 			// idiomatic unset-field check and the exact-zero division guard.
 			if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
@@ -61,6 +80,33 @@ func runFloatEq(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// hasFloatArith reports whether the expression itself performs
+// non-constant floating-point arithmetic (+ - * /), introducing rounding
+// at the comparison site. Calls are opaque: a function result is a
+// stored value, not fresh arithmetic.
+func hasFloatArith(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			return false
+		case *ast.BinaryExpr:
+			switch v.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+				if (isFloat(pass.Info.TypeOf(v.X)) || isFloat(pass.Info.TypeOf(v.Y))) && !isConst(pass, v) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
 }
 
 // isMathNaNCall reports whether e is a call of math.NaN().

@@ -27,7 +27,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
@@ -78,7 +77,9 @@ func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
 	})
 }
 
-// Analyzer is one invariant checker.
+// Analyzer is one invariant checker. Exactly one of Run and RunModule
+// is set: Run inspects one package at a time, RunModule sees the whole
+// module at once (the interprocedural analyzers).
 type Analyzer struct {
 	// Name is the identifier used in reports and //lint:allow annotations.
 	Name string
@@ -86,6 +87,8 @@ type Analyzer struct {
 	Doc string
 	// Run inspects the package and reports violations via pass.Reportf.
 	Run func(*Pass)
+	// RunModule inspects every package of the module in one pass.
+	RunModule func(*ModulePass)
 }
 
 // All returns every analyzer in the suite, in stable order.
@@ -100,6 +103,8 @@ func All() []*Analyzer {
 		OwnedBuf,
 		ResetComplete,
 		HotPathAlloc,
+		Effects,
+		ParSafe,
 	}
 }
 
@@ -123,40 +128,10 @@ func ByName(names []string) ([]*Analyzer, error) {
 // RunAnalyzers applies each analyzer to the package and returns the
 // surviving diagnostics, sorted by position. Diagnostics suppressed by a
 // //lint:allow annotation (same line or the line directly above) are
-// dropped.
+// dropped. Module-scoped analyzers see the single package as a
+// one-package module — the fixture-testing path.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	allow := collectAllows(pkg.Fset, pkg.Files)
-	out := allowHygiene(pkg.Fset, pkg.Files)
-	for _, a := range analyzers {
-		pass := &Pass{
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Pkg,
-			Info:     pkg.Info,
-			PkgPath:  pkg.Path,
-			Dir:      pkg.Dir,
-			analyzer: a,
-		}
-		pass.report = func(d Diagnostic) {
-			if allow.allows(d.Pos, d.Analyzer) {
-				return
-			}
-			out = append(out, d)
-		}
-		a.Run(pass)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Pos.Filename != out[j].Pos.Filename {
-			return out[i].Pos.Filename < out[j].Pos.Filename
-		}
-		if out[i].Pos.Line != out[j].Pos.Line {
-			return out[i].Pos.Line < out[j].Pos.Line
-		}
-		if out[i].Pos.Column != out[j].Pos.Column {
-			return out[i].Pos.Column < out[j].Pos.Column
-		}
-		return out[i].Analyzer < out[j].Analyzer
-	})
+	out, _ := RunModule([]*Package{pkg}, analyzers)
 	return out
 }
 
@@ -168,6 +143,13 @@ const allowPrefix = "lint:allow"
 // collectAllows scans every comment for //lint:allow annotations.
 func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 	set := make(allowSet)
+	collectAllowsInto(set, fset, files)
+	return set
+}
+
+// collectAllowsInto merges one package's annotations into an existing
+// set — the module-wide accumulation path.
+func collectAllowsInto(set allowSet, fset *token.FileSet, files []*ast.File) {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -202,7 +184,6 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 			}
 		}
 	}
-	return set
 }
 
 // allowHygiene vets every //lint:allow annotation: each must name only

@@ -31,21 +31,87 @@ type Package struct {
 
 // Loader parses and type-checks packages without any dependency outside the
 // standard library: the module's own packages are discovered by walking the
-// file tree, and imports (standard library and module-internal alike) are
-// resolved by the go/types "source" importer, which compiles straight from
-// source and therefore works offline.
+// file tree, and imports are resolved by the go/types "source" importer,
+// which compiles straight from source and therefore works offline.
+//
+// Module-internal imports are special-cased: once LoadModule (or
+// LoadModuleTests) establishes the module context, an import of a module
+// package is satisfied by the loader's own source-checked result — loaded
+// on demand, dependencies first — instead of a second, independent
+// type-check. That keeps type and object identity consistent across the
+// whole module, which the interprocedural analyses depend on: a call from
+// core into simtime must resolve to the same *types.Func the simtime
+// package declared, or interface satisfaction and call-graph node lookup
+// silently degrade to "external".
 type Loader struct {
 	Fset *token.FileSet
 	imp  types.Importer
+
+	// Module context, set by LoadModule/LoadModuleTests.
+	modPath string
+	modRoot string
+	// cache holds the canonical per-import-path packages (non-test
+	// sources only); loading guards against import cycles.
+	cache   map[string]*Package
+	loading map[string]bool
 }
 
 // NewLoader returns a loader with a fresh file set.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{
-		Fset: fset,
-		imp:  importer.ForCompiler(fset, "source", nil),
+	l := &Loader{
+		Fset:    fset,
+		cache:   make(map[string]*Package),
+		loading: make(map[string]bool),
 	}
+	l.imp = &moduleImporter{l: l, fallback: importer.ForCompiler(fset, "source", nil)}
+	return l
+}
+
+// moduleImporter resolves module-internal import paths through the owning
+// Loader (preserving object identity) and everything else through the
+// stock source importer.
+type moduleImporter struct {
+	l        *Loader
+	fallback types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	l := m.l
+	if pkg := l.cache[path]; pkg != nil {
+		return pkg.Pkg, nil
+	}
+	if l.modPath != "" && (path == l.modPath || strings.HasPrefix(path, l.modPath+"/")) {
+		if l.loading[path] {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+		dir := l.modRoot
+		if rel != "" {
+			dir = filepath.Join(l.modRoot, filepath.FromSlash(rel))
+		}
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return m.fallback.Import(path)
+}
+
+// setModuleContext records the module root so module-internal imports are
+// served from the loader's own results from here on.
+func (l *Loader) setModuleContext(root string) (string, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return "", err
+	}
+	l.modPath, l.modRoot = modPath, abs
+	return modPath, nil
 }
 
 // LoadModule discovers every non-test package in the module rooted at root
@@ -53,7 +119,7 @@ func NewLoader() *Loader {
 // the packages sorted by import path. Directories named testdata or vendor
 // and hidden/underscore directories are skipped, matching the go tool.
 func (l *Loader) LoadModule(root string) ([]*Package, error) {
-	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	modPath, err := l.setModuleContext(root)
 	if err != nil {
 		return nil, err
 	}
@@ -106,9 +172,121 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+// LoadModuleTests discovers the module's _test.go files and returns them
+// as analyzable packages: per directory, one package augmenting the
+// non-test sources with the in-package test files (so test files can
+// reference unexported declarations), and one standalone package for an
+// external foo_test package if present. Only the value-level analyzers
+// (mapiter, floateq) run over these; callers filter diagnostics to
+// _test.go files so the augmented packages don't duplicate the main run.
+func (l *Loader) LoadModuleTests(root string) ([]*Package, error) {
+	modPath, err := l.setModuleContext(root)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		hasTests := false
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), "_test.go") {
+				hasTests = true
+				break
+			}
+		}
+		if !hasTests {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		dirPkgs, err := l.loadDirTests(path, importPath)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, dirPkgs...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// loadDirTests splits one directory's test files into the in-package
+// augmented package and the external _test package, loading whichever
+// exist.
+func (l *Loader) loadDirTests(dir, importPath string) ([]*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var base, inPkg, external []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case !strings.HasSuffix(e.Name(), "_test.go"):
+			base = append(base, f)
+		case strings.HasSuffix(f.Name.Name, "_test"):
+			external = append(external, f)
+		default:
+			inPkg = append(inPkg, f)
+		}
+	}
+	var out []*Package
+	if len(inPkg) > 0 {
+		pkg, err := l.check(importPath, dir, append(base, inPkg...))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	if len(external) > 0 {
+		pkg, err := l.check(importPath+"_test", dir, external)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
 // LoadDir parses and type-checks the non-test files of one directory as the
-// package with the given import path.
+// package with the given import path. Within a module context the result
+// is canonical: repeated loads return the same package, and loads demanded
+// recursively by an importing package are shared with the top-level walk.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if pkg := l.cache[importPath]; pkg != nil {
+		return pkg, nil
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -131,7 +309,12 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no Go source in %s", dir)
 	}
-	return l.check(importPath, dir, files)
+	pkg, err := l.check(importPath, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[importPath] = pkg
+	return pkg, nil
 }
 
 // LoadFile parses and type-checks a single file as its own package — the

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/autoe2e/autoe2e/internal/lint/callgraph"
+)
+
+// Timing is one analyzer's wall-clock cost over a lint run, surfaced by
+// the driver so `make lint` can print per-analyzer times and enforce the
+// CI budget.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// ModulePass carries every loaded package through one module-scoped
+// analyzer. All packages must share one token.FileSet (the Loader
+// guarantees this).
+type ModulePass struct {
+	Packages []*Package
+
+	analyzer *Analyzer
+	report   func(Diagnostic)
+	allow    allowSet
+	shared   *moduleShared
+}
+
+// moduleShared holds per-run state shared between module analyzers —
+// most importantly the call graph, which effects and parsafe both need
+// but only one should pay for.
+type moduleShared struct {
+	graphOnce sync.Once
+	graph     *callgraph.Graph
+}
+
+// Fset returns the file set positioning every package of the pass.
+func (p *ModulePass) Fset() *token.FileSet { return p.Packages[0].Fset }
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportAt(p.Fset().Position(pos), format, args...)
+}
+
+// ReportAt records a diagnostic at an externally-computed position.
+func (p *ModulePass) ReportAt(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      pos,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether a //lint:allow annotation for the named
+// analyzer covers pos (same line or the line above). Module analyzers
+// use it to honor sibling analyzers' exemptions when deriving facts —
+// a //lint:allow hotpathalloc line is a deliberate allocation and must
+// not fail a noalloc certification either.
+func (p *ModulePass) Allowed(pos token.Position, analyzer string) bool {
+	return p.allow.allows(pos, analyzer)
+}
+
+// Graph returns the whole-module call graph, built on first use and
+// shared across the run's module analyzers.
+func (p *ModulePass) Graph() *callgraph.Graph {
+	p.shared.graphOnce.Do(func() {
+		cgPkgs := make([]*callgraph.Package, len(p.Packages))
+		for i, pkg := range p.Packages {
+			cgPkgs[i] = &callgraph.Package{
+				Path:  pkg.Path,
+				Fset:  pkg.Fset,
+				Files: pkg.Files,
+				Pkg:   pkg.Pkg,
+				Info:  pkg.Info,
+			}
+		}
+		p.shared.graph = callgraph.Build(cgPkgs)
+	})
+	return p.shared.graph
+}
+
+// RunModule applies each analyzer to the module and returns the
+// surviving diagnostics (sorted by position) plus per-analyzer wall
+// times. Per-package analyzers run once per package; module analyzers
+// (Analyzer.RunModule) run once over all packages. //lint:allow
+// annotations are merged module-wide, and allow hygiene runs once per
+// package as usual.
+func RunModule(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
+	allow := make(allowSet)
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		collectAllowsInto(allow, pkg.Fset, pkg.Files)
+		out = append(out, allowHygiene(pkg.Fset, pkg.Files)...)
+	}
+	report := func(d Diagnostic) {
+		if allow.allows(d.Pos, d.Analyzer) {
+			return
+		}
+		out = append(out, d)
+	}
+
+	shared := &moduleShared{}
+	timings := make([]Timing, 0, len(analyzers))
+	for _, a := range analyzers {
+		start := time.Now() //lint:allow nodeterminism tooling wall-time measurement, not simulation state
+		if a.RunModule != nil {
+			a.RunModule(&ModulePass{
+				Packages: pkgs,
+				analyzer: a,
+				report:   report,
+				allow:    allow,
+				shared:   shared,
+			})
+		} else if a.Run != nil {
+			for _, pkg := range pkgs {
+				pass := &Pass{
+					Fset:     pkg.Fset,
+					Files:    pkg.Files,
+					Pkg:      pkg.Pkg,
+					Info:     pkg.Info,
+					PkgPath:  pkg.Path,
+					Dir:      pkg.Dir,
+					analyzer: a,
+					report:   report,
+				}
+				a.Run(pass)
+			}
+		}
+		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: time.Since(start)}) //lint:allow nodeterminism tooling wall-time measurement, not simulation state
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		if out[i].Pos.Column != out[j].Pos.Column {
+			return out[i].Pos.Column < out[j].Pos.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, timings
+}

@@ -1,0 +1,331 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/autoe2e/autoe2e/internal/lint/callgraph"
+)
+
+// ParSafe checks the determinism contract of internal/parallel worker
+// closures at every ForEach/Map/Stream call site in the module. The
+// parallel package's contract (stated in its package doc) is that a
+// result's value depends only on its index, which the analyzer enforces
+// structurally:
+//
+//   - the only writes to state captured from outside the worker are
+//     index-slot writes — element stores whose index is one of the
+//     worker's index parameters (ForEach/Map: param 0; Stream: params 0
+//     and 1, worker id and item index);
+//   - any other captured write (plain variable, struct field, pointer
+//     target, append, map element) needs explicit synchronization: a
+//     lexical mu.Lock()/mu.Unlock() region inside the worker;
+//   - map writes are never index-slots (concurrent map writes fault);
+//   - channel sends from a worker are ordering-nondeterministic and are
+//     always reported — merge through the ordered emit path instead;
+//   - index-slot writes must not retain owner-reused buffers (the
+//     ownedbuf facts): storing a *core.RunResult or a Step Result into
+//     a shared slice publishes a buffer the owner overwrites.
+//
+// Workers passed as variables are resolved through the call graph's
+// flow-insensitive value sets; a worker the graph cannot resolve is
+// itself a violation.
+var ParSafe = &Analyzer{
+	Name:      "parsafe",
+	Doc:       "internal/parallel workers: index-slot writes only, synced captures, no owned-buffer retention",
+	RunModule: runParSafe,
+}
+
+// parallelWorkerArg maps the parallel package's entry points to the
+// worker argument position and the number of leading index parameters.
+var parallelWorkerArg = map[string]struct {
+	argIndex    int
+	indexParams int
+}{
+	"ForEach": {argIndex: 2, indexParams: 1},
+	"Map":     {argIndex: 2, indexParams: 1},
+	"Stream":  {argIndex: 2, indexParams: 2},
+}
+
+func runParSafe(mp *ModulePass) {
+	graph := mp.Graph()
+	analyzed := make(map[*callgraph.Node]bool)
+	for _, pkg := range mp.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := staticCalleeOf(pkg.Info, call)
+				if fn == nil || !isParallelPkg(fn.Pkg()) {
+					return true
+				}
+				spec, ok := parallelWorkerArg[fn.Name()]
+				if !ok || len(call.Args) <= spec.argIndex {
+					return true
+				}
+				arg := ast.Unparen(call.Args[spec.argIndex])
+				ps := &parsafeCheck{mp: mp, indexParams: spec.indexParams}
+
+				// A literal worker is analyzed in place; anything else
+				// resolves through the call graph's value sets.
+				if lit, isLit := arg.(*ast.FuncLit); isLit {
+					ps.checkWorker(pkg.Pkg, pkg.Info, pkg.Path, lit.Type, lit.Body, lit)
+					return true
+				}
+				for _, node := range ps.workerNodes(mp, graph, pkg, arg) {
+					if analyzed[node] {
+						continue
+					}
+					analyzed[node] = true
+					np := node.Pkg
+					switch {
+					case node.Lit != nil:
+						ps.checkWorker(np.Pkg, np.Info, np.Path, node.Lit.Type, node.Lit.Body, node.Lit)
+					case node.Decl != nil && node.Decl.Body != nil:
+						ps.checkWorker(np.Pkg, np.Info, np.Path, node.Decl.Type, node.Decl.Body, nil)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// staticCalleeOf resolves a call to a declared function, through
+// explicit generic instantiation if present.
+func staticCalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch v := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(v.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(v.X)
+	}
+	switch v := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[v].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[v.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func isParallelPkg(p *types.Package) bool {
+	return p != nil && (p.Path() == "internal/parallel" || strings.HasSuffix(p.Path(), "/internal/parallel"))
+}
+
+type parsafeCheck struct {
+	mp          *ModulePass
+	indexParams int
+}
+
+// workerNodes resolves a non-literal worker argument to graph nodes,
+// reporting when resolution fails.
+func (ps *parsafeCheck) workerNodes(mp *ModulePass, graph *callgraph.Graph, pkg *Package, arg ast.Expr) []*callgraph.Node {
+	var obj types.Object
+	switch v := arg.(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[v]
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[v]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = pkg.Info.Uses[v.Sel]
+		}
+	}
+	if fn, isFn := obj.(*types.Func); isFn {
+		if node := graph.NodeOf(fn); node != nil {
+			return []*callgraph.Node{node}
+		}
+		mp.Reportf(arg.Pos(), "worker resolves outside the module; its determinism contract cannot be checked")
+		return nil
+	}
+	if obj == nil {
+		mp.Reportf(arg.Pos(), "cannot resolve the worker closure; pass a func literal or a tracked function value")
+		return nil
+	}
+	nodes, exts, tainted := graph.ValuesOf(obj)
+	if tainted || (len(nodes) == 0 && len(exts) == 0) {
+		mp.Reportf(arg.Pos(), "cannot resolve the worker closure; pass a func literal or a tracked function value")
+		return nil
+	}
+	if len(exts) > 0 {
+		mp.Reportf(arg.Pos(), "worker may resolve outside the module; its determinism contract cannot be checked")
+	}
+	return nodes
+}
+
+// checkWorker enforces the contract over one worker function body.
+// capture is the func literal whose lexical extent defines "captured"
+// (nil for declared functions, where only package-level state is
+// shared).
+func (ps *parsafeCheck) checkWorker(pkg *types.Package, info *types.Info, pkgPath string, ftype *ast.FuncType, body *ast.BlockStmt, capture *ast.FuncLit) {
+	indexObjs := make(map[types.Object]bool)
+	n := 0
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				if n < ps.indexParams {
+					if obj := info.Defs[name]; obj != nil {
+						indexObjs[obj] = true
+					}
+				}
+				n++
+			}
+		}
+	}
+
+	captured := func(e ast.Expr) bool {
+		obj := rootObjectOfInfo(info, e)
+		if obj == nil {
+			return false
+		}
+		if obj.Parent() == pkg.Scope() {
+			return true
+		}
+		if capture != nil {
+			return obj.Pos() < capture.Pos() || obj.Pos() > capture.End()
+		}
+		return false
+	}
+	isIndexIdent := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && indexObjs[info.Uses[id]]
+	}
+
+	// Lexical lock regions: Lock/RLock opens, non-deferred Unlock/RUnlock
+	// closes. A deferred unlock holds the lock to the end of the worker.
+	type lockEvent struct {
+		pos   token.Pos
+		delta int
+	}
+	var locks []lockEvent
+	deferredCalls := make(map[*ast.CallExpr]bool)
+	inspectFrame(body, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.DeferStmt:
+			deferredCalls[v.Call] = true
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				locks = append(locks, lockEvent{pos: v.Pos(), delta: 1})
+			case "Unlock", "RUnlock":
+				if !deferredCalls[v] {
+					locks = append(locks, lockEvent{pos: v.Pos(), delta: -1})
+				}
+			}
+		}
+		return true
+	})
+	locked := func(pos token.Pos) bool {
+		depth := 0
+		for _, ev := range locks {
+			if ev.pos < pos {
+				depth += ev.delta
+			}
+		}
+		return depth > 0
+	}
+
+	ob := &obAnalysis{pass: &Pass{Pkg: pkg, Info: info, PkgPath: pkgPath}, owned: make(map[types.Object]*ownedVal)}
+	checkRetention := func(rhs ast.Expr, pos token.Pos) {
+		v := ob.ownedOf(rhs)
+		if v == nil || strings.HasSuffix(pkgPath, v.owner) {
+			return
+		}
+		ps.mp.Reportf(pos, "index-slot write retains a %s; Clone (or copy out) before publishing it from a worker", v.what)
+	}
+
+	report := func(pos token.Pos, format string, args ...any) {
+		ps.mp.Reportf(pos, format, args...)
+	}
+
+	// The whole subtree shares the closure environment, so nested
+	// literals inside the worker are walked too.
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) != len(v.Rhs) && len(v.Rhs) != 1 {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				rhs := v.Rhs[0]
+				if len(v.Lhs) == len(v.Rhs) {
+					rhs = v.Rhs[i]
+				}
+				ps.checkStore(lhs, rhs, captured, isIndexIdent, locked, checkRetention, info, report)
+			}
+		case *ast.IncDecStmt:
+			if captured(v.X) && !locked(v.Pos()) {
+				report(v.Pos(), "unsynchronized update of captured state from a parallel worker; hold a mutex or make it an index-slot write")
+			}
+		case *ast.SendStmt:
+			report(v.Pos(), "channel send from a parallel worker is ordering-nondeterministic; return results by index and merge after the join")
+		}
+		return true
+	})
+}
+
+// checkStore vets one LHS ← RHS pair inside a worker.
+func (ps *parsafeCheck) checkStore(lhs, rhs ast.Expr, captured func(ast.Expr) bool, isIndexIdent func(ast.Expr) bool,
+	locked func(token.Pos) bool, checkRetention func(ast.Expr, token.Pos), info *types.Info,
+	report func(token.Pos, string, ...any)) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		if !captured(l.X) {
+			return
+		}
+		if t := info.TypeOf(l.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				report(lhs.Pos(), "concurrent map write from a parallel worker; maps have no index-slot contract")
+				return
+			}
+		}
+		if !isIndexIdent(l.Index) {
+			if locked(lhs.Pos()) {
+				return
+			}
+			report(lhs.Pos(), "write to a shared slice at a non-index slot; a worker may only write element [i] for its own index parameter")
+			return
+		}
+		checkRetention(rhs, lhs.Pos())
+	case *ast.Ident:
+		if !captured(l) || locked(lhs.Pos()) {
+			return
+		}
+		if obj := info.Uses[l]; obj == nil {
+			return
+		}
+		report(lhs.Pos(), "unsynchronized write to captured variable %q from a parallel worker; hold a mutex or make it an index-slot write", l.Name)
+	case *ast.SelectorExpr:
+		if captured(l.X) && !locked(lhs.Pos()) {
+			report(lhs.Pos(), "unsynchronized write to a field of captured state from a parallel worker; hold a mutex or make it an index-slot write")
+		}
+	case *ast.StarExpr:
+		if captured(l.X) && !locked(lhs.Pos()) {
+			report(lhs.Pos(), "unsynchronized write through a captured pointer from a parallel worker; hold a mutex or make it an index-slot write")
+		}
+	}
+}
+
+// rootObjectOfInfo is rootObjectOf for a bare types.Info.
+func rootObjectOfInfo(info *types.Info, e ast.Expr) types.Object {
+	id := rootIdentOf(e)
+	if id == nil {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

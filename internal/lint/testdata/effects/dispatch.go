@@ -1,0 +1,45 @@
+// Interface dispatch in the shape of sched.Driver: the certified root
+// calls through the interface and every implementing method set in the
+// package is on the hook.
+package fixture
+
+// Driver mirrors sched.Driver's dispatch shape.
+type Driver interface {
+	Start()
+	Tally() int
+}
+
+type cleanDriver struct{ n int }
+
+func (d *cleanDriver) Start()     { d.n = 0 }
+func (d *cleanDriver) Tally() int { return d.n }
+
+type loggingDriver struct{ log []string }
+
+func (d *loggingDriver) Start()     { d.log = make([]string, 8) }
+func (d *loggingDriver) Tally() int { return len(d.log) }
+
+//lint:certify noalloc // want "noalloc"
+func runDriver(d Driver) {
+	d.Start()
+}
+
+//lint:certify noalloc // NEG: the dispatch is a declared contract boundary
+func runHooked(d Driver) {
+	d.Start() //lint:hookpoint driver implementations are certified at their own roots
+}
+
+var anyFn any
+
+//lint:certify nopanic
+func runDynamic() {
+	f := anyFn.(func())
+	f() // want "unresolved"
+}
+
+// uncertified has the same untracked call but no contract, so the
+// unresolved edge stays quiet.
+func uncertified() {
+	f := anyFn.(func()) // NEG: unresolved edges only matter on certified paths
+	f()
+}

@@ -1,0 +1,18 @@
+// Annotation hygiene: stray or malformed markers are themselves
+// violations.
+package fixture
+
+//lint:certify noalloc stray marker not in a function doc // want "stray"
+var strayTarget int
+
+//lint:certify noalloc,nopanics // want "unknown effect"
+func typoEffect() {}
+
+func hooked(fns []func()) {
+	for _, f := range fns {
+		f() //lint:hookpoint // want "without a reason"
+	}
+}
+
+//lint:hookpoint nothing dispatches on this line // want "matches no call edge"
+var idleTarget int

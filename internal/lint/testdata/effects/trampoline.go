@@ -1,0 +1,62 @@
+// Method values bound into an event trampoline, simtime-style: the
+// callback is stored in a struct field and invoked through it; go
+// statements carry their closure's effects to the spawner.
+package fixture
+
+import "time"
+
+type event struct {
+	at int
+	fn func(at int)
+}
+
+type engine struct {
+	queue []event
+	cur   int
+}
+
+func (e *engine) schedule(at int, fn func(at int)) {
+	e.queue = append(e.queue, event{at: at, fn: fn})
+}
+
+func (e *engine) runAll() {
+	for i := range e.queue {
+		ev := e.queue[i]
+		e.cur = ev.at
+		ev.fn(ev.at)
+	}
+}
+
+type counter struct{ ticks int }
+
+func (c *counter) onTick(at int) { c.ticks++ }
+
+type clocky struct{ last int }
+
+func (c *clocky) onTick(at int) {
+	c.last = time.Now().Nanosecond()
+}
+
+//lint:certify deterministic // want "deterministic"
+func drive(c *counter, k *clocky, e *engine) {
+	e.schedule(1, c.onTick)
+	e.schedule(2, k.onTick)
+	e.runAll()
+}
+
+//lint:certify deterministic // want "deterministic"
+func sampleInBackground() {
+	go func() {
+		_ = time.Now().Nanosecond()
+	}()
+}
+
+// The engine's callback slots are flow-insensitive: once clocky.onTick
+// is bound anywhere, every engine-driven root sees it. A clean root
+// must bind its callback outside the shared queue.
+//
+//lint:certify deterministic // NEG: only the counter method value is bound
+func driveClean(c *counter) {
+	f := c.onTick
+	f(0)
+}

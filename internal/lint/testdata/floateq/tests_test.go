@@ -1,0 +1,26 @@
+// Test-file mode: exact result pins are the determinism contract and
+// stay legal; only NaN comparisons and fresh arithmetic at the
+// comparison site are flagged.
+package fixture
+
+import "math"
+
+func result() float64 { return 0.5 }
+
+func pins() bool {
+	a, b := result(), result()
+	if a != b { // NEG: computed-vs-computed determinism pin
+		return false
+	}
+	if result() != 0.5 { // NEG: expected-value pin against an exact constant
+		return false
+	}
+	if a == math.NaN() { // want "math.IsNaN"
+		return false
+	}
+	sum, n := 1.5, 3.0
+	if sum/n == 0.5 { // want "freshly-computed"
+		return true
+	}
+	return sum*2 != b // want "freshly-computed"
+}

@@ -1,0 +1,148 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/parallel
+
+// Worker-contract cases for every pool entry point: index-slot writes,
+// lexical lock regions, captured state, channel sends, and worker
+// resolution through function values.
+package parallel
+
+import "sync"
+
+func ForEach(n, workers int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i) // NEG: the canonical index-slot write
+	})
+	return out
+}
+
+func Stream[I, O any](next func() (I, bool), workers int, fn func(worker, index int, item I) O, emit func(index int, out O)) {
+	for i := 0; ; i++ {
+		item, ok := next()
+		if !ok {
+			return
+		}
+		emit(i, fn(0, i, item))
+	}
+}
+
+func fill(res []float64, f func(int) float64) {
+	ForEach(len(res), 4, func(i int) {
+		res[i] = f(i) // NEG: writes only its own slot
+	})
+}
+
+func firstWins(res []float64) {
+	ForEach(len(res), 4, func(i int) {
+		res[0] = float64(i) // want "non-index slot"
+	})
+}
+
+func racyCounter() int {
+	total := 0
+	ForEach(8, 4, func(i int) {
+		total++ // want "unsynchronized update"
+	})
+	return total
+}
+
+func lockedCounter() int {
+	var mu sync.Mutex
+	total := 0
+	ForEach(8, 4, func(i int) {
+		mu.Lock()
+		total++ // NEG: inside a lexical lock region
+		mu.Unlock()
+	})
+	return total
+}
+
+func deferLockedSum(xs []float64) float64 {
+	var mu sync.Mutex
+	sum := 0.0
+	ForEach(len(xs), 4, func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		sum += xs[i] // NEG: a deferred unlock holds to the end of the worker
+	})
+	return sum
+}
+
+func tally(counts map[int]int) {
+	ForEach(8, 4, func(i int) {
+		counts[i] = i // want "map write"
+	})
+}
+
+func sendResults(ch chan float64) {
+	ForEach(8, 4, func(i int) {
+		ch <- float64(i) // want "channel send"
+	})
+}
+
+func growShared() []float64 {
+	var acc []float64
+	ForEach(8, 4, func(i int) {
+		acc = append(acc, float64(i)) // want "captured variable"
+	})
+	return acc
+}
+
+type accumulator struct{ sum float64 }
+
+func fieldWrite(a *accumulator, xs []float64) {
+	ForEach(len(xs), 4, func(i int) {
+		a.sum += xs[i] // want "field of captured state"
+	})
+}
+
+var shared []float64
+
+func namedClean(i int) { shared[i] = float64(i) } // NEG: named worker, index-slot write
+
+func namedDirty(i int) { shared[0] = float64(i) } // want "non-index slot"
+
+func runNamed() {
+	ForEach(len(shared), 4, namedClean)
+	ForEach(len(shared), 4, namedDirty)
+}
+
+func viaVariable() {
+	w := namedDirty // already analyzed above: nodes are vetted once
+	ForEach(len(shared), 4, w)
+}
+
+var anyWorker any
+
+func viaAssertion() {
+	w := anyWorker.(func(int))
+	ForEach(8, 4, w) // want "cannot resolve"
+}
+
+func streamScratch(items []float64) []float64 {
+	scratch := make([][]float64, 4)
+	out := make([]float64, 0, len(items))
+	k := 0
+	Stream(
+		func() (float64, bool) {
+			if k >= len(items) {
+				return 0, false
+			}
+			v := items[k]
+			k++
+			return v, true
+		},
+		4,
+		func(worker, index int, item float64) float64 {
+			scratch[worker] = append(scratch[worker], item) // NEG: worker id is an index parameter
+			return item * 2
+		},
+		func(index int, o float64) { out = append(out, o) },
+	)
+	return out
+}

@@ -1,0 +1,27 @@
+//lintpath:github.com/autoe2e/autoe2e/internal/parallel
+
+// Owned-buffer retention from workers: an index-slot write is the legal
+// way to publish results, but publishing an owner-reused buffer through
+// it escapes the owner's reuse window (the ownedbuf facts).
+package parallel
+
+import "github.com/autoe2e/autoe2e/internal/trace"
+
+func ForEach(n, workers int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func gatherValues(ss []*trace.Series, rows [][]float64) {
+	ForEach(len(ss), 4, func(i int) {
+		rows[i] = ss[i].Values() // want "retains"
+	})
+}
+
+func copyValues(ss []*trace.Series, rows [][]float64) {
+	ForEach(len(ss), 4, func(i int) {
+		vs := ss[i].Values()
+		rows[i] = append(rows[i][:0], vs...) // NEG: copied out before publishing
+	})
+}

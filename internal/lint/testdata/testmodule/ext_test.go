@@ -1,0 +1,7 @@
+package m_test
+
+// extPin lives in the external test package, loaded standalone.
+func extPin() bool {
+	a, b := 0.5, 0.5
+	return a == b // determinism pin: legal in a test file
+}

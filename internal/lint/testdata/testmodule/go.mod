@@ -1,0 +1,3 @@
+module example.com/testmod
+
+go 1.22

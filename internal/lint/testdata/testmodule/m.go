@@ -1,0 +1,9 @@
+// Package m is the loader fixture for LoadModuleTests: one in-package
+// test file (augmented with these sources) and one external test
+// package.
+package m
+
+const baseRate = 5.0
+
+// Rate returns the base rate.
+func Rate() float64 { return baseRate }

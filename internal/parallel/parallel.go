@@ -46,7 +46,7 @@ func ForEach(n, workers int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i) //lint:hookpoint worker bodies carry their callers' contracts; parsafe certifies internal/parallel worker closures separately
 		}
 		return
 	}
@@ -76,13 +76,13 @@ func ForEach(n, workers int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(i) //lint:hookpoint worker bodies carry their callers' contracts; parsafe certifies internal/parallel worker closures separately
 			}
 		}()
 	}
 	wg.Wait()
 	if panicked {
-		panic(panicVal)
+		panic(panicVal) //lint:allow panicguard re-raises a worker panic on the caller goroutine; ForEach adds no failure mode of its own
 	}
 }
 

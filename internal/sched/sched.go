@@ -218,10 +218,10 @@ func (s *Scheduler) State() *taskmodel.State { return s.state }
 // Start schedules the first release of every task at the current instant.
 // It must be called exactly once.
 //
-//lint:noalloc
+//lint:certify noalloc,nopanic,deterministic initial releases: one pooled ScheduleCall per task
 func (s *Scheduler) Start() {
 	if s.started {
-		panic("sched: Start called twice")
+		panic("sched: Start called twice") //lint:allow panicguard double Start would double every release train; failing loudly is the contract
 	}
 	s.started = true
 	for ti := range s.sys.Tasks {
@@ -236,11 +236,9 @@ func (s *Scheduler) Start() {
 // events, including this scheduler's, are gone and Now is back to zero).
 // A reset scheduler replays a workload exactly as a fresh one: counters
 // zero, release guards clear, sequence numbers restart.
-//
-//lint:noalloc
 func (s *Scheduler) Reset(cfg Config) {
 	if cfg.Exec == nil {
-		panic("sched: Config.Exec is required")
+		panic("sched: Config.Exec is required") //lint:allow panicguard a nil execution model is a caller bug caught before any event fires
 	}
 	s.cfg = cfg
 	for i := range s.counters {
@@ -281,7 +279,7 @@ func (s *Scheduler) Counters() []TaskCounter { return s.CountersInto(nil) }
 // it if needed, and returns it. The control tick calls this with a reused
 // buffer so sampling allocates nothing.
 //
-//lint:noalloc
+//lint:certify noalloc,nopanic,deterministic control-tick counter snapshot; first-call sizing is the one audited allocation
 func (s *Scheduler) CountersInto(dst []TaskCounter) []TaskCounter {
 	if cap(dst) < len(s.counters) {
 		dst = make([]TaskCounter, len(s.counters)) //lint:allow hotpathalloc first-call sizing; steady state reuses dst
@@ -303,7 +301,7 @@ func (s *Scheduler) SampleUtilizations() []units.Util { return s.SampleUtilizati
 // if needed. The control tick calls this with a reused buffer so sampling
 // allocates nothing.
 //
-//lint:noalloc
+//lint:certify noalloc,nopanic,deterministic control-tick utilization sampling; first-call sizing is the one audited allocation
 func (s *Scheduler) SampleUtilizationsInto(dst []units.Util) []units.Util {
 	now := s.eng.Now()
 	if cap(dst) < len(s.ecus) {
@@ -325,7 +323,7 @@ func (s *Scheduler) SampleUtilizationsInto(dst []units.Util) []units.Util {
 
 // firstReleaseEvent fires a task's periodic release.
 //
-//lint:noalloc
+//lint:certify noalloc,nopanic,deterministic periodic release trampoline: the full release→admit→dispatch cycle recycles pooled objects
 func firstReleaseEvent(now simtime.Time, arg any) {
 	ta := arg.(*taskArg)
 	ta.s.releaseFirst(ta.ti, now)
@@ -333,7 +331,7 @@ func firstReleaseEvent(now simtime.Time, arg any) {
 
 // chainDeadlineEvent fires at a chain's absolute end-to-end deadline.
 //
-//lint:noalloc
+//lint:certify noalloc,nopanic,deterministic deadline-abort trampoline: cancellation and pool recycling only
 func chainDeadlineEvent(_ simtime.Time, arg any) {
 	c := arg.(*chain)
 	c.s.chainDeadline(c)
@@ -342,7 +340,7 @@ func chainDeadlineEvent(_ simtime.Time, arg any) {
 // guardReleaseEvent fires a release-guard-delayed subtask admission
 // (c.pendingStage holds which stage was held back).
 //
-//lint:noalloc
+//lint:certify noalloc,nopanic,deterministic release-guard trampoline: delayed admission of a held-back stage
 func guardReleaseEvent(now simtime.Time, arg any) {
 	c := arg.(*chain)
 	c.pendingEv = 0
@@ -351,7 +349,7 @@ func guardReleaseEvent(now simtime.Time, arg any) {
 
 // linkReleaseEvent fires a successor release after a communication delay.
 //
-//lint:noalloc
+//lint:certify noalloc,nopanic,deterministic link-delay trampoline: successor release after communication latency
 func linkReleaseEvent(now simtime.Time, arg any) {
 	c := arg.(*chain)
 	c.pendingEv = 0
@@ -364,8 +362,6 @@ func linkReleaseEvent(now simtime.Time, arg any) {
 
 // getChain takes a chain from the intrusive free list (or allocates the
 // pool's next object). The caller initializes every field.
-//
-//lint:noalloc
 func (s *Scheduler) getChain() *chain {
 	c := s.freeChain
 	if c == nil {
@@ -381,8 +377,6 @@ func (s *Scheduler) getChain() *chain {
 // putChain recycles a resolved chain. The chain must have no outstanding
 // engine events or live job: completion cancels the deadline event, and
 // the deadline path cancels any pending delayed release, before freeing.
-//
-//lint:noalloc
 func (s *Scheduler) putChain(c *chain) {
 	c.job = nil
 	c.nextFree = s.freeChain
@@ -391,8 +385,6 @@ func (s *Scheduler) putChain(c *chain) {
 
 // getJob takes a job from the intrusive free list. The caller initializes
 // every field.
-//
-//lint:noalloc
 func (s *Scheduler) getJob() *job {
 	j := s.freeJob
 	if j == nil {
@@ -406,8 +398,6 @@ func (s *Scheduler) getJob() *job {
 }
 
 // putJob recycles a job that is neither running nor queued on any ECU.
-//
-//lint:noalloc
 func (s *Scheduler) putJob(j *job) {
 	j.chain = nil
 	j.nextFree = s.freeJob
@@ -417,8 +407,6 @@ func (s *Scheduler) putJob(j *job) {
 // releaseFirst releases a new instance of task ti and schedules the next
 // periodic release. The period is read from the current rate, so rate
 // changes by the inner controller take effect at the next release.
-//
-//lint:noalloc
 func (s *Scheduler) releaseFirst(ti taskmodel.TaskID, now simtime.Time) {
 	period := s.state.Period(ti)
 	n := len(s.sys.Tasks[ti].Subtasks)
@@ -445,8 +433,6 @@ func (s *Scheduler) releaseFirst(ti taskmodel.TaskID, now simtime.Time) {
 // releaseStage releases subtask `stage` of chain c, honouring the release
 // guard: consecutive releases of the same subtask are separated by at least
 // the chain period (unless greedy synchronization was configured).
-//
-//lint:noalloc
 func (s *Scheduler) releaseStage(c *chain, stage int, now simtime.Time) {
 	at := now
 	// Greedy synchronization only affects successor stages; the first
@@ -469,8 +455,6 @@ func (s *Scheduler) releaseStage(c *chain, stage int, now simtime.Time) {
 
 // admitJob creates the job for subtask `stage` of chain c and enqueues it on
 // its ECU.
-//
-//lint:noalloc
 func (s *Scheduler) admitJob(c *chain, stage int, now simtime.Time) {
 	if c.dead {
 		return // chain was aborted while the release was pending
@@ -497,8 +481,6 @@ func (s *Scheduler) admitJob(c *chain, stage int, now simtime.Time) {
 }
 
 // jobFinished is called by an ECU runner when a job runs to completion.
-//
-//lint:noalloc
 func (s *Scheduler) jobFinished(j *job, now simtime.Time) {
 	c := j.chain
 	if c.dead {
@@ -513,7 +495,7 @@ func (s *Scheduler) jobFinished(j *job, now simtime.Time) {
 		to := s.sys.Tasks[c.task].Subtasks[next].ECU
 		var delay simtime.Duration
 		if s.cfg.LinkDelay != nil {
-			delay = s.cfg.LinkDelay(from, to)
+			delay = s.cfg.LinkDelay(from, to) //lint:hookpoint link-delay models are pure seeded delay tables; the bus package pins that contract
 		}
 		if delay > 0 {
 			c.pendingStage = next
@@ -531,6 +513,7 @@ func (s *Scheduler) jobFinished(j *job, now simtime.Time) {
 	s.eng.Cancel(c.deadlineEv)
 	s.counters[c.task].Completed++
 	if s.cfg.OnChain != nil {
+		//lint:hookpoint chain observers are application callbacks (actuation, logging) outside the certified substrate
 		s.cfg.OnChain(ChainEvent{
 			Task: c.task, Instance: c.instance,
 			Release: c.release, Deadline: c.deadline,
@@ -544,8 +527,6 @@ func (s *Scheduler) jobFinished(j *job, now simtime.Time) {
 // it if it has not completed: the stale result is discarded and the
 // actuator keeps its previous command, exactly the failure mode of
 // Figure 3.
-//
-//lint:noalloc
 func (s *Scheduler) chainDeadline(c *chain) {
 	if c.dead {
 		return
@@ -564,6 +545,7 @@ func (s *Scheduler) chainDeadline(c *chain) {
 	}
 	s.counters[c.task].Missed++
 	if s.cfg.OnChain != nil {
+		//lint:hookpoint chain observers are application callbacks (actuation, logging) outside the certified substrate
 		s.cfg.OnChain(ChainEvent{
 			Task: c.task, Instance: c.instance,
 			Release: c.release, Deadline: c.deadline,

@@ -72,8 +72,6 @@ func NewEngine() *Engine { return &Engine{} }
 // ascending index order, matching the order a fresh engine appends them;
 // event ordering is a total order on (at, seq) either way, so a reset
 // engine replays a schedule identically to a fresh one.
-//
-//lint:noalloc
 func (e *Engine) Reset() {
 	for i := range e.slots {
 		s := &e.slots[i]
@@ -105,7 +103,7 @@ func (e *Engine) Now() Time { return e.now }
 //lint:noalloc
 func (e *Engine) Schedule(at Time, fn EventFunc) EventID {
 	if fn == nil {
-		panic("simtime: schedule with nil EventFunc")
+		panic("simtime: schedule with nil EventFunc") //lint:allow panicguard nil callback is a caller bug; failing loudly beats a silent lost event
 	}
 	return e.enqueue(at, fn, nil, nil)
 }
@@ -114,11 +112,9 @@ func (e *Engine) Schedule(at Time, fn EventFunc) EventID {
 // It is the closure-free counterpart of Schedule: fn is a long-lived
 // function and arg carries the per-event state, so scheduling allocates
 // nothing when arg is pointer-shaped. Scheduling in the past panics.
-//
-//lint:noalloc
 func (e *Engine) ScheduleCall(at Time, fn CallFunc, arg any) EventID {
 	if fn == nil {
-		panic("simtime: schedule with nil CallFunc")
+		panic("simtime: schedule with nil CallFunc") //lint:allow panicguard nil callback is a caller bug; failing loudly beats a silent lost event
 	}
 	return e.enqueue(at, nil, fn, arg)
 }
@@ -128,28 +124,24 @@ func (e *Engine) ScheduleCall(at Time, fn CallFunc, arg any) EventID {
 //lint:noalloc
 func (e *Engine) After(d Duration, fn EventFunc) EventID {
 	if d < 0 {
-		panic(fmt.Sprintf("simtime: negative delay %v", d)) //lint:allow hotpathalloc panic-path boxing only
+		panic(fmt.Sprintf("simtime: negative delay %v", d)) //lint:allow hotpathalloc,panicguard panic-path boxing; a negative delay is a caller bug
 	}
 	return e.Schedule(e.now.Add(d), fn)
 }
 
 // AfterCall enqueues fn(now, arg) to run d after the current instant — the
 // closure-free counterpart of After.
-//
-//lint:noalloc
 func (e *Engine) AfterCall(d Duration, fn CallFunc, arg any) EventID {
 	if d < 0 {
-		panic(fmt.Sprintf("simtime: negative delay %v", d)) //lint:allow hotpathalloc panic-path boxing only
+		panic(fmt.Sprintf("simtime: negative delay %v", d)) //lint:allow hotpathalloc,panicguard panic-path boxing; a negative delay is a caller bug
 	}
 	return e.ScheduleCall(e.now.Add(d), fn, arg)
 }
 
 // enqueue places one event into a recycled (or fresh) slot and the heap.
-//
-//lint:noalloc
 func (e *Engine) enqueue(at Time, fn EventFunc, call CallFunc, arg any) EventID {
 	if at < e.now {
-		panic(fmt.Sprintf("simtime: schedule at %v before now %v", at, e.now)) //lint:allow hotpathalloc panic-path boxing only
+		panic(fmt.Sprintf("simtime: schedule at %v before now %v", at, e.now)) //lint:allow hotpathalloc,panicguard panic-path boxing; scheduling in the past silently reorders causality
 	}
 	e.nextSeq++
 	var idx uint32
@@ -170,8 +162,6 @@ func (e *Engine) enqueue(at Time, fn EventFunc, call CallFunc, arg any) EventID 
 // release returns a slot to the free list and invalidates outstanding
 // EventIDs for it by bumping the generation. Callback references are
 // cleared so the arena does not retain dead closures or arguments.
-//
-//lint:noalloc
 func (e *Engine) release(idx uint32) {
 	s := &e.slots[idx]
 	s.gen++
@@ -184,8 +174,6 @@ func (e *Engine) release(idx uint32) {
 // pending; cancelling an already-run or already-cancelled event is a no-op
 // (the slot's generation has moved on, so a reused slot is never cancelled
 // under a stale ID).
-//
-//lint:noalloc
 func (e *Engine) Cancel(id EventID) bool {
 	if id == 0 {
 		return false
@@ -217,7 +205,7 @@ func (e *Engine) Stop() { e.stopped = true }
 // a Stop the clock stays at the stopping event's instant: the run did not
 // cover the full window and the clock must not pretend it did.
 //
-//lint:noalloc
+//lint:certify noalloc,nopanic,deterministic event-loop drain: slot recycling and heap maintenance only; callbacks certify at their own roots
 func (e *Engine) Run(until Time) {
 	e.stopped = false
 	for !e.stopped && len(e.heap) > 0 {
@@ -234,9 +222,9 @@ func (e *Engine) Run(until Time) {
 		e.release(idx)
 		e.now = at
 		if call != nil {
-			call(at, arg)
+			call(at, arg) //lint:hookpoint scheduled callbacks are certified at their own trampoline roots, not through the drain loop
 		} else {
-			fn(at)
+			fn(at) //lint:hookpoint scheduled callbacks are certified at their own trampoline roots, not through the drain loop
 		}
 	}
 	if !e.stopped && e.now < until {
@@ -248,7 +236,7 @@ func (e *Engine) Run(until Time) {
 // event ran. It is intended for tests that need to observe intermediate
 // states.
 //
-//lint:noalloc
+//lint:certify noalloc,nopanic,deterministic single-event drain used by state-observing tests; same contract as Run
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
@@ -260,9 +248,9 @@ func (e *Engine) Step() bool {
 	e.release(idx)
 	e.now = at
 	if call != nil {
-		call(at, arg)
+		call(at, arg) //lint:hookpoint scheduled callbacks are certified at their own trampoline roots, not through the drain loop
 	} else {
-		fn(at)
+		fn(at) //lint:hookpoint scheduled callbacks are certified at their own trampoline roots, not through the drain loop
 	}
 	return true
 }
@@ -281,10 +269,10 @@ type ticker struct {
 // tickerFire runs one periodic occurrence and re-arms unless stopped. It is
 // package-level so re-arming never builds a closure.
 //
-//lint:noalloc
+//lint:certify noalloc,deterministic periodic re-arm trampoline: the pooled AfterCall path allocates nothing
 func tickerFire(now Time, arg any) {
 	t := arg.(*ticker)
-	t.fn(now)
+	t.fn(now) //lint:hookpoint the periodic body is caller-supplied; Every's contract bounds it, not the re-arm trampoline
 	if !t.stopped {
 		t.id = t.eng.AfterCall(t.period, tickerFire, t)
 	}

@@ -46,8 +46,6 @@ func (st *State) System() *System { return st.sys }
 
 // Reset returns every rate, floor, and precision ratio to its initial
 // value in place, exactly as NewState sets them, reusing the buffers.
-//
-//lint:noalloc
 func (st *State) Reset() {
 	for i, task := range st.sys.Tasks {
 		st.rates[i] = task.InitRate
@@ -59,8 +57,6 @@ func (st *State) Reset() {
 }
 
 // Rate returns the current invocation rate of task i in Hz.
-//
-//lint:noalloc
 func (st *State) Rate(i TaskID) units.Rate { return st.rates[i] }
 
 // Rates returns a copy of all current task rates.
@@ -72,8 +68,6 @@ func (st *State) Rates() []units.Rate {
 
 // SetRate sets task i's rate, clamped into [RateFloor(i), RateMax]. It
 // returns the applied value.
-//
-//lint:noalloc
 func (st *State) SetRate(i TaskID, r units.Rate) units.Rate {
 	lo, hi := st.floors[i], st.sys.Tasks[i].RateMax
 	if r < lo {
@@ -109,22 +103,16 @@ func (st *State) SetRateFloor(i TaskID, floor units.Rate) units.Rate {
 
 // RateSaturated reports whether task i's rate is at its floor (within tol,
 // relative).
-//
-//lint:noalloc
 func (st *State) RateSaturated(i TaskID, tol float64) bool {
 	return st.rates[i] <= st.floors[i].Scale(1+tol)
 }
 
 // Ratio returns the current execution-time ratio a_il of the subtask.
-//
-//lint:noalloc
 func (st *State) Ratio(ref SubtaskRef) units.Ratio { return st.ratios[ref.Task][ref.Index] }
 
 // SetRatio sets a_il, clamped into [MinRatio, 1] and, for subtasks with
 // discrete precision options, floored onto the RatioStep grid
 // (Section IV.E.2). It returns the applied value.
-//
-//lint:noalloc
 func (st *State) SetRatio(ref SubtaskRef, a units.Ratio) units.Ratio {
 	sub := st.sys.Subtask(ref)
 	if sub.RatioStep > 0 && a < 1 {
@@ -157,8 +145,6 @@ func (st *State) E2EDeadline(i TaskID) simtime.Duration {
 // EstimatedUtilization evaluates Equation (2) for ECU j at the current
 // operating point: u_j = Σ_{T_il ∈ S_j} c_il·a_il·r_i, using the offline
 // execution-time estimates.
-//
-//lint:noalloc
 func (st *State) EstimatedUtilization(j int) units.Util {
 	u := units.Util(0)
 	for _, ref := range st.sys.OnECU(j) { //lint:allow hotpathalloc System.OnECU builds its index once, then serves the cache
@@ -193,8 +179,6 @@ func (st *State) FullPrecision() bool {
 // TotalPrecision returns the weighted computation precision Σ w_il·a_il
 // over all subtasks — the objective of Equation (5), and the quantity
 // plotted in Figures 8(c), 9(c)/(d) and 12(c)/(d).
-//
-//lint:noalloc
 func (st *State) TotalPrecision() float64 {
 	p := 0.0
 	for ti, task := range st.sys.Tasks {

@@ -31,8 +31,6 @@ type Series struct {
 }
 
 // Add appends one sample.
-//
-//lint:noalloc
 func (s *Series) Add(t, v float64) {
 	if s.rec != nil && s.gen != s.rec.gen {
 		s.gen = s.rec.gen
@@ -123,8 +121,6 @@ func (r *Recorder) Add(name string, t, v float64) {
 // Reset truncates every series (keeping capacity) and clears the
 // registration order, returning the recorder to its freshly-constructed
 // observable state. Handles obtained before the reset remain valid.
-//
-//lint:noalloc
 func (r *Recorder) Reset() {
 	for _, s := range r.all {
 		s.T = s.T[:0]

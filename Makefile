@@ -31,28 +31,33 @@ lint:
 
 # bench times the control-plane hot paths — the combined inner+outer
 # controller tick, the Equation-8 knapsack ablation, the constrained
-# least-squares kernel, the raw scheduler throughput and the fleet-scale
-# batch runtime (fresh vs reused-session vs streaming runs/sec) — and
-# records ns/op, B/op and allocs/op in BENCH_control.json so both speed and
-# memory-discipline regressions show up in review diffs.
-BENCH_SET = BenchmarkControllerOverhead|BenchmarkAblationKnapsackOrder|BenchmarkBoxLSQ|BenchmarkSchedulerThroughput|BenchmarkSchedulerSteadyState|BenchmarkFleetThroughput|BenchmarkLintLoader
+# least-squares kernel, the raw scheduler throughput, the fleet-scale
+# batch runtime (fresh vs reused-session vs streaming runs/sec) and the
+# columnar trace codec (campaign bytes per retained run) — and records
+# ns/op, B/op, allocs/op plus every custom b.ReportMetric figure in
+# BENCH_control.json so both speed and memory-discipline regressions show
+# up in review diffs.
+BENCH_SET = BenchmarkControllerOverhead|BenchmarkAblationKnapsackOrder|BenchmarkBoxLSQ|BenchmarkSchedulerThroughput|BenchmarkSchedulerSteadyState|BenchmarkFleetThroughput|BenchmarkTraceEncode|BenchmarkTraceDecode|BenchmarkLintLoader
 bench:
 	@out="$$($(GO) test -run '^$$' -bench '^($(BENCH_SET))$$' -benchmem .)"; \
 	echo "$$out"; \
 	echo "$$out" | awk '\
 	/^Benchmark/ { \
 		name=$$1; sub(/-[0-9]+$$/, "", name); \
-		ns=""; bytes=""; allocs=""; \
+		ns=""; bytes=""; allocs=""; extras=""; \
 		for (i=2; i<NF; i++) { \
-			if ($$(i+1)=="ns/op") ns=$$i; \
-			if ($$(i+1)=="B/op") bytes=$$i; \
-			if ($$(i+1)=="allocs/op") allocs=$$i; \
+			u=$$(i+1); \
+			if (u=="ns/op") ns=$$i; \
+			else if (u=="B/op") bytes=$$i; \
+			else if (u=="allocs/op") allocs=$$i; \
+			else if (u ~ /^[A-Za-z_][A-Za-z0-9_]*$$/ && $$i ~ /^[0-9.eE+-]+$$/) \
+				extras = extras sprintf(", \"%s\": %s", u, $$i); \
 		} \
 		if (ns=="") next; \
 		if (bytes=="") bytes="null"; \
 		if (allocs=="") allocs="null"; \
 		if (n++) printf ",\n"; else printf "{\n  \"benchmarks\": [\n"; \
-		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, $$2, ns, bytes, allocs; \
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s%s}", name, $$2, ns, bytes, allocs, extras; \
 	} \
 	END { if (n) printf "\n  ]\n}\n"; else { print "no benchmark lines parsed" > "/dev/stderr"; exit 1 } }' \
 	> BENCH_control.json; \

@@ -33,6 +33,7 @@ import (
 	"github.com/autoe2e/autoe2e/internal/stats"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
 	"github.com/autoe2e/autoe2e/internal/trace"
+	"github.com/autoe2e/autoe2e/internal/trace/colfmt"
 	"github.com/autoe2e/autoe2e/internal/vehicle/cosim"
 	"github.com/autoe2e/autoe2e/internal/workload"
 )
@@ -44,6 +45,7 @@ func main() {
 	out := flag.String("out", "results", "output directory for CSV files")
 	seed := flag.Int64("seed", 1, "execution-time noise seed")
 	workers := flag.Int("workers", parallel.Workers(), "worker-pool width for independent scenario runs (1 = serial)")
+	traceOutPath := flag.String("trace-out", "", "also append every retained run trace to this columnar binary file (convert with trace2csv)")
 	flag.Parse()
 
 	if *workers < 1 {
@@ -51,6 +53,14 @@ func main() {
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
+	}
+	if *traceOutPath != "" {
+		f, err := os.Create(*traceOutPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		traceOut = colfmt.NewWriter(f)
 	}
 	figs := map[string]func(string, int64, int) error{
 		"3":        fig3,
@@ -126,8 +136,23 @@ func writeCSV(dir, name, header string, rows []string) error {
 	return nil
 }
 
-// saveSeries dumps selected recorder series to a wide CSV.
+// traceOut, when -trace-out is set, accumulates every retained run trace
+// as one columnar binary campaign file alongside the per-figure CSVs.
+var traceOut *colfmt.Writer
+
+// saveSeries dumps selected recorder series to a wide CSV and, with
+// -trace-out, appends the run's complete trace to the campaign file.
 func saveSeries(dir, name string, res *core.RunResult, series ...string) error {
+	if traceOut != nil {
+		if err := traceOut.WriteRun(res.Trace); err != nil {
+			return err
+		}
+	}
+	return saveSeriesCSV(dir, name, res, series...)
+}
+
+// saveSeriesCSV writes the wide CSV for selected recorder series.
+func saveSeriesCSV(dir, name string, res *core.RunResult, series ...string) error {
 	f, err := os.Create(filepath.Join(dir, name))
 	if err != nil {
 		return err

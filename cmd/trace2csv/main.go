@@ -1,0 +1,103 @@
+// Command trace2csv converts a columnar binary trace (the
+// internal/trace/colfmt format that fleet campaigns write) back into the
+// CSV a trace.Recorder would have produced. The conversion is pinned
+// byte-identical to Recorder.WriteCSV — the binary format is a
+// compression of the CSV artifact, not a different artifact.
+//
+// Usage:
+//
+//	trace2csv [-list] [-run N] [-wide] [-o out.csv] trace.bin
+//
+//	-list  print an index of the runs in the trace instead of converting
+//	-run   run record to convert (default 0)
+//	-wide  aligned per-series columns instead of long format
+//	-o     output file (default stdout)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"github.com/autoe2e/autoe2e/internal/trace"
+	"github.com/autoe2e/autoe2e/internal/trace/colfmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trace2csv: ")
+	list := flag.Bool("list", false, "print an index of the runs instead of converting")
+	runIdx := flag.Int("run", 0, "run record to convert")
+	wide := flag.Bool("wide", false, "wide CSV layout (one column per series)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: trace2csv [-list] [-run N] [-wide] [-o out.csv] trace.bin")
+	}
+
+	r, err := colfmt.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *list {
+		err = listRuns(r, w)
+	} else {
+		err = convert(r, *runIdx, *wide, w)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// convert decodes run runIdx and writes it as CSV — byte-identical to the
+// WriteCSV (or WriteWideCSV) of the recorder the run was encoded from.
+func convert(r *colfmt.Reader, runIdx int, wide bool, w io.Writer) error {
+	if runIdx < 0 || runIdx >= r.NumRuns() {
+		return fmt.Errorf("run %d out of range: trace holds %d runs", runIdx, r.NumRuns())
+	}
+	run, err := r.Run(runIdx)
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder()
+	if err := run.DecodeInto(rec); err != nil {
+		return err
+	}
+	if wide {
+		return rec.WriteWideCSV(w)
+	}
+	return rec.WriteCSV(w)
+}
+
+// listRuns prints one index row per run record: series count, total
+// samples, and encoded size.
+func listRuns(r *colfmt.Reader, w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "run,series,samples,bytes"); err != nil {
+		return err
+	}
+	for i := 0; i < r.NumRuns(); i++ {
+		run, err := r.Run(i)
+		if err != nil {
+			return err
+		}
+		samples := 0
+		for j := 0; j < run.NumSeries(); j++ {
+			samples += run.Len(j)
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d\n", i, run.NumSeries(), samples, r.RunSize(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

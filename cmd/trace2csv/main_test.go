@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/autoe2e/autoe2e/internal/core"
+	"github.com/autoe2e/autoe2e/internal/scenario"
+	"github.com/autoe2e/autoe2e/internal/trace/colfmt"
+)
+
+// TestGoldenAgainstWriteCSV is the converter's acceptance gate: for the
+// same closed-loop scenario fixtures the session golden tests pin, a
+// trace encoded to the columnar format and converted back must be
+// byte-identical to what Recorder.WriteCSV (and WriteWideCSV) would have
+// written from the live run.
+func TestGoldenAgainstWriteCSV(t *testing.T) {
+	fixtures := []struct {
+		name string
+		cfg  core.RunConfig
+	}{
+		{"Motivation", scenario.Motivation(1.94, 1)},
+		{"TestbedRestore", scenario.TestbedRestore(1)},
+		{"SimAccelerationAutoE2E", scenario.SimAcceleration(core.ModeAutoE2E, 1)},
+	}
+
+	// One multi-run campaign file holding every fixture, streamed through
+	// the Writer exactly the way a campaign would write it.
+	path := filepath.Join(t.TempDir(), "campaign.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := colfmt.NewWriter(f)
+	var wantCSV, wantWide [][]byte
+	for _, fx := range fixtures {
+		res, err := core.Run(fx.cfg)
+		if err != nil {
+			t.Fatalf("%s: core.Run: %v", fx.name, err)
+		}
+		var csv, wide bytes.Buffer
+		if err := res.Trace.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Trace.WriteWideCSV(&wide); err != nil {
+			t.Fatal(err)
+		}
+		wantCSV = append(wantCSV, csv.Bytes())
+		wantWide = append(wantWide, wide.Bytes())
+		if err := w.WriteRun(res.Trace); err != nil {
+			t.Fatalf("%s: WriteRun: %v", fx.name, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := colfmt.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRuns() != len(fixtures) {
+		t.Fatalf("NumRuns = %d, want %d", r.NumRuns(), len(fixtures))
+	}
+	for i, fx := range fixtures {
+		var got bytes.Buffer
+		if err := convert(r, i, false, &got); err != nil {
+			t.Fatalf("%s: convert: %v", fx.name, err)
+		}
+		if !bytes.Equal(wantCSV[i], got.Bytes()) {
+			t.Errorf("%s: converted CSV is not byte-identical to WriteCSV", fx.name)
+		}
+		got.Reset()
+		if err := convert(r, i, true, &got); err != nil {
+			t.Fatalf("%s: convert -wide: %v", fx.name, err)
+		}
+		if !bytes.Equal(wantWide[i], got.Bytes()) {
+			t.Errorf("%s: converted wide CSV is not byte-identical to WriteWideCSV", fx.name)
+		}
+	}
+
+	var index bytes.Buffer
+	if err := listRuns(r, &index); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(index.String()), "\n")
+	if len(lines) != 1+len(fixtures) {
+		t.Fatalf("listRuns printed %d lines, want header + %d runs:\n%s", len(lines), len(fixtures), index.String())
+	}
+	if lines[0] != "run,series,samples,bytes" {
+		t.Errorf("listRuns header = %q", lines[0])
+	}
+	for i := range fixtures {
+		if !strings.HasPrefix(lines[1+i], fmt.Sprintf("%d,", i)) {
+			t.Errorf("listRuns row %d = %q", i, lines[1+i])
+		}
+	}
+}
+
+func TestConvertRunOutOfRange(t *testing.T) {
+	res, err := core.Run(scenario.Motivation(1.94, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file bytes.Buffer
+	if err := colfmt.NewWriter(&file).WriteRun(res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	r, err := colfmt.NewReader(file.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink bytes.Buffer
+	if err := convert(r, 1, false, &sink); err == nil {
+		t.Error("out-of-range run accepted")
+	}
+	if err := convert(r, -1, false, &sink); err == nil {
+		t.Error("negative run accepted")
+	}
+}

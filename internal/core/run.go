@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/autoe2e/autoe2e/internal/exectime"
 	"github.com/autoe2e/autoe2e/internal/parallel"
@@ -67,12 +68,22 @@ type RunResult struct {
 
 // Clone returns an independent deep copy of the result, for callers that
 // must retain it past the owning Session's next run.
-func (r *RunResult) Clone() *RunResult {
-	return &RunResult{
-		Trace:    r.Trace.Clone(),
-		Counters: append([]sched.TaskCounter(nil), r.Counters...),
-		State:    r.State.Clone(),
+func (r *RunResult) Clone() *RunResult { return r.CloneInto(nil) }
+
+// CloneInto deep-copies the result into dst and returns it, recycling
+// dst's trace, counter, and state buffers: a campaign loop that rotates
+// the previous batch's retained results back in as destinations pays the
+// deep copy's memory cost once, not once per run. A nil dst allocates a
+// fresh result (Clone semantics). dst must be caller-owned — a retired
+// clone, never a live session's result.
+func (r *RunResult) CloneInto(dst *RunResult) *RunResult {
+	if dst == nil {
+		dst = &RunResult{}
 	}
+	dst.Trace = r.Trace.CloneInto(dst.Trace)
+	dst.Counters = append(dst.Counters[:0], r.Counters...)
+	dst.State = r.State.CloneInto(dst.State)
+	return dst
 }
 
 // OverallMissRatio aggregates misses across all tasks for the whole run.
@@ -155,13 +166,16 @@ func Run(cfg RunConfig) (*RunResult, error) {
 // RunStream executes the experiments produced by next — pulled on demand,
 // so the config list never needs to exist in memory at once — over a pool
 // of reusable Sessions, one per worker, and streams the outcomes to
-// onResult in input order. It is the fleet-scale batch runner: after each
-// worker's first run, steady-state runs allocate approximately nothing.
+// onResult in input order. It is the fleet-scale batch runner: sessions
+// are recycled across RunStream calls, so once the process has seen a
+// campaign's shape, whole batches — including the first run of each
+// worker — allocate approximately nothing.
 //
 // onResult is called serially, in input order, exactly once per config,
 // with either a result or an error (never both non-nil). The *RunResult is
 // owned by a session and valid only during the callback — it is overwritten
-// by that worker's next run. Callers that retain results must Clone them.
+// by that worker's next run. Callers that retain results must Clone them
+// (or CloneInto a recycled slot of their own).
 // workers <= 0 means parallel.Workers(); workers == 1 runs serially on one
 // session. Results are byte-identical for every worker count.
 func RunStream(next func() (RunConfig, bool), workers int, onResult func(i int, r *RunResult, err error)) {
@@ -173,6 +187,15 @@ func RunStream(next func() (RunConfig, bool), workers int, onResult func(i int, 
 		err error
 	}
 	sessions := make([]*Session, workers)
+	checkoutSessions(sessions)
+	completed := false
+	defer func() {
+		// A panic can leave a session mid-run with its substrate invariants
+		// broken; only a drained stream returns its sessions to the pool.
+		if completed {
+			returnSessions(sessions)
+		}
+	}()
 	parallel.Stream(next, workers,
 		func(worker, _ int, cfg RunConfig) outcome {
 			s := sessions[worker]
@@ -186,6 +209,46 @@ func RunStream(next func() (RunConfig, bool), workers int, onResult func(i int, 
 		func(i int, o outcome) {
 			onResult(i, o.res, o.err)
 		})
+	completed = true
+}
+
+// sessionPool recycles warm Sessions across RunStream (and therefore
+// RunAll) calls: a pooled session whose shape matches the next campaign's
+// configs skips the rebuild entirely, so back-to-back batches run at warm
+// steady-state cost from their first run. Which pooled session serves
+// which worker is irrelevant to results — a Session is byte-identical to
+// a fresh Run regardless of what it executed before (the session golden
+// tests pin that across shape switches). The pool holds at most the peak
+// concurrent worker count ever checked out; sessions carry only reusable
+// buffers, never goroutines or OS resources.
+var sessionPool struct {
+	mu   sync.Mutex
+	free []*Session
+}
+
+// checkoutSessions fills dst's leading slots with up to len(dst) pooled
+// sessions; the rest stay nil and are built lazily by the workers.
+func checkoutSessions(dst []*Session) {
+	sessionPool.mu.Lock()
+	free := sessionPool.free
+	n := min(len(dst), len(free))
+	for i := 0; i < n; i++ {
+		dst[i] = free[len(free)-1-i]
+		free[len(free)-1-i] = nil
+	}
+	sessionPool.free = free[:len(free)-n]
+	sessionPool.mu.Unlock()
+}
+
+// returnSessions puts every non-nil session back on the free list.
+func returnSessions(src []*Session) {
+	sessionPool.mu.Lock()
+	for _, s := range src {
+		if s != nil {
+			sessionPool.free = append(sessionPool.free, s)
+		}
+	}
+	sessionPool.mu.Unlock()
 }
 
 // RunAll executes several independent experiments over a bounded worker
@@ -199,6 +262,18 @@ func RunStream(next func() (RunConfig, bool), workers int, onResult func(i int, 
 // order), along with the full result slice — successful runs keep their
 // results, failed entries are nil.
 func RunAll(cfgs []RunConfig, workers int) ([]*RunResult, error) {
+	return RunAllInto(cfgs, workers, nil)
+}
+
+// RunAllInto is RunAll with recycled result slots: recycle's entries are
+// rotated back in as the CloneInto destinations of the retained results,
+// index for index, so a campaign loop that feeds each batch's results into
+// the next call pays the retention deep copy's allocations once, not once
+// per run. recycle may be nil, shorter than cfgs, or hold nil entries —
+// missing slots fall back to fresh clones. Its entries must be
+// caller-owned results the caller is done reading: the returned slice
+// reuses their backing memory.
+func RunAllInto(cfgs []RunConfig, workers int, recycle []*RunResult) ([]*RunResult, error) {
 	results := make([]*RunResult, len(cfgs))
 	errs := make([]error, 0, len(cfgs))
 	i := 0
@@ -215,7 +290,11 @@ func RunAll(cfgs []RunConfig, workers int) ([]*RunResult, error) {
 			errs = append(errs, fmt.Errorf("core: run %d: %w", j, err))
 			return
 		}
-		results[j] = r.Clone()
+		var dst *RunResult
+		if j < len(recycle) {
+			dst = recycle[j]
+		}
+		results[j] = r.CloneInto(dst)
 	})
 	return results, errors.Join(errs...)
 }

@@ -235,15 +235,19 @@ func TestAllowHygiene(t *testing.T) {
 // //lint:noalloc is a proven claim; a change must show up in review as a
 // diff to these numbers, with its justification next to it.
 //
-// The noalloc count is also a one-way ratchet of the tentpole refactor:
-// most per-function markers were retired in favor of //lint:certify root
-// contracts, so it should only fall further as certification coverage
-// grows — a rising count means someone re-annotated inside a certified
-// reach instead of extending a root.
+// The noalloc count is also a ratchet of the tentpole refactor: most
+// per-function markers were retired in favor of //lint:certify root
+// contracts, so within certified reaches it should only fall — a rise
+// there means someone re-annotated inside a reach instead of extending a
+// root. The sanctioned exception is a new leaf hot path whose callees the
+// effects engine cannot certify (e.g. stdlib append-style helpers such as
+// binary.AppendUvarint, alloc-capable on growth): those carry per-function
+// markers proven by hotpathalloc's escape replay, as the colfmt column
+// encoders do.
 const (
 	repoAllowCount     = 73 // updated by TestAnnotationInventory's failure output
 	repoStickyCount    = 24
-	repoNoallocCount   = 19
+	repoNoallocCount   = 21 // +2: colfmt column encoders (stdlib callees block certify)
 	repoCertifyCount   = 17
 	repoHookpointCount = 18
 )

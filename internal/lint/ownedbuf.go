@@ -26,8 +26,11 @@ import (
 // owned as res — but not through Clone calls or element reads (an indexed
 // element is a value copy). Reported sinks: stores into struct fields,
 // slice/map elements, or pointer targets; appends; channel sends; stores
-// into composite literals; and assignments to variables captured from an
-// outer scope (closure capture) or declared at package level.
+// into composite literals; assignments to variables captured from an
+// outer scope (closure capture) or declared at package level; and owned
+// values passed as a CloneInto destination (the recycled clone buffers are
+// caller-owned by contract — cloning into an owner-reused buffer hands the
+// retained copy right back to the pool that overwrites it).
 //
 // Two deliberate holes: each owner package is trusted with its own buffers
 // (that is where the pooling is implemented), and the *Into double-buffer
@@ -296,6 +299,17 @@ func (a *obAnalysis) walkSinks(n ast.Node, flit *ast.FuncLit) {
 					if v := a.ownedOf(arg); v != nil {
 						a.reportSink(arg.Pos(), v, "appended to a slice")
 					}
+				}
+			}
+			// CloneInto destinations must be caller-owned: cloning into an
+			// owner-reused buffer hands the retained copy back to the pool.
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "CloneInto" {
+				for _, arg := range x.Args {
+					v := a.ownedOf(arg)
+					if v == nil || strings.HasSuffix(a.pass.PkgPath, v.owner) {
+						continue
+					}
+					a.pass.Reportf(arg.Pos(), "%s passed as a CloneInto destination; the owner overwrites that buffer next cycle — clone into a caller-owned destination instead", v.what)
 				}
 			}
 		case *ast.CompositeLit:

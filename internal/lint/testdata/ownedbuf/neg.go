@@ -25,6 +25,14 @@ func cloneToRetain(s *core.Session, cfg core.RunConfig, k *store) {
 	k.miss = append(k.miss, res.OverallMissRatio()) // NEG: derived scalar, not the buffer
 }
 
+func cloneIntoRecycled(s *core.Session, cfg core.RunConfig, k *store) {
+	res, err := s.Run(cfg)
+	if err != nil {
+		return
+	}
+	k.last = res.CloneInto(k.last) // NEG: recycling the caller's own retained slot; CloneInto results are caller-owned
+}
+
 func rotate(sch *sched.Scheduler, k *store) {
 	k.counters = sch.CountersInto(k.counters) // NEG: rotation back into the field that supplied the buffer
 }

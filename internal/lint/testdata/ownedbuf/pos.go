@@ -71,3 +71,11 @@ func retainStep(c *eucon.Controller, utils []units.Util, k *sink) {
 func crossBuffer(sch *sched.Scheduler, m, other *sink) {
 	other.counters = sch.CountersInto(m.counters) // want "stored into a struct field"
 }
+
+func cloneIntoOwned(s *core.Session, cfg core.RunConfig, retained *core.RunResult) {
+	res, err := s.Run(cfg)
+	if err != nil {
+		return
+	}
+	retained.CloneInto(res) // want "passed as a CloneInto destination"
+}

@@ -189,6 +189,22 @@ func (st *State) TotalPrecision() float64 {
 	return p
 }
 
+// CloneInto deep-copies the operating point into dst and returns it,
+// reusing dst's backing arrays. A nil dst — or one cloned from a different
+// System, whose buffers cannot be shaped to fit — falls back to a fresh
+// Clone. The copy shares only the immutable System with st.
+func (st *State) CloneInto(dst *State) *State {
+	if dst == nil || dst.sys != st.sys {
+		return st.Clone()
+	}
+	dst.rates = append(dst.rates[:0], st.rates...)
+	dst.floors = append(dst.floors[:0], st.floors...)
+	for i := range st.ratios {
+		dst.ratios[i] = append(dst.ratios[i][:0], st.ratios[i]...)
+	}
+	return dst
+}
+
 // Clone returns an independent copy of the operating point (sharing the
 // immutable System).
 func (st *State) Clone() *State {

@@ -1,0 +1,134 @@
+package colfmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/autoe2e/autoe2e/internal/trace"
+)
+
+// fuzzFloats reinterprets raw fuzz bytes as float64 bit patterns, so the
+// corpus explores NaN payloads, subnormals and ±Inf directly.
+func fuzzFloats(raw []byte) []float64 {
+	fs := make([]float64, 0, len(raw)/8)
+	for len(raw) >= 8 {
+		fs = append(fs, math.Float64frombits(binary.LittleEndian.Uint64(raw)))
+		raw = raw[8:]
+	}
+	return fs
+}
+
+func seedCorpus(f *testing.F) {
+	f.Add([]byte{})
+	var monotone, adversarial []byte
+	for i := 0; i < 16; i++ {
+		monotone = binary.LittleEndian.AppendUint64(monotone, math.Float64bits(float64(i)*0.1))
+	}
+	f.Add(monotone)
+	for _, v := range adversarialFloats {
+		adversarial = binary.LittleEndian.AppendUint64(adversarial, math.Float64bits(v))
+	}
+	f.Add(adversarial)
+}
+
+// FuzzCodecRoundTrip: encode→decode of both column codecs must be
+// bitwise-identical for arbitrary float64 sequences — monotone or not.
+func FuzzCodecRoundTrip(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		fs := fuzzFloats(raw)
+
+		tcol := appendTimeColumn(nil, fs)
+		ts, err := decodeTimeColumn(tcol, 0, len(tcol), len(fs), nil)
+		if err != nil {
+			t.Fatalf("decodeTimeColumn: %v", err)
+		}
+		requireBitsEqual(t, "timestamp column", fs, ts)
+
+		vcol := appendValueColumn(nil, fs)
+		vs, err := decodeValueColumn(vcol, 0, len(vcol), len(fs), nil)
+		if err != nil {
+			t.Fatalf("decodeValueColumn: %v", err)
+		}
+		requireBitsEqual(t, "value column", fs, vs)
+	})
+}
+
+// FuzzRunRoundTrip: a whole run record built from fuzzed samples must
+// survive Writer→Reader→DecodeInto with byte-identical CSV.
+func FuzzRunRoundTrip(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		fs := fuzzFloats(raw)
+		rec := trace.NewRecorder()
+		a := rec.Handle("fuzz.a")
+		b := rec.Handle("fuzz.b")
+		for i, v := range fs {
+			a.Add(float64(i)*0.1, v)
+			if i%2 == 0 {
+				b.Add(v, v) // fuzzed, possibly non-monotone timestamps
+			}
+		}
+		var file bytes.Buffer
+		if err := NewWriter(&file).WriteRun(rec); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(file.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := r.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded := trace.NewRecorder()
+		if err := run.DecodeInto(decoded); err != nil {
+			t.Fatal(err)
+		}
+		var want, got bytes.Buffer
+		if err := rec.WriteCSV(&want); err != nil {
+			t.Fatal(err)
+		}
+		if err := decoded.WriteCSV(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatal("decoded CSV diverged from source recorder")
+		}
+	})
+}
+
+// FuzzReaderRobustness: arbitrary bytes must never panic the reader —
+// they either index cleanly or error.
+func FuzzReaderRobustness(f *testing.F) {
+	rec := trace.NewRecorder()
+	h := rec.Handle("s")
+	for i := 0; i < 8; i++ {
+		h.Add(float64(i), float64(i)*1.5)
+	}
+	f.Add(AppendRun([]byte(magic), rec))
+	f.Add([]byte(magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r, err := NewReader(raw)
+		if err != nil {
+			return
+		}
+		dst := trace.NewRecorder()
+		var ts, vs []float64
+		for i := 0; i < r.NumRuns(); i++ {
+			run, err := r.Run(i)
+			if err != nil {
+				continue
+			}
+			for j := 0; j < run.NumSeries(); j++ {
+				if ts, vs, err = run.Columns(j, ts, vs); err != nil {
+					break
+				}
+			}
+			_ = run.DecodeInto(dst)
+		}
+	})
+}

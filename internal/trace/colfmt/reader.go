@@ -1,0 +1,258 @@
+package colfmt
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+
+	"github.com/autoe2e/autoe2e/internal/trace"
+)
+
+// Reader decodes a columnar trace from a byte slice it never copies or
+// mutates — hand it an mmap'd file and only the touched pages fault in.
+// Construction validates the magic and walks the run headers (skipping
+// every column by its stored byte length) to index run offsets; columns
+// decode lazily, on access.
+type Reader struct {
+	data []byte
+	runs []int // byte offset of each run record
+}
+
+// NewReader indexes the runs of a columnar trace held in data.
+func NewReader(data []byte) (*Reader, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, corruptf(0, "missing %q magic", magic)
+	}
+	r := &Reader{data: data}
+	off := len(magic)
+	for off < len(data) {
+		r.runs = append(r.runs, off)
+		end, err := skipRun(data, off)
+		if err != nil {
+			return nil, err
+		}
+		off = end
+	}
+	return r, nil
+}
+
+// ReadFile loads path into memory and indexes it.
+func ReadFile(path string) (*Reader, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewReader(data)
+}
+
+// NumRuns reports how many run records the trace holds.
+func (r *Reader) NumRuns() int { return len(r.runs) }
+
+// RunSize reports run i's encoded size in bytes without decoding it.
+func (r *Reader) RunSize(i int) int {
+	end := len(r.data)
+	if i+1 < len(r.runs) {
+		end = r.runs[i+1]
+	}
+	return end - r.runs[i]
+}
+
+// Run parses run i's series headers and returns a view of it. Columns
+// stay encoded until Columns or DecodeInto asks for them.
+func (r *Reader) Run(i int) (*Run, error) {
+	run := &Run{data: r.data}
+	off := r.runs[i] + 1 // past the run marker, validated at index time
+	nSeries, off, err := uvarintAt(r.data, off)
+	if err != nil {
+		return nil, err
+	}
+	for s := uint64(0); s < nSeries; s++ {
+		var hdr seriesHdr
+		hdr, off, err = parseSeriesHdr(r.data, off)
+		if err != nil {
+			return nil, err
+		}
+		run.series = append(run.series, hdr)
+	}
+	return run, nil
+}
+
+// seriesHdr locates one series' name and encoded columns inside the file.
+type seriesHdr struct {
+	nameOff, nameLen int
+	n                int // samples
+	tOff, tLen       int
+	vOff, vLen       int
+}
+
+// Run is a parsed run record: named series headers over still-encoded
+// columns.
+type Run struct {
+	data   []byte
+	series []seriesHdr
+}
+
+// NumSeries reports the number of series in the run.
+func (run *Run) NumSeries() int { return len(run.series) }
+
+// Name returns series j's name.
+func (run *Run) Name(j int) string {
+	h := run.series[j]
+	return string(run.data[h.nameOff : h.nameOff+h.nameLen])
+}
+
+// Len reports series j's sample count without decoding it.
+func (run *Run) Len(j int) int { return run.series[j].n }
+
+// Columns decodes series j into ts and vs, reusing their capacity, and
+// returns the filled slices.
+func (run *Run) Columns(j int, ts, vs []float64) (t, v []float64, err error) {
+	h := run.series[j]
+	if ts, err = decodeTimeColumn(run.data, h.tOff, h.tLen, h.n, ts[:0]); err != nil {
+		return nil, nil, err
+	}
+	if vs, err = decodeValueColumn(run.data, h.vOff, h.vLen, h.n, vs[:0]); err != nil {
+		return nil, nil, err
+	}
+	return ts, vs, nil
+}
+
+// DecodeInto rebuilds the run in rec — same series, same samples, same
+// registration order, so rec.WriteCSV reproduces the encoded recorder's
+// CSV byte for byte. rec is reset first; its interned series buffers are
+// recycled.
+func (run *Run) DecodeInto(rec *trace.Recorder) error {
+	rec.Reset()
+	for j, h := range run.series {
+		s := rec.Handle(run.Name(j))
+		ts, err := decodeTimeColumn(run.data, h.tOff, h.tLen, h.n, s.T[:0])
+		if err != nil {
+			return err
+		}
+		vs, err := decodeValueColumn(run.data, h.vOff, h.vLen, h.n, s.V[:0])
+		if err != nil {
+			return err
+		}
+		if h.n > 0 {
+			// Register through Add so the recorder's output order is the
+			// stored series order, then splice the decoded columns in.
+			s.Add(ts[0], vs[0])
+			s.T = ts
+			s.V = vs
+		}
+	}
+	return nil
+}
+
+// skipRun walks one run record using only header fields and column byte
+// lengths, returning the offset past it.
+func skipRun(data []byte, off int) (int, error) {
+	if data[off] != runMarker {
+		return 0, corruptf(off, "bad run marker 0x%02x", data[off])
+	}
+	nSeries, off, err := uvarintAt(data, off+1)
+	if err != nil {
+		return 0, err
+	}
+	for s := uint64(0); s < nSeries; s++ {
+		if _, off, err = parseSeriesHdr(data, off); err != nil {
+			return 0, err
+		}
+	}
+	return off, nil
+}
+
+// parseSeriesHdr reads one series header at off, returning the header and
+// the offset past the series' columns.
+func parseSeriesHdr(data []byte, off int) (seriesHdr, int, error) {
+	var h seriesHdr
+	nameLen, off, err := uvarintAt(data, off)
+	if err != nil {
+		return h, 0, err
+	}
+	if uint64(len(data)-off) < nameLen {
+		return h, 0, corruptf(off, "series name of %d bytes overruns the trace", nameLen)
+	}
+	h.nameOff, h.nameLen = off, int(nameLen)
+	off += int(nameLen)
+	n, off, err := uvarintAt(data, off)
+	if err != nil {
+		return h, 0, err
+	}
+	h.n = int(n)
+	if h.tOff, h.tLen, off, err = columnAt(data, off); err != nil {
+		return h, 0, err
+	}
+	if h.vOff, h.vLen, off, err = columnAt(data, off); err != nil {
+		return h, 0, err
+	}
+	return h, off, nil
+}
+
+// columnAt reads a length-prefixed column's bounds at off.
+func columnAt(data []byte, off int) (colOff, colLen, end int, err error) {
+	length, off, err := uvarintAt(data, off)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if uint64(len(data)-off) < length {
+		return 0, 0, 0, corruptf(off, "column of %d bytes overruns the trace", length)
+	}
+	return off, int(length), off + int(length), nil
+}
+
+// uvarintAt decodes one uvarint at off, returning it and the next offset.
+func uvarintAt(data []byte, off int) (uint64, int, error) {
+	v, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return 0, 0, corruptf(off, "truncated or oversized varint")
+	}
+	return v, off + n, nil
+}
+
+// decodeTimeColumn inverts appendTimeColumn: n double-delta zigzag
+// varints from data[off:off+length] into dst.
+func decodeTimeColumn(data []byte, off, length, n int, dst []float64) ([]float64, error) {
+	end := off + length
+	var prev, prevDelta uint64
+	for i := 0; i < n; i++ {
+		if off >= end {
+			return nil, corruptf(off, "timestamp column exhausted after %d of %d samples", i, n)
+		}
+		u, next, err := uvarintAt(data[:end], off)
+		if err != nil {
+			return nil, err
+		}
+		off = next
+		prevDelta += uint64(unzigzag(u))
+		prev += prevDelta
+		dst = append(dst, math.Float64frombits(prev))
+	}
+	if off != end {
+		return nil, corruptf(off, "%d trailing bytes after timestamp column", end-off)
+	}
+	return dst, nil
+}
+
+// decodeValueColumn inverts appendValueColumn: n XOR-chained varints from
+// data[off:off+length] into dst.
+func decodeValueColumn(data []byte, off, length, n int, dst []float64) ([]float64, error) {
+	end := off + length
+	var prev uint64
+	for i := 0; i < n; i++ {
+		if off >= end {
+			return nil, corruptf(off, "value column exhausted after %d of %d samples", i, n)
+		}
+		u, next, err := uvarintAt(data[:end], off)
+		if err != nil {
+			return nil, err
+		}
+		off = next
+		prev ^= u
+		dst = append(dst, math.Float64frombits(prev))
+	}
+	if off != end {
+		return nil, corruptf(off, "%d trailing bytes after value column", end-off)
+	}
+	return dst, nil
+}

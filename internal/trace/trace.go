@@ -133,17 +133,30 @@ func (r *Recorder) Reset() {
 // Clone returns an independent deep copy: same series, same samples, same
 // registration order, byte-identical CSV output. Batch drivers use it to
 // retain a session-owned recorder's contents past the session's next run.
-func (r *Recorder) Clone() *Recorder {
-	c := NewRecorder()
+func (r *Recorder) Clone() *Recorder { return r.CloneInto(nil) }
+
+// CloneInto deep-copies the recorder into dst and returns it, recycling
+// dst's interned series and their sample buffers: once dst has seen a
+// campaign's series names and sample counts, further CloneInto calls
+// allocate nothing. A nil dst makes a fresh recorder (Clone semantics).
+// dst must not be the recorder the copy is taken from, nor one still owned
+// by a live session. The copy is independent of r and byte-identical in
+// CSV output.
+func (r *Recorder) CloneInto(dst *Recorder) *Recorder {
+	if dst == nil {
+		dst = NewRecorder()
+	} else {
+		dst.Reset()
+	}
 	for _, name := range r.order {
 		s := r.series[name]
-		cs := c.Handle(name)
-		cs.gen = c.gen
-		c.order = append(c.order, name)
-		cs.T = append([]float64(nil), s.T...)
-		cs.V = append([]float64(nil), s.V...)
+		cs := dst.Handle(name)
+		cs.gen = dst.gen
+		dst.order = append(dst.order, name)
+		cs.T = append(cs.T[:0], s.T...)
+		cs.V = append(cs.V[:0], s.V...)
 	}
-	return c
+	return dst
 }
 
 // Series returns the named series, or nil if it holds no samples — an
@@ -155,6 +168,18 @@ func (r *Recorder) Series(name string) *Series {
 		return nil
 	}
 	return s
+}
+
+// EachSeries calls f for every series holding samples, in registration
+// order — the same series, in the same order, that WriteCSV emits. Unlike
+// Names it allocates nothing, so encoders can walk a recorder per cycle
+// without garbage.
+func (r *Recorder) EachSeries(f func(s *Series)) {
+	for _, name := range r.order {
+		if s := r.series[name]; len(s.T) > 0 {
+			f(s)
+		}
+	}
 }
 
 // Names returns the names of the series holding samples, in registration

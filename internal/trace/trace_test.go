@@ -310,3 +310,49 @@ func TestHandleAppendZeroAlloc(t *testing.T) {
 		t.Errorf("handle append allocates %v allocs/op after warm-up", allocs)
 	}
 }
+
+// TestCloneIntoRecyclesBuffers pins the pooled deep-copy path: CloneInto
+// matches Clone byte for byte, recycles the destination's series buffers
+// (zero allocs once warm), stays independent of the source, and clears
+// stale series a previous occupant of the slot recorded.
+func TestCloneIntoRecyclesBuffers(t *testing.T) {
+	csv := func(r *Recorder) string {
+		var sb strings.Builder
+		if err := r.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	src := NewRecorder()
+	for i := 0; i < 64; i++ {
+		src.Add("a", float64(i), float64(i)*0.5)
+		src.Add("b", float64(i), -float64(i))
+	}
+
+	// A destination that previously held a different campaign's series.
+	dst := NewRecorder()
+	dst.Add("stale.series", 1, 2)
+
+	if got, want := csv(src.CloneInto(dst)), csv(src.Clone()); got != want {
+		t.Fatalf("CloneInto CSV diverged from Clone:\n%s\nvs\n%s", got, want)
+	}
+	if strings.Contains(csv(dst), "stale.series") {
+		t.Fatal("stale series of the recycled destination leaked into the clone")
+	}
+
+	// Independence: mutating the source must not reach the clone.
+	before := csv(dst)
+	src.Add("a", 1000, 1000)
+	if csv(dst) != before {
+		t.Fatal("clone aliases the source recorder's buffers")
+	}
+	src.CloneInto(dst)
+
+	// Warm steady state: same names, same sample counts — no allocations.
+	allocs := testing.AllocsPerRun(10, func() {
+		src.CloneInto(dst)
+	})
+	if allocs != 0 {
+		t.Errorf("warm CloneInto allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -37,7 +37,7 @@ lint:
 # ns/op, B/op, allocs/op plus every custom b.ReportMetric figure in
 # BENCH_control.json so both speed and memory-discipline regressions show
 # up in review diffs.
-BENCH_SET = BenchmarkControllerOverhead|BenchmarkAblationKnapsackOrder|BenchmarkBoxLSQ|BenchmarkSchedulerThroughput|BenchmarkSchedulerSteadyState|BenchmarkFleetThroughput|BenchmarkTraceEncode|BenchmarkTraceDecode|BenchmarkLintLoader
+BENCH_SET = BenchmarkControllerOverhead|BenchmarkAblationKnapsackOrder|BenchmarkBoxLSQ|BenchmarkSchedulerThroughput|BenchmarkSchedulerSteadyState|BenchmarkFleetThroughput|BenchmarkTraceEncode|BenchmarkTraceDecode|BenchmarkForkFanout|BenchmarkSnapshotRestore|BenchmarkLintLoader
 bench:
 	@out="$$($(GO) test -run '^$$' -bench '^($(BENCH_SET))$$' -benchmem .)"; \
 	echo "$$out"; \

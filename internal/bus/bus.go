@@ -27,22 +27,49 @@ func None() DelayFunc {
 // CAN models a shared CAN-like bus: every inter-ECU message takes the base
 // latency plus deterministic seeded jitter in [0, jitter]. Same-ECU
 // handoffs cost nothing.
+//
+// The returned closure hides its random stream; runs that need to be
+// forkable should use NewCANBus instead and register the bus through
+// RunConfig.Rands so a continuation can rewind the jitter sequence.
 func CAN(base, jitter simtime.Duration, seed int64) DelayFunc {
+	return NewCANBus(base, jitter, seed).Delay
+}
+
+// CANBus is the introspectable form of CAN: the same latency model with
+// its jitter stream exposed, so session snapshot/fork can capture and
+// rewind it (a forked run must reproduce the exact per-message jitter the
+// replayed run would draw).
+type CANBus struct {
+	base, jitter simtime.Duration
+	rng          *simtime.Rand
+}
+
+// NewCANBus builds a CAN-like fabric with the given base latency, jitter
+// bound, and jitter stream seed.
+func NewCANBus(base, jitter simtime.Duration, seed int64) *CANBus {
 	if base < 0 || jitter < 0 {
 		panic(fmt.Sprintf("bus: negative CAN latency base=%v jitter=%v", base, jitter))
 	}
-	rng := simtime.NewRand(seed)
-	return func(from, to int) simtime.Duration {
-		if from == to {
-			return 0
-		}
-		d := base
-		if jitter > 0 {
-			d += simtime.Duration(rng.Float64() * float64(jitter))
-		}
-		return d
-	}
+	return &CANBus{base: base, jitter: jitter, rng: simtime.NewRand(seed)}
 }
+
+// Delay is the DelayFunc of this bus; pass the method value to
+// sched.Config.LinkDelay (method values on a long-lived bus allocate once
+// at configuration time, not per message).
+func (b *CANBus) Delay(from, to int) simtime.Duration {
+	if from == to {
+		return 0
+	}
+	d := b.base
+	if b.jitter > 0 {
+		d += simtime.Duration(b.rng.Float64() * float64(b.jitter))
+	}
+	return d
+}
+
+// Rand exposes the jitter stream for snapshot registration
+// (RunConfig.Rands).
+func (b *CANBus) Rand() *simtime.Rand { return b.rng }
 
 // Topology is an explicit per-link latency map for heterogeneous fabrics
 // (e.g. CAN between body ECUs, MOST to the infotainment unit).

@@ -49,6 +49,14 @@ type RunConfig struct {
 	// the middleware has acted, with the same utilization samples the
 	// controllers saw. Baselines such as Direct Increase hook here.
 	OnInnerTick func(now simtime.Time, utils []units.Util, st *taskmodel.State)
+	// Rands registers deterministic random streams beyond the ones Exec
+	// already carries (exectime.RandCarrier models register themselves) —
+	// e.g. a bus.CANBus jitter stream. Only snapshot/fork consults this:
+	// Session.Snapshot captures every registered stream's state and
+	// Session.Resume rewinds the continuation's streams to it, so a fork
+	// reproduces the exact sample sequences of the replayed run. Plain
+	// runs ignore the field.
+	Rands []*simtime.Rand
 	// ReferenceSubstrate runs the experiment on the retained naive
 	// scheduler (sched.Reference) instead of the pooled production one.
 	// Test support only: the substrate golden tests require byte-identical

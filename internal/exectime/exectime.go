@@ -29,6 +29,28 @@ type Model interface {
 	Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, now simtime.Time, ratio units.Ratio) simtime.Duration
 }
 
+// RandCarrier is implemented by models (and model wrappers) that own
+// deterministic random streams. Session snapshot/fork uses it to discover
+// every stream a run consumes so a forked continuation can rewind them to
+// the captured state; RandsOf walks wrapped models, so composed stacks
+// (Noise over Script over Gain) report all their streams.
+type RandCarrier interface {
+	// Rands returns the model's random streams, innermost first. The
+	// returned slice may be freshly allocated; the *simtime.Rand pointers
+	// are the live streams, not copies.
+	Rands() []*simtime.Rand
+}
+
+// RandsOf returns m's random streams if it carries any, or nil. A model
+// that is not a RandCarrier is assumed stateless (or must be registered
+// explicitly through RunConfig.Rands).
+func RandsOf(m Model) []*simtime.Rand {
+	if rc, ok := m.(RandCarrier); ok {
+		return rc.Rands()
+	}
+	return nil
+}
+
 // Nominal charges exactly c_il·a_il — the controllers' own estimate
 // (g_j = 1 everywhere). It is the baseline for deterministic tests.
 type Nominal struct{}
@@ -51,6 +73,9 @@ type Gain struct {
 	// PerECU maps ECU index to its gain g_j.
 	PerECU map[int]float64
 }
+
+// Rands implements RandCarrier by forwarding to the wrapped model.
+func (g Gain) Rands() []*simtime.Rand { return RandsOf(g.Inner) }
 
 // Demand implements Model.
 func (g Gain) Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, now simtime.Time, ratio units.Ratio) simtime.Duration {
@@ -93,6 +118,9 @@ func NewScript(inner Model, steps []Step) *Script {
 	}
 	return s
 }
+
+// Rands implements RandCarrier by forwarding to the wrapped model.
+func (s *Script) Rands() []*simtime.Rand { return RandsOf(s.inner) }
 
 // FactorAt returns the scripted multiplier in effect for ref at now.
 func (s *Script) FactorAt(ref taskmodel.SubtaskRef, now simtime.Time) float64 {
@@ -137,6 +165,10 @@ func NewNoise(inner Model, spread float64, seed int64) *Noise {
 	}
 	return &Noise{inner: inner, spread: spread, rng: simtime.NewRand(seed)}
 }
+
+// Rands implements RandCarrier: the wrapped model's streams followed by
+// this layer's own.
+func (n *Noise) Rands() []*simtime.Rand { return append(RandsOf(n.inner), n.rng) }
 
 // Demand implements Model.
 func (n *Noise) Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, now simtime.Time, ratio units.Ratio) simtime.Duration {

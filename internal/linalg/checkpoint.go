@@ -1,0 +1,33 @@
+package linalg
+
+// BoxLSQState is a deep copy of the warm-start state a BoxLSQWorkspace
+// carries across solves: the power-iteration eigenvector estimate and its
+// validity flag. Everything else in the workspace is per-solve scratch that
+// the next Solve rewrites before reading, so this is the complete
+// cross-call state. Captured for session snapshots: restoring it makes the
+// forked controller's first solve iterate exactly like the replayed run's
+// would (same spectral-norm estimate, same step size, same iterate count).
+type BoxLSQState struct {
+	eig     []float64
+	haveEig bool
+}
+
+// CaptureFrom overwrites st with a deep copy of ws's warm-start state,
+// recycling st's backing array.
+func (st *BoxLSQState) CaptureFrom(ws *BoxLSQWorkspace) {
+	st.eig = append(st.eig[:0], ws.eig...)
+	st.haveEig = ws.haveEig
+}
+
+// RestoreTo overwrites ws's warm-start state with the captured copy and
+// pre-sizes the per-solve scratch buffers to the captured dimension. The
+// sizing matters: ensure() treats any dimension mismatch as a problem
+// change and discards the warm start, so restoring the eigenvector into a
+// freshly-built workspace without sizing the scratch would see the first
+// solve wipe it again and cold-start the power iteration — a bitwise
+// divergence from the captured run.
+func (st *BoxLSQState) RestoreTo(ws *BoxLSQWorkspace) {
+	ws.ensure(len(st.eig))
+	ws.eig = append(ws.eig[:0], st.eig...)
+	ws.haveEig = st.haveEig
+}

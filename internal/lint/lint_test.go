@@ -245,11 +245,11 @@ func TestAllowHygiene(t *testing.T) {
 // markers proven by hotpathalloc's escape replay, as the colfmt column
 // encoders do.
 const (
-	repoAllowCount     = 73 // updated by TestAnnotationInventory's failure output
-	repoStickyCount    = 24
+	repoAllowCount     = 76 // updated by TestAnnotationInventory's failure output
+	repoStickyCount    = 26 // +2: checkpoint warm state (recycled capture scratch)
 	repoNoallocCount   = 21 // +2: colfmt column encoders (stdlib callees block certify)
-	repoCertifyCount   = 17
-	repoHookpointCount = 18
+	repoCertifyCount   = 18 // +1: simtime.Engine.RunBefore (the snapshot prefix drain)
+	repoHookpointCount = 20
 )
 
 func TestAnnotationInventory(t *testing.T) {

@@ -28,9 +28,10 @@ import (
 // slice/map elements, or pointer targets; appends; channel sends; stores
 // into composite literals; assignments to variables captured from an
 // outer scope (closure capture) or declared at package level; and owned
-// values passed as a CloneInto destination (the recycled clone buffers are
-// caller-owned by contract — cloning into an owner-reused buffer hands the
-// retained copy right back to the pool that overwrites it).
+// values passed as a CloneInto or SnapshotInto destination (recycled clone
+// buffers and checkpoints are caller-owned by contract — copying into an
+// owner-reused buffer hands the retained copy right back to the pool that
+// overwrites it).
 //
 // Two deliberate holes: each owner package is trusted with its own buffers
 // (that is where the pooling is implemented), and the *Into double-buffer
@@ -301,15 +302,19 @@ func (a *obAnalysis) walkSinks(n ast.Node, flit *ast.FuncLit) {
 					}
 				}
 			}
-			// CloneInto destinations must be caller-owned: cloning into an
-			// owner-reused buffer hands the retained copy back to the pool.
-			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "CloneInto" {
+			// CloneInto and SnapshotInto destinations must be caller-owned:
+			// copying into an owner-reused buffer hands the retained copy
+			// back to the pool. The checkpoint case matters for branching
+			// campaigns — a Checkpoint a live session still aliases would be
+			// overwritten mid-restore by that session's next capture.
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "CloneInto" || sel.Sel.Name == "SnapshotInto") {
 				for _, arg := range x.Args {
 					v := a.ownedOf(arg)
 					if v == nil || strings.HasSuffix(a.pass.PkgPath, v.owner) {
 						continue
 					}
-					a.pass.Reportf(arg.Pos(), "%s passed as a CloneInto destination; the owner overwrites that buffer next cycle — clone into a caller-owned destination instead", v.what)
+					a.pass.Reportf(arg.Pos(), "%s passed as a %s destination; the owner overwrites that buffer next cycle — copy into a caller-owned destination instead", v.what, sel.Sel.Name)
 				}
 			}
 		case *ast.CompositeLit:

@@ -74,6 +74,16 @@ var pooledRegistry = []pooledEntry{
 	{pkgSuffix: "internal/linalg", typeName: "BoxLSQWorkspace", method: "Reset"},
 	{pkgSuffix: "internal/core", typeName: "Middleware", method: "Reset"},
 	{pkgSuffix: "internal/core", typeName: "Session", method: "Run"},
+	// Checkpoint types are pooled through SnapshotInto recycling: their
+	// CaptureFrom must overwrite every field, or a recycled checkpoint
+	// leaks one capture's state into the next — the same bug class as a
+	// partial Reset, on the snapshot side.
+	{pkgSuffix: "internal/simtime", typeName: "EngineCheckpoint", method: "CaptureFrom"},
+	{pkgSuffix: "internal/sched", typeName: "SchedulerCheckpoint", method: "CaptureFrom"},
+	{pkgSuffix: "internal/eucon", typeName: "ControllerCheckpoint", method: "CaptureFrom"},
+	{pkgSuffix: "internal/precision", typeName: "ControllerCheckpoint", method: "CaptureFrom"},
+	{pkgSuffix: "internal/linalg", typeName: "BoxLSQState", method: "CaptureFrom"},
+	{pkgSuffix: "internal/core", typeName: "Checkpoint", method: "captureFrom"},
 }
 
 func runResetComplete(pass *Pass) {
@@ -406,8 +416,14 @@ func rootIdentOf(e ast.Expr) *ast.Ident {
 	}
 }
 
+// isResetLikeName recognizes method names that imply a full overwrite of
+// their receiver: Reset variants restore pooled values for reuse, and
+// CaptureFrom variants overwrite checkpoint components — their
+// assign-every-field contract is itself enforced on each registered
+// checkpoint type, so a sub-capture call counts as restoring the field.
 func isResetLikeName(name string) bool {
-	return strings.Contains(strings.ToLower(name), "reset")
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "reset") || strings.Contains(lower, "capturefrom")
 }
 
 // resetAssigned walks the reset method (transitively through same-type

@@ -47,3 +47,11 @@ func elementCopy(sch *sched.Scheduler, k *store) {
 	c0 := sch.CountersInto(nil)[0]
 	k.first = c0 // NEG: an indexed element is a value copy, not an alias
 }
+
+func snapshotIntoCallerOwned(s *core.Session, cp *core.Checkpoint) {
+	cp2, err := s.SnapshotInto(cp) // NEG: a caller-owned checkpoint is the intended destination
+	if err != nil {
+		return
+	}
+	_ = cp2
+}

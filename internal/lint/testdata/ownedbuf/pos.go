@@ -79,3 +79,17 @@ func cloneIntoOwned(s *core.Session, cfg core.RunConfig, retained *core.RunResul
 	}
 	retained.CloneInto(res) // want "passed as a CloneInto destination"
 }
+
+// archive mirrors Session.SnapshotInto's shape: like CloneInto, the
+// destination a SnapshotInto call recycles must be caller-owned.
+type archive struct{}
+
+func (archive) SnapshotInto(dst *core.RunResult) (*core.RunResult, error) { return dst, nil }
+
+func snapshotIntoOwned(a archive, s *core.Session, cfg core.RunConfig) {
+	res, err := s.Run(cfg)
+	if err != nil {
+		return
+	}
+	a.SnapshotInto(res) // want "passed as a SnapshotInto destination"
+}

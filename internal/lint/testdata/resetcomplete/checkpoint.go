@@ -1,0 +1,43 @@
+//lintpath:example.com/internal/simtime
+
+// Checkpoint gating: the built-in registry pools EngineCheckpoint through
+// its CaptureFrom method, so every field must be overwritten per capture
+// (directly, through a sub-capture call, or declared sticky) — a recycled
+// checkpoint must not leak one capture's state into the next.
+package fixture
+
+type subState struct {
+	vals []int
+}
+
+func (st *subState) CaptureFrom(src []int) {
+	st.vals = append(st.vals[:0], src...)
+}
+
+// Engine stands in for the registered pooled engine of this package.
+type Engine struct {
+	now int
+}
+
+func (e *Engine) Reset() { e.now = 0 }
+
+// EngineCheckpoint is registered with resetcomplete under CaptureFrom.
+type EngineCheckpoint struct {
+	now   int
+	slots []int
+	sub   subState // captured through the sub-capture call below
+	stale []int    // want "neither reset by CaptureFrom nor annotated"
+	//lint:sticky scratch sized once per campaign, contents rewritten before every read
+	scratch []int
+}
+
+func (cp *EngineCheckpoint) CaptureFrom(e *Engine) {
+	cp.now = e.now
+	cp.slots = append(cp.slots[:0], e.now)
+	cp.sub.CaptureFrom(cp.slots)
+}
+
+func (cp *EngineCheckpoint) misuse() {
+	cp.stale = append(cp.stale, 1)
+	cp.scratch = append(cp.scratch, 2)
+}

@@ -1,0 +1,39 @@
+package precision
+
+import "github.com/autoe2e/autoe2e/internal/units"
+
+// ControllerCheckpoint is a deep copy of the outer precision controller's
+// cross-period state: the restore phase machine, the latched rate-floor
+// drop, the bisection round counter, the previous rate floors, and the
+// saturation detector's per-ECU violation streaks. The knapsack Workspace
+// and the Result buffers are per-step scratch rewritten before they are
+// read, so they are deliberately not captured.
+type ControllerCheckpoint struct {
+	phase             restorePhase
+	dropPending       bool
+	restoreRoundCount int
+	prevFloors        []units.Rate
+	detCounts         []int
+}
+
+// CaptureFrom overwrites cp with a deep copy of c's cross-period state,
+// recycling cp's backing arrays so repeated snapshots are allocation-free
+// at steady state.
+func (cp *ControllerCheckpoint) CaptureFrom(c *Controller) {
+	cp.phase = c.phase
+	cp.dropPending = c.dropPending
+	cp.restoreRoundCount = c.restoreRoundCount
+	cp.prevFloors = append(cp.prevFloors[:0], c.prevFloors...)
+	cp.detCounts = append(cp.detCounts[:0], c.det.counts...)
+}
+
+// RestoreTo overwrites c's cross-period state with the captured copy. The
+// destination must be built from the same system shape and config as the
+// captured controller (the session layer guarantees this).
+func (cp *ControllerCheckpoint) RestoreTo(c *Controller) {
+	c.phase = cp.phase
+	c.dropPending = cp.dropPending
+	c.restoreRoundCount = cp.restoreRoundCount
+	c.prevFloors = append(c.prevFloors[:0], cp.prevFloors...)
+	c.det.counts = append(c.det.counts[:0], cp.detCounts...)
+}

@@ -1,0 +1,48 @@
+package scenario
+
+import (
+	"testing"
+
+	"github.com/autoe2e/autoe2e/internal/core"
+	"github.com/autoe2e/autoe2e/internal/simtime"
+)
+
+// TestSnapshotRestoreSteadyStateAllocs is the allocation gate for the fork
+// machinery: once a checkpoint and both sessions have seen the campaign's
+// shape, SnapshotInto recycles every checkpoint buffer and Restore rewrites
+// the destination in place — a branching campaign's per-fork cost must not
+// include reheating the garbage collector. The first capture/restore pair
+// sizes everything (and is exempt); the gate pins the steady state at zero.
+func TestSnapshotRestoreSteadyStateAllocs(t *testing.T) {
+	cfg := SimAcceleration(core.ModeAutoE2E, 1)
+	src := core.NewSession()
+	if err := src.RunPartial(cfg, simtime.At(30)); err != nil {
+		t.Fatalf("RunPartial: %v", err)
+	}
+	cp, err := src.Snapshot() // sizing capture
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	dst := core.NewSession()
+	if err := dst.Restore(cp); err != nil { // sizing restore (rebuild path)
+		t.Fatalf("Restore: %v", err)
+	}
+
+	snapAllocs := testing.AllocsPerRun(20, func() {
+		if _, err := src.SnapshotInto(cp); err != nil {
+			t.Fatalf("SnapshotInto: %v", err)
+		}
+	})
+	if snapAllocs > 0 {
+		t.Errorf("steady-state SnapshotInto allocates %.1f times per call, want 0", snapAllocs)
+	}
+
+	restoreAllocs := testing.AllocsPerRun(20, func() {
+		if err := dst.Restore(cp); err != nil {
+			t.Fatalf("Restore: %v", err)
+		}
+	})
+	if restoreAllocs > 0 {
+		t.Errorf("steady-state Restore allocates %.1f times per call, want 0", restoreAllocs)
+	}
+}

@@ -1,0 +1,309 @@
+package scenario
+
+import (
+	"testing"
+
+	"github.com/autoe2e/autoe2e/internal/bus"
+	"github.com/autoe2e/autoe2e/internal/core"
+	"github.com/autoe2e/autoe2e/internal/sched"
+	"github.com/autoe2e/autoe2e/internal/simtime"
+	"github.com/autoe2e/autoe2e/internal/taskmodel"
+	"github.com/autoe2e/autoe2e/internal/units"
+	"github.com/autoe2e/autoe2e/internal/workload"
+)
+
+// The fork golden tests pin the snapshot/fork contract: a run forked at
+// time t — prefix once, Snapshot, Restore, Resume with a mutation — must be
+// byte-identical (CSV trace bytes, chain-event log, counters, final state)
+// to a fresh full run whose config appends the same mutation as a scenario
+// event at t. Every continuation path is exercised: resuming the live
+// session in place, restoring into the capturing session, into a fresh
+// session, and into a session previously warmed on a different shape.
+
+// forkCase is one scenario family with a fork instant and a divergence.
+type forkCase struct {
+	name   string
+	mk     func() core.RunConfig
+	forkAt simtime.Time
+	mutate func(st *taskmodel.State)
+}
+
+func forkCases() []forkCase {
+	return []forkCase{
+		{
+			// Open-loop: no middleware adaptation, so the mutation must
+			// reach the trace purely through the substrate.
+			name:   "Motivation",
+			mk:     func() core.RunConfig { return Motivation(1.94, 3) },
+			forkAt: simtime.At(11).Add(250 * simtime.Millisecond),
+			mutate: func(st *taskmodel.State) {
+				st.SetRate(workload.SimPathTracking, 40)
+				st.SetRate(workload.SimStability, 30)
+			},
+		},
+		{
+			name:   "SaturationSweep",
+			mk:     func() core.RunConfig { return SaturationSweep(24, 5) },
+			forkAt: simtime.At(13),
+			mutate: func(st *taskmodel.State) {
+				st.SetRateFloor(workload.SimPathTracking, units.PerPeriod(simtime.FromMillis(21)))
+			},
+		},
+		{
+			// Mid-restoration fork: at 30 s the Figure 9 restorer is
+			// active, so the outer controller's phase machine is live state.
+			name:   "TestbedRestore",
+			mk:     func() core.RunConfig { return TestbedRestore(7) },
+			forkAt: simtime.At(30).Add(500 * simtime.Millisecond),
+			mutate: func(st *taskmodel.State) {
+				st.SetRateFloor(workload.TestbedSteerByWire, 80)
+				st.SetRateFloor(workload.TestbedDriveByWire, 80)
+			},
+		},
+		{
+			name:   "SimAccelerationAutoE2E",
+			mk:     func() core.RunConfig { return SimAcceleration(core.ModeAutoE2E, 2) },
+			forkAt: simtime.At(30),
+			mutate: func(st *taskmodel.State) {
+				st.SetRateFloor(workload.SimACC, 30)
+				st.SetRateFloor(workload.SimABS, 110)
+			},
+		},
+	}
+}
+
+// freshWithFork runs the whole scenario fresh with the fork's mutation
+// appended as a config-time scenario event — the golden the forked paths
+// must reproduce byte for byte.
+func freshWithFork(t *testing.T, fc forkCase) observedRun {
+	t.Helper()
+	cfg := fc.mk()
+	cfg.Events = append(cfg.Events, core.Event{At: fc.forkAt, Do: fc.mutate})
+	return runFresh(t, cfg)
+}
+
+// prefixAndSnapshot runs the scenario's shared prefix on s up to the fork
+// instant and captures it, returning the checkpoint and the prefix's chain
+// log (which every continuation extends).
+func prefixAndSnapshot(t *testing.T, s *core.Session, fc forkCase) (*core.Checkpoint, *[]sched.ChainEvent) {
+	t.Helper()
+	chains := &[]sched.ChainEvent{}
+	cfg := fc.mk()
+	cfg.OnChain = func(ev sched.ChainEvent) { *chains = append(*chains, ev) }
+	if err := s.RunPartial(cfg, fc.forkAt); err != nil {
+		t.Fatalf("RunPartial: %v", err)
+	}
+	cp, err := s.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return cp, chains
+}
+
+// resumeObserved restores cp into s (unless inPlace) and resumes with the
+// fork mutation, returning the full observable output (prefix chains plus
+// continuation chains).
+func resumeObserved(t *testing.T, s *core.Session, cp *core.Checkpoint, fc forkCase, chains *[]sched.ChainEvent) observedRun {
+	t.Helper()
+	if err := s.Restore(cp); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	cfg := fc.mk()
+	cfg.System = nil // the restored session owns the system
+	cfg.OnChain = func(ev sched.ChainEvent) { *chains = append(*chains, ev) }
+	cfg.Events = []core.Event{{At: fc.forkAt, Do: fc.mutate}}
+	res, err := s.Resume(cfg)
+	if err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	return observe(t, res, *chains)
+}
+
+// TestForkGoldenClosedLoops is the core byte-identity gate, fork-restored
+// into the capturing session itself and into a brand-new one.
+func TestForkGoldenClosedLoops(t *testing.T) {
+	for _, fc := range forkCases() {
+		fc := fc
+		t.Run(fc.name, func(t *testing.T) {
+			t.Parallel()
+			fresh := freshWithFork(t, fc)
+
+			// Restore into the session that took the snapshot.
+			s := core.NewSession()
+			cp, chains := prefixAndSnapshot(t, s, fc)
+			prefixLen := len(*chains)
+			same := resumeObserved(t, s, cp, fc, chains)
+			requireRunsIdentical(t, "fork into capturing session", fresh, same)
+
+			// Restore the same checkpoint into a fresh session; the prefix
+			// chain log is shared, so rewind it to the snapshot point.
+			rewound := append([]sched.ChainEvent(nil), (*chains)[:prefixLen]...)
+			other := resumeObserved(t, core.NewSession(), cp, fc, &rewound)
+			requireRunsIdentical(t, "fork into fresh session", fresh, other)
+		})
+	}
+}
+
+// TestForkResumeInPlace pins the snapshot-free continuation: RunPartial
+// then Resume on the same live session with the same config (same model
+// instances, no restore, no stream rewind) plus the mutation injected at
+// the fork instant.
+func TestForkResumeInPlace(t *testing.T) {
+	for _, fc := range forkCases() {
+		fc := fc
+		t.Run(fc.name, func(t *testing.T) {
+			t.Parallel()
+			fresh := freshWithFork(t, fc)
+
+			var chains []sched.ChainEvent
+			cfg := fc.mk()
+			cfg.OnChain = func(ev sched.ChainEvent) { chains = append(chains, ev) }
+			s := core.NewSession()
+			if err := s.RunPartial(cfg, fc.forkAt); err != nil {
+				t.Fatalf("RunPartial: %v", err)
+			}
+			cont := cfg // same models continue; only the events differ
+			cont.Events = []core.Event{{At: fc.forkAt, Do: fc.mutate}}
+			res, err := s.Resume(cont)
+			if err != nil {
+				t.Fatalf("Resume: %v", err)
+			}
+			got := observe(t, res, chains)
+			requireRunsIdentical(t, "resume in place", fresh, got)
+		})
+	}
+}
+
+// TestForkAcrossShapes restores a checkpoint into a session warmed on a
+// different task system and middleware configuration — the rebuild path —
+// and still requires byte identity.
+func TestForkAcrossShapes(t *testing.T) {
+	fc := forkCases()[2] // TestbedRestore
+	fresh := freshWithFork(t, fc)
+
+	// Warm the destination session on an entirely different shape first.
+	warmed := core.NewSession()
+	if _, err := warmed.Run(SimAcceleration(core.ModeEUCON, 1)); err != nil {
+		t.Fatalf("warming run: %v", err)
+	}
+
+	cp, chains := prefixAndSnapshot(t, core.NewSession(), fc)
+	got := resumeObserved(t, warmed, cp, fc, chains)
+	requireRunsIdentical(t, "fork across shapes", fresh, got)
+}
+
+// TestForkCANBusJitter forks a run whose communication fabric draws
+// per-message jitter from a registered random stream: the continuation
+// constructs a fresh bus, and the rewind must make it reproduce the exact
+// jitter sequence the replayed run would draw. This is the stream-fidelity
+// gate for RunConfig.Rands.
+func TestForkCANBusJitter(t *testing.T) {
+	mkBus := func() core.RunConfig {
+		cfg := SimAcceleration(core.ModeAutoE2E, 4)
+		b := bus.NewCANBus(200*simtime.Microsecond, 150*simtime.Microsecond, 11)
+		cfg.LinkDelay = b.Delay
+		cfg.Rands = []*simtime.Rand{b.Rand()}
+		return cfg
+	}
+	fc := forkCase{
+		name:   "CANBus",
+		mk:     mkBus,
+		forkAt: simtime.At(23).Add(500 * simtime.Millisecond),
+		mutate: func(st *taskmodel.State) {
+			st.SetRateFloor(workload.SimStability, 30)
+		},
+	}
+	fresh := freshWithFork(t, fc)
+	cp, chains := prefixAndSnapshot(t, core.NewSession(), fc)
+	got := resumeObserved(t, core.NewSession(), cp, fc, chains)
+	requireRunsIdentical(t, "fork with CAN jitter", fresh, got)
+}
+
+// TestForkGoldenFuzz sweeps randomized scenario/seed/fork-time triples —
+// fork instants deliberately not aligned to control periods — through the
+// restore-into-fresh-session path. Any snapshot field not captured, any
+// stream not rewound, any event mis-ordered shows up as a byte diff.
+func TestForkGoldenFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fork fuzz sweep is slow")
+	}
+	rng := simtime.NewRand(19)
+	const rounds = 8
+	for round := 0; round < rounds; round++ {
+		seed := int64(rng.Intn(1000)) + 1
+		var fc forkCase
+		switch rng.Intn(3) {
+		case 0:
+			factor := 1.0 + rng.Float64()
+			fc.mk = func() core.RunConfig { return Motivation(factor, seed) }
+			fc.forkAt = simtime.At(2).Add(simtime.Duration(rng.Intn(26_000_000))) // (2 s, 28 s) in µs
+			fc.mutate = func(st *taskmodel.State) { st.SetRate(workload.SimPathTracking, 38) }
+		case 1:
+			fc.mk = func() core.RunConfig { return TestbedRestore(seed) }
+			fc.forkAt = simtime.At(5).Add(simtime.Duration(rng.Intn(110_000_000))) // (5 s, 115 s)
+			fc.mutate = func(st *taskmodel.State) { st.SetRateFloor(workload.TestbedSteerCtrl, 17) }
+		default:
+			mode := core.ModeEUCON
+			if rng.Intn(2) == 1 {
+				mode = core.ModeAutoE2E
+			}
+			fc.mk = func() core.RunConfig { return SimAcceleration(mode, seed) }
+			fc.forkAt = simtime.At(3).Add(simtime.Duration(rng.Intn(54_000_000))) // (3 s, 57 s)
+			fc.mutate = func(st *taskmodel.State) { st.SetRateFloor(workload.SimACC, 32) }
+		}
+		fresh := freshWithFork(t, fc)
+		cp, chains := prefixAndSnapshot(t, core.NewSession(), fc)
+		got := resumeObserved(t, core.NewSession(), cp, fc, chains)
+		requireRunsIdentical(t, "fork fuzz round", fresh, got)
+	}
+}
+
+// TestRunTreeGolden drives the whole-campaign API: every fork's result must
+// match its fresh full run, and the results must be invariant to the worker
+// count. (Chain logs are pinned by the direct fork tests; RunTree results
+// carry traces, counters and final state.)
+func TestRunTreeGolden(t *testing.T) {
+	mk := func() core.RunConfig { return SimAcceleration(core.ModeAutoE2E, 6) }
+	forkAt := simtime.At(30)
+	forks := []core.Fork{
+		{Mutate: func(st *taskmodel.State) { st.SetRateFloor(workload.SimACC, 30) }},
+		{Mutate: func(st *taskmodel.State) { st.SetRateFloor(workload.SimABS, 110) }},
+		{}, // no divergence: must still equal the un-mutated full run
+		{
+			Mutate: func(st *taskmodel.State) { st.SetRateFloor(workload.SimStability, 28) },
+			Events: []core.Event{{At: simtime.At(45), Do: func(st *taskmodel.State) {
+				st.SetRateFloor(workload.SimStability, 22)
+			}}},
+		},
+	}
+
+	runCampaign := func(workers int) []*core.RunResult {
+		results, err := core.RunTree(core.TreeConfig{
+			Base:    mk,
+			ForkAt:  forkAt,
+			Forks:   forks,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("RunTree(workers=%d): %v", workers, err)
+		}
+		return results
+	}
+	serial := runCampaign(1)
+	parallelRes := runCampaign(4)
+
+	for fi, fork := range forks {
+		cfg := mk()
+		if fork.Mutate != nil {
+			cfg.Events = append(cfg.Events, core.Event{At: forkAt, Do: fork.Mutate})
+		}
+		cfg.Events = append(cfg.Events, fork.Events...)
+		res, err := core.Run(cfg)
+		if err != nil {
+			t.Fatalf("fresh run for fork %d: %v", fi, err)
+		}
+		fresh := observe(t, res, nil)
+		requireRunsIdentical(t, "fork (serial campaign)", fresh, observe(t, serial[fi], nil))
+		requireRunsIdentical(t, "fork (parallel campaign)", fresh, observe(t, parallelRes[fi], nil))
+	}
+}

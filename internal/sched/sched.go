@@ -365,7 +365,7 @@ func linkReleaseEvent(now simtime.Time, arg any) {
 func (s *Scheduler) getChain() *chain {
 	c := s.freeChain
 	if c == nil {
-		c = &chain{s: s} //lint:allow hotpathalloc pool refill when empty; steady state recycles via putChain
+		c = &chain{s: s, poolIdx: int32(len(s.allChains))} //lint:allow hotpathalloc pool refill when empty; steady state recycles via putChain
 		s.allChains = append(s.allChains, c)
 		return c
 	}
@@ -388,7 +388,7 @@ func (s *Scheduler) putChain(c *chain) {
 func (s *Scheduler) getJob() *job {
 	j := s.freeJob
 	if j == nil {
-		j = &job{} //lint:allow hotpathalloc pool refill when empty; steady state recycles via putJob
+		j = &job{poolIdx: int32(len(s.allJobs))} //lint:allow hotpathalloc pool refill when empty; steady state recycles via putJob
 		s.allJobs = append(s.allJobs, j)
 		return j
 	}
@@ -577,6 +577,11 @@ type chain struct {
 	pendingEv    simtime.EventID
 	pendingStage int
 	nextFree     *chain
+	// poolIdx is this chain's stable position in the allChains registry,
+	// assigned once at allocation. Snapshots encode chain cross-references
+	// (job→chain, engine event args) as pool indices so a checkpoint can
+	// be rebound to a different session's pools.
+	poolIdx int32
 }
 
 // job is one released subtask instance awaiting or receiving CPU time.
@@ -590,6 +595,9 @@ type job struct {
 	seq       uint64  // FIFO tie-break
 	index     int     // position in the ready heap; -1 when not queued
 	nextFree  *job
+	// poolIdx is this job's stable position in the allJobs registry,
+	// assigned once at allocation; see chain.poolIdx.
+	poolIdx int32
 }
 
 func (j *job) String() string {

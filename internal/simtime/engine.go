@@ -34,6 +34,7 @@ type eventSlot struct {
 	seq     uint64 // FIFO tie-break among simultaneous events
 	gen     uint32 // bumped on release; stale IDs fail the generation check
 	heapIdx int32  // position in the index heap, -1 when not queued
+	pre     bool   // pre-band: orders before non-pre events at the same instant
 	fn      EventFunc
 	call    CallFunc
 	arg     any
@@ -77,6 +78,7 @@ func (e *Engine) Reset() {
 		s := &e.slots[i]
 		s.gen++
 		s.heapIdx = -1
+		s.pre = false
 		s.fn, s.call, s.arg = nil, nil, nil
 	}
 	e.heap = e.heap[:0]
@@ -105,7 +107,7 @@ func (e *Engine) Schedule(at Time, fn EventFunc) EventID {
 	if fn == nil {
 		panic("simtime: schedule with nil EventFunc") //lint:allow panicguard nil callback is a caller bug; failing loudly beats a silent lost event
 	}
-	return e.enqueue(at, fn, nil, nil)
+	return e.enqueue(at, fn, nil, nil, false)
 }
 
 // ScheduleCall enqueues fn(at, arg) to run at the given absolute instant.
@@ -116,7 +118,26 @@ func (e *Engine) ScheduleCall(at Time, fn CallFunc, arg any) EventID {
 	if fn == nil {
 		panic("simtime: schedule with nil CallFunc") //lint:allow panicguard nil callback is a caller bug; failing loudly beats a silent lost event
 	}
-	return e.enqueue(at, nil, fn, arg)
+	return e.enqueue(at, nil, fn, arg, false)
+}
+
+// ScheduleCallPre enqueues fn(at, arg) in the pre-band of the given instant:
+// it runs before every non-pre event scheduled at the same time, regardless
+// of scheduling order. Within the pre-band, FIFO order still applies.
+//
+// The pre-band exists for configured scenario events. A fresh run schedules
+// them before the simulation starts, so their sequence numbers are globally
+// minimal and they naturally run first at their instants; a *resumed* run
+// (Session.Resume after Restore) injects new scenario events with sequence
+// numbers above everything the prefix scheduled. Pre-band ordering makes the
+// injected event sort exactly where the fresh run's schedule would put it —
+// after earlier configured events at the instant, before runtime events —
+// which is what fork-vs-replay byte-identity requires.
+func (e *Engine) ScheduleCallPre(at Time, fn CallFunc, arg any) EventID {
+	if fn == nil {
+		panic("simtime: schedule with nil CallFunc") //lint:allow panicguard nil callback is a caller bug; failing loudly beats a silent lost event
+	}
+	return e.enqueue(at, nil, fn, arg, true)
 }
 
 // After enqueues fn to run d after the current instant.
@@ -139,7 +160,7 @@ func (e *Engine) AfterCall(d Duration, fn CallFunc, arg any) EventID {
 }
 
 // enqueue places one event into a recycled (or fresh) slot and the heap.
-func (e *Engine) enqueue(at Time, fn EventFunc, call CallFunc, arg any) EventID {
+func (e *Engine) enqueue(at Time, fn EventFunc, call CallFunc, arg any, pre bool) EventID {
 	if at < e.now {
 		panic(fmt.Sprintf("simtime: schedule at %v before now %v", at, e.now)) //lint:allow hotpathalloc,panicguard panic-path boxing; scheduling in the past silently reorders causality
 	}
@@ -153,7 +174,7 @@ func (e *Engine) enqueue(at Time, fn EventFunc, call CallFunc, arg any) EventID 
 		idx = uint32(len(e.slots) - 1)
 	}
 	s := &e.slots[idx]
-	s.at, s.seq = at, e.nextSeq
+	s.at, s.seq, s.pre = at, e.nextSeq, pre
 	s.fn, s.call, s.arg = fn, call, arg
 	e.heapPush(idx)
 	return EventID(uint64(idx+1) | uint64(s.gen)<<32)
@@ -166,6 +187,7 @@ func (e *Engine) release(idx uint32) {
 	s := &e.slots[idx]
 	s.gen++
 	s.heapIdx = -1
+	s.pre = false
 	s.fn, s.call, s.arg = nil, nil, nil
 	e.free = append(e.free, idx)
 }
@@ -229,6 +251,33 @@ func (e *Engine) Run(until Time) {
 	}
 	if !e.stopped && e.now < until {
 		e.now = until
+	}
+}
+
+// RunBefore executes events in timestamp order while the next event is
+// strictly before t, leaving every event at or after t pending. Unlike Run
+// it never advances the clock past the last executed event: the caller is
+// about to snapshot or resume, and the continuation — not the prefix —
+// decides how far the clock ultimately moves. Stop works as in Run.
+//
+//lint:certify noalloc,nopanic,deterministic prefix drain for Snapshot: same slot recycling as Run, stops strictly before t, no clock clamp
+func (e *Engine) RunBefore(t Time) {
+	e.stopped = false
+	for !e.stopped && len(e.heap) > 0 {
+		idx := e.heap[0]
+		s := &e.slots[idx]
+		if s.at >= t {
+			return
+		}
+		at, fn, call, arg := s.at, s.fn, s.call, s.arg
+		e.heapPopTop()
+		e.release(idx)
+		e.now = at
+		if call != nil {
+			call(at, arg) //lint:hookpoint scheduled callbacks are certified at their own trampoline roots, not through the drain loop
+		} else {
+			fn(at) //lint:hookpoint scheduled callbacks are certified at their own trampoline roots, not through the drain loop
+		}
 	}
 }
 
@@ -297,13 +346,17 @@ func (e *Engine) Every(period Duration, fn EventFunc) (stop func()) {
 
 // --- index heap ordered by (at, seq) ---
 
-// less orders slot indices by event time, FIFO within an instant. The
-// (at, seq) key is unique per event, so the pop order — and therefore the
-// whole simulation — is a total order independent of heap layout.
+// less orders slot indices by event time, pre-band before non-pre within an
+// instant, FIFO within a band. The (at, pre, seq) key is unique per event
+// (seq alone is), so the pop order — and therefore the whole simulation —
+// is a total order independent of heap layout.
 func (e *Engine) less(a, b uint32) bool {
 	sa, sb := &e.slots[a], &e.slots[b]
 	if sa.at != sb.at {
 		return sa.at < sb.at
+	}
+	if sa.pre != sb.pre {
+		return sa.pre
 	}
 	return sa.seq < sb.seq
 }

@@ -281,3 +281,85 @@ func TestCorruptInputs(t *testing.T) {
 		t.Error("bad run marker accepted")
 	}
 }
+
+// TestRunIntoRecycles: one Run value reused across runs of different
+// shapes must parse each correctly — the recycled header scratch from a
+// wider run must not leak stale series into a narrower one.
+func TestRunIntoRecycles(t *testing.T) {
+	var file bytes.Buffer
+	w := NewWriter(&file)
+	recs := []*trace.Recorder{
+		sampleRecorder(1, 20),
+		trace.NewRecorder(), // empty run: zero series
+		sampleRecorder(9, 5),
+	}
+	for _, rec := range recs {
+		if err := w.WriteRun(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewReader(file.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run *Run
+	dst := trace.NewRecorder()
+	for i, rec := range recs {
+		run, err = r.RunInto(i, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run.DecodeInto(dst); err != nil {
+			t.Fatal(err)
+		}
+		var want, got bytes.Buffer
+		if err := rec.WriteCSV(&want); err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.WriteCSV(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("run %d: decoded CSV diverged through recycled Run", i)
+		}
+		if names := rec.Names(); len(names) > 0 && run.Name(0) != names[0] {
+			t.Fatalf("run %d: Name(0) = %q, want %q", i, run.Name(0), names[0])
+		}
+	}
+}
+
+// TestDecodeSteadyStateAllocs is the allocation gate for the read path:
+// once a recycled Run and destination recorder have seen a run's shape,
+// re-parsing headers and decoding every column must allocate nothing —
+// a campaign scan's per-run cost is decode work, not garbage.
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	rec := sampleRecorder(4, 60)
+	var file bytes.Buffer
+	if err := NewWriter(&file).WriteRun(rec); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(file.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := r.Run(0) // sizing pass for the header scratch
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := trace.NewRecorder()
+	if err := run.DecodeInto(dst); err != nil { // sizing pass for dst
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		run, err = r.RunInto(0, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run.DecodeInto(dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state decode allocates %.1f times per run, want 0", allocs)
+	}
+}

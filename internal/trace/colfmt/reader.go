@@ -59,8 +59,19 @@ func (r *Reader) RunSize(i int) int {
 
 // Run parses run i's series headers and returns a view of it. Columns
 // stay encoded until Columns or DecodeInto asks for them.
-func (r *Reader) Run(i int) (*Run, error) {
-	run := &Run{data: r.data}
+func (r *Reader) Run(i int) (*Run, error) { return r.RunInto(i, nil) }
+
+// RunInto parses run i into run, recycling its header scratch, and
+// returns it; a nil run builds a fresh view (Run semantics). Campaign
+// scans that walk many runs pass one Run value through every iteration —
+// after the first run has sized the header slice, re-parsing is
+// allocation-free.
+func (r *Reader) RunInto(i int, run *Run) (*Run, error) {
+	if run == nil {
+		run = &Run{}
+	}
+	run.data = r.data
+	run.series = run.series[:0]
 	off := r.runs[i] + 1 // past the run marker, validated at index time
 	nSeries, off, err := uvarintAt(r.data, off)
 	if err != nil {
@@ -96,9 +107,15 @@ type Run struct {
 func (run *Run) NumSeries() int { return len(run.series) }
 
 // Name returns series j's name.
-func (run *Run) Name(j int) string {
+func (run *Run) Name(j int) string { return string(run.NameBytes(j)) }
+
+// NameBytes returns series j's name as a view into the trace bytes —
+// no copy, valid for as long as the Reader's data. Decoders use it with
+// Recorder.HandleBytes to resolve interned series without per-series
+// string garbage.
+func (run *Run) NameBytes(j int) []byte {
 	h := run.series[j]
-	return string(run.data[h.nameOff : h.nameOff+h.nameLen])
+	return run.data[h.nameOff : h.nameOff+h.nameLen]
 }
 
 // Len reports series j's sample count without decoding it.
@@ -124,7 +141,7 @@ func (run *Run) Columns(j int, ts, vs []float64) (t, v []float64, err error) {
 func (run *Run) DecodeInto(rec *trace.Recorder) error {
 	rec.Reset()
 	for j, h := range run.series {
-		s := rec.Handle(run.Name(j))
+		s := rec.HandleBytes(run.NameBytes(j))
 		ts, err := decodeTimeColumn(run.data, h.tOff, h.tLen, h.n, s.T[:0])
 		if err != nil {
 			return err

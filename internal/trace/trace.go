@@ -113,6 +113,19 @@ func (r *Recorder) Handle(name string) *Series {
 	return s
 }
 
+// HandleBytes is Handle keyed by a byte-slice view of the name. The
+// steady-state path — name already interned — goes through the
+// compiler-recognized m[string(b)] lookup form and allocates nothing;
+// only a first encounter copies the bytes into a permanent string.
+// Decoders that read names as views into an encoded trace rebuild
+// recorders through it without per-series string garbage.
+func (r *Recorder) HandleBytes(name []byte) *Series {
+	if s, ok := r.series[string(name)]; ok {
+		return s
+	}
+	return r.Handle(string(name))
+}
+
 // Add appends a sample to the named series, creating it on first use.
 func (r *Recorder) Add(name string, t, v float64) {
 	r.Handle(name).Add(t, v)

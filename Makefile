@@ -32,12 +32,13 @@ lint:
 # bench times the control-plane hot paths — the combined inner+outer
 # controller tick, the Equation-8 knapsack ablation, the constrained
 # least-squares kernel, the raw scheduler throughput, the fleet-scale
-# batch runtime (fresh vs reused-session vs streaming runs/sec) and the
-# columnar trace codec (campaign bytes per retained run) — and records
-# ns/op, B/op, allocs/op plus every custom b.ReportMetric figure in
-# BENCH_control.json so both speed and memory-discipline regressions show
-# up in review diffs.
-BENCH_SET = BenchmarkControllerOverhead|BenchmarkAblationKnapsackOrder|BenchmarkBoxLSQ|BenchmarkSchedulerThroughput|BenchmarkSchedulerSteadyState|BenchmarkFleetThroughput|BenchmarkTraceEncode|BenchmarkTraceDecode|BenchmarkForkFanout|BenchmarkSnapshotRestore|BenchmarkLintLoader
+# batch runtime (fresh vs reused-session vs streaming runs/sec), the
+# serving layer (admission + batching + warm-session requests/sec with
+# p50/p95/p99 latency, per core count) and the columnar trace codec
+# (campaign bytes per retained run) — and records ns/op, B/op, allocs/op
+# plus every custom b.ReportMetric figure in BENCH_control.json so both
+# speed and memory-discipline regressions show up in review diffs.
+BENCH_SET = BenchmarkControllerOverhead|BenchmarkAblationKnapsackOrder|BenchmarkBoxLSQ|BenchmarkSchedulerThroughput|BenchmarkSchedulerSteadyState|BenchmarkFleetThroughput|BenchmarkServeThroughput|BenchmarkTraceEncode|BenchmarkTraceDecode|BenchmarkForkFanout|BenchmarkSnapshotRestore|BenchmarkLintLoader
 bench:
 	@out="$$($(GO) test -run '^$$' -bench '^($(BENCH_SET))$$' -benchmem .)"; \
 	echo "$$out"; \

@@ -13,6 +13,9 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -27,6 +30,7 @@ import (
 	"github.com/autoe2e/autoe2e/internal/precision"
 	"github.com/autoe2e/autoe2e/internal/scenario"
 	"github.com/autoe2e/autoe2e/internal/sched"
+	"github.com/autoe2e/autoe2e/internal/serve"
 	"github.com/autoe2e/autoe2e/internal/simtime"
 	"github.com/autoe2e/autoe2e/internal/stats"
 	"github.com/autoe2e/autoe2e/internal/taskmodel"
@@ -275,7 +279,11 @@ func BenchmarkControllerOverhead(b *testing.B) {
 // is hoisted out of the timed loop — each iteration resets the engine,
 // state, and scheduler in place and replays the 10-second workload, so
 // ns/op prices the simulation itself and allocs/op its steady state
-// (construction used to mask it at 134 allocs/op).
+// (construction used to mask it at 134 allocs/op). One untimed warm
+// replay precedes ResetTimer so first-replay growth — event pools, the
+// arena, the counters slice — never bleeds into the timed window: the
+// steady-state figures are exactly 0 allocs/op and 0 B/op, not an
+// amortized near-zero.
 func BenchmarkSchedulerThroughput(b *testing.B) {
 	b.ReportAllocs()
 	cfg := sched.Config{Exec: exectime.Nominal{}}
@@ -284,8 +292,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	s := sched.New(eng, st, cfg)
 	var counters []sched.TaskCounter
 	var released uint64
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	replay := func() {
 		eng.Reset()
 		st.Reset()
 		s.Reset(cfg)
@@ -297,6 +304,12 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 			released += c.Released
 		}
 	}
+	replay()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay()
+	}
+	b.StopTimer()
 	b.ReportMetric(float64(released), "chains_per_10s")
 }
 
@@ -774,6 +787,85 @@ func BenchmarkFleetThroughput(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs_per_sec")
 	})
+}
+
+// BenchmarkServeThroughput prices the serving layer end to end: each
+// iteration is one request through the full admission + batching + warm
+// session + colfmt serialization pipeline (serve.Execute — HTTP framing
+// excluded, everything the batcher controls included). Closed-loop clients
+// keep the queue fed so batches coalesce as they do under live load, and
+// the server's own registry supplies the latency percentiles the /v1/metrics
+// endpoint would report. Sub-benchmarks pin the worker count: cores=1 is
+// the honest single-core figure every machine records; the multi-core point
+// only exists where the hardware does (the ≥2x scaling acceptance runs
+// there), so a 1-core CI box records cores=1 rather than a fake scaled
+// number.
+func BenchmarkServeThroughput(b *testing.B) {
+	var seedCounter atomic.Int64
+	bench := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			srv := serve.NewServer(serve.Options{Workers: workers})
+			defer srv.Close()
+			oneReq := func(resp *serve.Response) bool {
+				spec := serve.RunSpec{
+					Workload:  serve.WorkloadSpec{Name: "testbed"},
+					DurationS: 2,
+					Noise:     serve.NoiseSpec{Spread: 0.05, Seed: seedCounter.Add(1)},
+					Trace:     serve.TraceColfmt,
+				}
+				for {
+					srv.Execute(&spec, resp)
+					switch resp.Status {
+					case 200:
+						return true
+					case 429:
+						// Closed loop briefly overran the queue; the retry
+						// re-enters admission once the worker drains a batch.
+						continue
+					default:
+						b.Errorf("status %d: %s", resp.Status, resp.Body)
+						return false
+					}
+				}
+			}
+			// Warm every worker's session concurrently before the timer so
+			// the benchmark prices the steady state, not shape rebuilds.
+			var wg sync.WaitGroup
+			for i := 0; i < 4*workers; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var resp serve.Response
+					oneReq(&resp)
+				}()
+			}
+			wg.Wait()
+			if b.Failed() {
+				b.FailNow()
+			}
+			b.SetParallelism(4)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var resp serve.Response
+				for pb.Next() {
+					if !oneReq(&resp) {
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			m := srv.Metrics()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs_per_sec")
+			b.ReportMetric(float64(m.Percentile(0.50))/1e6, "p50_ms")
+			b.ReportMetric(float64(m.Percentile(0.95))/1e6, "p95_ms")
+			b.ReportMetric(float64(m.Percentile(0.99))/1e6, "p99_ms")
+		}
+	}
+	b.Run("cores=1", bench(1))
+	if n := runtime.NumCPU(); n >= 2 {
+		b.Run(fmt.Sprintf("cores=%d", n), bench(n))
+	}
 }
 
 // BenchmarkForkFanout is the branching-campaign headline: the same N-branch

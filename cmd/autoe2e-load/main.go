@@ -1,0 +1,185 @@
+// Command autoe2e-load drives an autoe2e-serve instance and reports
+// client-observed throughput and latency percentiles. Two shapes:
+//
+// Closed loop (concurrency sweep): -conc holds a fixed number of in-flight
+// requests per phase and sweeps a comma-separated ladder — the saturation
+// measurement (runs/sec at the knee is the server's capacity).
+//
+// Open loop (arrival rate): -rate issues requests on a fixed schedule
+// regardless of completions — the overload measurement (429 counts and
+// tail latency under a rate the server cannot absorb).
+//
+// Usage:
+//
+//	autoe2e-load [-url http://localhost:8080] [-workload testbed]
+//	             [-mode autoe2e] [-duration-s 0.05] [-spread 0.1]
+//	             -conc 1,2,4,8 [-for 5s]
+//	autoe2e-load -rate 2000 [-for 5s]
+//
+// Output is one CSV row per phase:
+//
+//	phase,load,sent,ok,rejected,errors,runs_per_sec,p50_ms,p95_ms,p99_ms
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type phaseStats struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+
+	sent     atomic.Int64
+	ok       atomic.Int64
+	rejected atomic.Int64
+	errs     atomic.Int64
+}
+
+func (st *phaseStats) record(d time.Duration) {
+	st.mu.Lock()
+	st.latencies = append(st.latencies, d)
+	st.mu.Unlock()
+}
+
+func (st *phaseStats) percentileMs(p float64) float64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.latencies) == 0 {
+		return 0
+	}
+	sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+	idx := int(p * float64(len(st.latencies)))
+	if idx >= len(st.latencies) {
+		idx = len(st.latencies) - 1
+	}
+	return float64(st.latencies[idx]) / float64(time.Millisecond)
+}
+
+// shoot issues one request and records its outcome. The seed argument
+// varies the noise stream so sweeps exercise distinct runs.
+func shoot(client *http.Client, url string, body []byte, st *phaseStats) {
+	st.sent.Add(1)
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		st.errs.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		st.ok.Add(1)
+		st.record(time.Since(t0))
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		st.rejected.Add(1)
+	default:
+		st.errs.Add(1)
+	}
+}
+
+func report(phase, load string, st *phaseStats, elapsed time.Duration) {
+	rps := float64(st.ok.Load()) / elapsed.Seconds()
+	fmt.Printf("%s,%s,%d,%d,%d,%d,%.0f,%.3f,%.3f,%.3f\n",
+		phase, load, st.sent.Load(), st.ok.Load(), st.rejected.Load(), st.errs.Load(),
+		rps, st.percentileMs(0.50), st.percentileMs(0.95), st.percentileMs(0.99))
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("autoe2e-load: ")
+	baseURL := flag.String("url", "http://localhost:8080", "server base URL")
+	workload := flag.String("workload", "testbed", "workload name (testbed, simulation, synthetic)")
+	ecus := flag.Int("ecus", 0, "synthetic workload ECUs")
+	tasks := flag.Int("tasks", 0, "synthetic workload tasks")
+	mode := flag.String("mode", "autoe2e", "middleware mode (open, eucon, autoe2e)")
+	durationS := flag.Float64("duration-s", 0.05, "simulated run length per request")
+	spread := flag.Float64("spread", 0.1, "noise spread; each request draws a fresh seed")
+	trace := flag.String("trace", "summary", "response body (summary or colfmt)")
+	conc := flag.String("conc", "", "closed loop: comma-separated concurrency ladder")
+	rate := flag.Float64("rate", 0, "open loop: request arrival rate per second")
+	dur := flag.Duration("for", 5*time.Second, "wall time per phase")
+	flag.Parse()
+	if (*conc == "") == (*rate == 0) {
+		log.Fatal("set exactly one of -conc (closed loop) and -rate (open loop)")
+	}
+
+	url := *baseURL + "/v1/run"
+	specFor := func(seed int64) []byte {
+		var b bytes.Buffer
+		fmt.Fprintf(&b, `{"workload":{"name":%q`, *workload)
+		if *workload == "synthetic" {
+			fmt.Fprintf(&b, `,"seed":1,"ecus":%d,"tasks":%d`, *ecus, *tasks)
+		}
+		fmt.Fprintf(&b, `},"mode":%q,"duration_s":%g,"trace":%q`, *mode, *durationS, *trace)
+		if *spread > 0 {
+			fmt.Fprintf(&b, `,"noise":{"spread":%g,"seed":%d}`, *spread, seed)
+		}
+		b.WriteByte('}')
+		return b.Bytes()
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        1024,
+		MaxIdleConnsPerHost: 1024,
+	}}
+
+	fmt.Println("phase,load,sent,ok,rejected,errors,runs_per_sec,p50_ms,p95_ms,p99_ms")
+
+	if *rate > 0 {
+		st := &phaseStats{}
+		var wg sync.WaitGroup
+		var seed atomic.Int64
+		interval := time.Duration(float64(time.Second) / *rate)
+		deadline := time.Now().Add(*dur)
+		start := time.Now()
+		tick := time.NewTicker(interval)
+		for now := range tick.C {
+			if now.After(deadline) {
+				break
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				shoot(client, url, specFor(seed.Add(1)), st)
+			}()
+		}
+		tick.Stop()
+		wg.Wait()
+		report("open", strconv.FormatFloat(*rate, 'g', -1, 64), st, time.Since(start))
+		return
+	}
+
+	for _, field := range strings.Split(*conc, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || c <= 0 {
+			log.Fatalf("bad -conc entry %q", field)
+		}
+		st := &phaseStats{}
+		var seed atomic.Int64
+		deadline := time.Now().Add(*dur)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < c; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					shoot(client, url, specFor(seed.Add(1)), st)
+				}
+			}()
+		}
+		wg.Wait()
+		report("closed", strconv.Itoa(c), st, time.Since(start))
+	}
+}

@@ -1,0 +1,78 @@
+// Command autoe2e-serve runs the simulation-as-a-service server: an
+// HTTP/JSON front end over the zero-allocation session runtime. Requests
+// are coalesced into per-worker batches (size/max-wait flush), admission
+// is bounded with explicit 429 backpressure, and SIGINT/SIGTERM drains
+// every accepted request before exit.
+//
+// Usage:
+//
+//	autoe2e-serve [-addr :8080] [-workers N] [-batch 16] [-maxwait 2ms] [-queue N]
+//
+// Endpoints:
+//
+//	POST /v1/run     {"workload":{"name":"testbed"},"duration_s":0.2}
+//	POST /v1/sweep   {"base":{...,"noise":{"spread":0.1}},"count":32}
+//	GET  /v1/metrics per-stage latency percentiles + counters, CSV
+//	GET  /v1/healthz liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/autoe2e/autoe2e/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("autoe2e-serve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "session workers (default GOMAXPROCS)")
+	batch := flag.Int("batch", 0, "max batch size before flush (default 16)")
+	maxWait := flag.Duration("maxwait", 0, "max batch wait before flush (default 2ms)")
+	queue := flag.Int("queue", 0, "admission queue depth (default 4*workers*batch)")
+	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Options{
+		Workers:    *workers,
+		MaxBatch:   *batch,
+		MaxWait:    *maxWait,
+		QueueDepth: *queue,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("%v: draining", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain the batch runtime so
+	// every request a handler admitted gets its response written.
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	log.Print("drained")
+}

@@ -173,8 +173,8 @@ func Run(cfg RunConfig) (*RunResult, error) {
 
 // RunStream executes the experiments produced by next — pulled on demand,
 // so the config list never needs to exist in memory at once — over a pool
-// of reusable Sessions, one per worker, and streams the outcomes to
-// onResult in input order. It is the fleet-scale batch runner: sessions
+// of reusable Sessions, one per parallel.Stream slot, and streams the
+// outcomes to onResult in input order. It is the fleet-scale batch runner: sessions
 // are recycled across RunStream calls, so once the process has seen a
 // campaign's shape, whole batches — including the first run of each
 // worker — allocate approximately nothing.
@@ -182,8 +182,8 @@ func Run(cfg RunConfig) (*RunResult, error) {
 // onResult is called serially, in input order, exactly once per config,
 // with either a result or an error (never both non-nil). The *RunResult is
 // owned by a session and valid only during the callback — it is overwritten
-// by that worker's next run. Callers that retain results must Clone them
-// (or CloneInto a recycled slot of their own).
+// once that session serves a later run. Callers that retain results must
+// Clone them (or CloneInto a recycled slot of their own).
 // workers <= 0 means parallel.Workers(); workers == 1 runs serially on one
 // session. Results are byte-identical for every worker count.
 func RunStream(next func() (RunConfig, bool), workers int, onResult func(i int, r *RunResult, err error)) {
@@ -194,7 +194,10 @@ func RunStream(next func() (RunConfig, bool), workers int, onResult func(i int, 
 		res *RunResult
 		err error
 	}
-	sessions := make([]*Session, workers)
+	// One session per Stream slot, not per worker: a result stays parked in
+	// its slot's session until the ordered emit reaches it, while the worker
+	// moves on to the next item with a different slot's session.
+	sessions := make([]*Session, parallel.Slots(workers))
 	checkoutSessions(sessions)
 	completed := false
 	defer func() {
@@ -205,11 +208,11 @@ func RunStream(next func() (RunConfig, bool), workers int, onResult func(i int, 
 		}
 	}()
 	parallel.Stream(next, workers,
-		func(worker, _ int, cfg RunConfig) outcome {
-			s := sessions[worker]
+		func(slot, _ int, cfg RunConfig) outcome {
+			s := sessions[slot]
 			if s == nil {
 				s = NewSession()
-				sessions[worker] = s
+				sessions[slot] = s
 			}
 			res, err := s.Run(cfg)
 			return outcome{res, err}

@@ -89,7 +89,10 @@ func RunTreeInto(tc TreeConfig, recycle []*RunResult) ([]*RunResult, error) {
 		workers = len(tc.Forks)
 	}
 
-	sessions := make([]*Session, workers)
+	// Sized to the Stream slot count: each in-flight fork owns its slot's
+	// session until its ordered emit, so results survive out-of-order
+	// completion without cloning.
+	sessions := make([]*Session, parallel.Slots(workers))
 	checkoutSessions(sessions)
 	completed := false
 	defer func() {
@@ -132,11 +135,11 @@ func RunTreeInto(tc TreeConfig, recycle []*RunResult) ([]*RunResult, error) {
 		err error
 	}
 	parallel.Stream(next, workers,
-		func(worker, _ int, i int) outcome {
-			s := sessions[worker]
+		func(slot, _ int, i int) outcome {
+			s := sessions[slot]
 			if s == nil {
 				s = NewSession()
-				sessions[worker] = s
+				sessions[slot] = s
 			}
 			if err := s.Restore(cp); err != nil {
 				return outcome{nil, err}

@@ -14,6 +14,7 @@
 package exectime
 
 import (
+	"math"
 	"sort"
 
 	"github.com/autoe2e/autoe2e/internal/simtime"
@@ -169,6 +170,21 @@ func NewNoise(inner Model, spread float64, seed int64) *Noise {
 // Rands implements RandCarrier: the wrapped model's streams followed by
 // this layer's own.
 func (n *Noise) Rands() []*simtime.Rand { return append(RandsOf(n.inner), n.rng) }
+
+// Reseed re-parameterizes the model in place: the spread is replaced and
+// the stream rewound to what a fresh NewNoise(inner, spread, seed) would
+// draw, without allocating or panicking (it runs on serving hot paths).
+// The caller owns the NewNoise spread contract (0 ≤ spread < 1); out-of-
+// range values are clamped to the nearest valid spread.
+func (n *Noise) Reseed(spread float64, seed int64) {
+	if spread < 0 {
+		spread = 0
+	} else if spread >= 1 {
+		spread = math.Nextafter(1, 0)
+	}
+	n.spread = spread
+	n.rng.Reseed(seed)
+}
 
 // Demand implements Model.
 func (n *Noise) Demand(sys *taskmodel.System, ref taskmodel.SubtaskRef, now simtime.Time, ratio units.Ratio) simtime.Duration {

@@ -549,6 +549,14 @@ var externalExact = map[string]callgraph.Effect{
 	"os.Getenv":    callgraph.WallClock,
 	"os.LookupEnv": callgraph.WallClock,
 
+	// Varint codec entry points the colfmt encoders sit on. AppendUvarint
+	// only grows its destination slice (alloc on growth, never a panic);
+	// Uvarint reports malformed input through a non-positive length, not a
+	// panic. PutUvarint keeps the package default: it indexes a
+	// caller-sized buffer and does panic when it is short.
+	"encoding/binary.AppendUvarint": callgraph.Allocates,
+	"encoding/binary.Uvarint":       0,
+
 	// Methods on an explicitly-seeded *rand.Rand are deterministic; only
 	// the package-level functions draw from the global source (see the
 	// math/rand package default). NormFloat64/Float64 never allocate;

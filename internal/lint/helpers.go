@@ -13,6 +13,15 @@ func isInternalPkg(path string) bool {
 	return strings.Contains(path, "/internal/") || strings.HasSuffix(path, "/internal")
 }
 
+// isWallClockPkg reports whether the import path is sanctioned for
+// wall-clock time use: internal/serve (and its subpackages) runs on real
+// time by design — flush timers, latency histograms, Retry-After — while
+// simulation time stays inside the sessions it drives.
+func isWallClockPkg(path string) bool {
+	return strings.HasSuffix(path, "/internal/serve") ||
+		strings.Contains(path, "/internal/serve/")
+}
+
 // simPkgSegments are the internal packages where simtime.Duration is the
 // required currency for durations.
 var simPkgSegments = map[string]bool{

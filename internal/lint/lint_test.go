@@ -247,8 +247,8 @@ func TestAllowHygiene(t *testing.T) {
 const (
 	repoAllowCount     = 76 // updated by TestAnnotationInventory's failure output
 	repoStickyCount    = 26 // +2: checkpoint warm state (recycled capture scratch)
-	repoNoallocCount   = 21 // +2: colfmt column encoders (stdlib callees block certify)
-	repoCertifyCount   = 18 // +1: simtime.Engine.RunBefore (the snapshot prefix drain)
+	repoNoallocCount   = 27 // +6: serve serialize/metrics leaves, colfmt.AppendMagic + AppendRun (stdlib append callees block certify)
+	repoCertifyCount   = 19 // +1: serve.Registry.observe (per-request metrics fold)
 	repoHookpointCount = 20
 )
 

@@ -23,6 +23,13 @@ var wallClockFuncs = map[string]bool{
 // must come from the simtime engine and randomness from
 // simtime.NewRand(seed); environment variables must not select behaviour,
 // because a replayed seed would no longer replay the run.
+//
+// One package is sanctioned for wall-clock use: internal/serve, the
+// network-facing batch server, whose batch flush timers, latency metrics
+// and Retry-After estimates are *about* wall time. The exemption covers
+// only the time-package check — math/rand and env-branching stay forbidden
+// there, and simulation results must remain a pure function of the request
+// (the serve golden tests pin that).
 var NoDeterminism = &Analyzer{
 	Name: "nodeterminism",
 	Doc:  "forbid wall-clock time, global math/rand, and env-driven branching in simulation code",
@@ -43,7 +50,7 @@ func runNoDeterminism(pass *Pass) {
 				}
 				switch pkgPath {
 				case "time":
-					if wallClockFuncs[name] {
+					if wallClockFuncs[name] && !isWallClockPkg(pass.PkgPath) {
 						pass.Reportf(v.Pos(), "wall-clock time.%s is forbidden in simulation code; schedule on the simtime engine instead", name)
 					}
 				case "math/rand", "math/rand/v2":

@@ -2,24 +2,52 @@ package parallel
 
 import "sync"
 
+// Slots returns the number of output slots Stream uses for the given
+// worker count: the per-slot scratch a caller shards (sessions, reusable
+// result storage) must be sized to Slots(workers), not workers.
+//
+// Slots exceeds workers by half: the spare slots are what detaches
+// processing from ordered emission. A worker whose output is still
+// waiting for its emit turn parks it in a spare slot and immediately
+// pulls the next item instead of stalling behind the head of the line;
+// with zero spares every out-of-order completion would idle its worker
+// until all earlier outputs drained (the head-of-line stall the fleet
+// benchmarks measured against Session's unordered baseline).
+func Slots(workers int) int {
+	if workers <= 1 {
+		return 1
+	}
+	return workers + (workers+1)/2
+}
+
 // Stream pulls items from next until it reports exhaustion, processes each
 // with fn on one of at most `workers` goroutines, and hands every output to
 // emit serially in input order. It is the pool for pipelines whose outputs
-// live in per-worker reusable storage: a worker blocks after fn until its
-// output's turn to emit has passed, so emit always observes the output
-// before the worker that produced it can overwrite it with its next item.
+// live in per-slot reusable storage: an output stays parked in its slot
+// from the moment fn produces it until emit has observed it, so emit always
+// sees the output before the slot is recycled for a later item.
 //
-// fn receives the worker index (0 ≤ worker < workers) for sharding mutable
-// scratch — worker w is the only goroutine ever passed that index, so
-// scratch[w] needs no locking. The item index counts from 0 in pull order.
-// next and emit are always called serially (never concurrently with
-// themselves or each other), so they may close over shared state freely.
+// fn receives a slot index (0 ≤ slot < Slots(workers)) for sharding mutable
+// scratch — a slot is owned exclusively from the pull of its item until
+// that item's output is emitted, and ownership hand-offs are ordered by the
+// pool's internal lock, so scratch[slot] needs no further synchronization.
+// Unlike a worker index, the same goroutine may use different slots for
+// successive items: slots above the worker count let a worker park a
+// completed output that is still waiting for its emit turn and keep
+// processing instead of stalling behind the slowest predecessor. The item
+// index counts from 0 in pull order. next and emit are always called
+// serially (never concurrently with themselves or each other), so they may
+// close over shared state freely.
+//
+// Emission is chained: the worker that completes the output at the front
+// of the emit line drains every consecutive ready output in one pass,
+// freeing their slots for waiting workers.
 //
 // workers <= 1 runs everything serially in the calling goroutine. Panics
 // from next, fn or emit follow the package contract: the first recovered
 // value re-panics in the calling goroutine after all workers have drained,
 // and remaining items are abandoned.
-func Stream[I, O any](next func() (I, bool), workers int, fn func(worker, index int, item I) O, emit func(index int, out O)) {
+func Stream[I, O any](next func() (I, bool), workers int, fn func(slot, index int, item I) O, emit func(index int, out O)) {
 	if workers <= 1 {
 		for i := 0; ; i++ {
 			item, ok := next()
@@ -30,19 +58,34 @@ func Stream[I, O any](next func() (I, bool), workers int, fn func(worker, index 
 		}
 	}
 
+	// Reorder ring: at most numSlots items are in flight (each holds a
+	// slot from pull to emit), and every in-flight index lies in
+	// [emitIdx, emitIdx+numSlots), so position idx%numSlots never
+	// collides.
+	type parked struct {
+		out   O
+		slot  int
+		ready bool
+	}
+	numSlots := Slots(workers)
 	var (
 		mu       sync.Mutex
-		cond     = sync.Cond{L: &mu}
+		slotFree = sync.Cond{L: &mu}
 		wg       sync.WaitGroup
+		ring     = make([]parked, numSlots)
+		free     = make([]int, numSlots)
 		nextIdx  int
 		emitIdx  int
 		aborted  bool
 		panicVal any
 		panicked bool
 	)
+	for s := range free {
+		free[s] = s
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(worker int) {
+		go func() {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -51,45 +94,73 @@ func Stream[I, O any](next func() (I, bool), workers int, fn func(worker, index 
 						panicked, panicVal = true, r
 					}
 					aborted = true
-					cond.Broadcast()
+					slotFree.Broadcast()
 					mu.Unlock()
 				}
 			}()
 			for {
-				mu.Lock()
-				if aborted {
-					mu.Unlock()
-					return
-				}
-				item, ok := next()
-				if !ok {
-					mu.Unlock()
-					return
-				}
-				idx := nextIdx
-				nextIdx++
-				mu.Unlock()
-
-				out := fn(worker, idx, item)
-
-				mu.Lock()
-				for emitIdx != idx && !aborted {
-					cond.Wait()
-				}
-				if aborted {
-					mu.Unlock()
-					return
-				}
-				func() {
-					// Unlock via defer so a panicking emit still releases
-					// the mutex before the worker's recover needs it.
+				// The pull runs under a defer-unlock closure so a panicking
+				// next still releases the mutex before the worker's recover
+				// needs it.
+				item, idx, slot, ok := func() (item I, idx, slot int, ok bool) {
+					mu.Lock()
 					defer mu.Unlock()
-					emit(idx, out)
-					emitIdx++
-					cond.Broadcast()
+					for len(free) == 0 && !aborted {
+						slotFree.Wait()
+					}
+					if aborted {
+						return item, 0, 0, false
+					}
+					slot = free[len(free)-1]
+					free = free[:len(free)-1]
+					item, ok = next()
+					if !ok {
+						free = append(free, slot)
+						slotFree.Signal()
+						return item, 0, 0, false
+					}
+					idx = nextIdx
+					nextIdx++
+					return item, idx, slot, true
 				}()
+				if !ok {
+					return
+				}
+
+				out := fn(slot, idx, item)
+
+				mu.Lock()
+				if aborted {
+					mu.Unlock()
+					return
+				}
+				e := &ring[idx%numSlots]
+				e.out, e.slot, e.ready = out, slot, true
+				if idx == emitIdx {
+					// This output is the head of the line: drain the chain
+					// of consecutive ready outputs. Unlock via defer so a
+					// panicking emit still releases the mutex before the
+					// worker's recover needs it.
+					func() {
+						defer mu.Unlock()
+						for {
+							h := &ring[emitIdx%numSlots]
+							if !h.ready {
+								return
+							}
+							emit(emitIdx, h.out)
+							var zero O
+							h.out, h.ready = zero, false
+							free = append(free, h.slot)
+							slotFree.Signal()
+							emitIdx++
+						}
+					}()
+					continue
+				}
+				mu.Unlock()
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
 	if panicked {

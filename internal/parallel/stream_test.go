@@ -1,0 +1,251 @@
+package parallel
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSlots(t *testing.T) {
+	cases := []struct{ workers, want int }{
+		{-1, 1}, {0, 1}, {1, 1}, {2, 3}, {3, 5}, {4, 6}, {8, 12},
+	}
+	for _, c := range cases {
+		if got := Slots(c.workers); got != c.want {
+			t.Errorf("Slots(%d) = %d, want %d", c.workers, got, c.want)
+		}
+	}
+}
+
+// streamCollect runs Stream over items 0..n-1 with fn(item) = item*item and
+// returns the emitted (index, out) pairs in emission order.
+func streamCollect(n, workers int) (indices, outs []int) {
+	i := 0
+	next := func() (int, bool) {
+		if i >= n {
+			return 0, false
+		}
+		v := i
+		i++
+		return v, true
+	}
+	Stream(next, workers,
+		func(_, _ int, item int) int { return item * item },
+		func(idx, out int) {
+			indices = append(indices, idx)
+			outs = append(outs, out)
+		})
+	return indices, outs
+}
+
+func TestStreamOrderedEmission(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 4, 8} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			t.Run(fmt.Sprintf("workers=%d/n=%d", workers, n), func(t *testing.T) {
+				indices, outs := streamCollect(n, workers)
+				if len(indices) != n {
+					t.Fatalf("emitted %d outputs, want %d", len(indices), n)
+				}
+				for i := 0; i < n; i++ {
+					if indices[i] != i {
+						t.Fatalf("emission %d has index %d, want %d", i, indices[i], i)
+					}
+					if outs[i] != i*i {
+						t.Fatalf("out[%d] = %d, want %d", i, outs[i], i*i)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestStreamDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n = 256
+	_, serial := streamCollect(n, 1)
+	for _, workers := range []int{2, 3, 8} {
+		_, got := streamCollect(n, workers)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, serial = %d", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestStreamSlotExclusivity checks the ownership contract: a slot is held by
+// exactly one in-flight item from the pull of that item until its emission,
+// and slot indices stay below Slots(workers).
+func TestStreamSlotExclusivity(t *testing.T) {
+	const workers = 4
+	const n = 2000
+	numSlots := Slots(workers)
+	busy := make([]atomic.Int32, numSlots)
+	slotOf := make([]atomic.Int32, n)
+	var violations atomic.Int32
+	i := 0
+	next := func() (int, bool) {
+		if i >= n {
+			return 0, false
+		}
+		v := i
+		i++
+		return v, true
+	}
+	Stream(next, workers,
+		func(slot, idx int, item int) int {
+			if slot < 0 || slot >= numSlots {
+				violations.Add(1)
+				return item
+			}
+			if !busy[slot].CompareAndSwap(0, 1) {
+				violations.Add(1)
+			}
+			slotOf[idx].Store(int32(slot))
+			return item
+		},
+		func(idx int, _ int) {
+			// The slot is released only after emit returns; it must still be
+			// marked busy here, by this item.
+			s := slotOf[idx].Load()
+			if !busy[s].CompareAndSwap(1, 0) {
+				violations.Add(1)
+			}
+		})
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d slot-ownership violations", v)
+	}
+}
+
+// TestStreamNoHeadOfLineStall pins the property this design exists for: a
+// slow item at the front of the emit line must not prevent workers from
+// processing items beyond it. Item 0 blocks until items 1 AND 2 have both
+// been processed — with only two workers that requires the second worker to
+// park item 1's output and pull item 2, which per-worker storage (the old
+// design) cannot do.
+func TestStreamNoHeadOfLineStall(t *testing.T) {
+	done1 := make(chan struct{})
+	done2 := make(chan struct{})
+	finished := make(chan struct{})
+	var emitted []int
+	go func() {
+		defer close(finished)
+		i := 0
+		next := func() (int, bool) {
+			if i >= 3 {
+				return 0, false
+			}
+			v := i
+			i++
+			return v, true
+		}
+		Stream(next, 2,
+			func(_, _ int, item int) int {
+				switch item {
+				case 0:
+					<-done1
+					<-done2
+				case 1:
+					close(done1)
+				case 2:
+					close(done2)
+				}
+				return item
+			},
+			func(_ int, out int) { emitted = append(emitted, out) })
+	}()
+	select {
+	case <-finished:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stream stalled: slow head-of-line item blocked later items")
+	}
+	if len(emitted) != 3 || emitted[0] != 0 || emitted[1] != 1 || emitted[2] != 2 {
+		t.Fatalf("emitted %v, want [0 1 2]", emitted)
+	}
+}
+
+// TestStreamOutputParkedUntilEmit checks that per-slot reusable scratch is
+// safe: fn writes the item's value into its slot's scratch and returns a
+// pointer to it; emit must always observe the value for its own index, which
+// holds only if the slot is not recycled before emission.
+func TestStreamOutputParkedUntilEmit(t *testing.T) {
+	const workers = 4
+	const n = 2000
+	scratch := make([]int, Slots(workers))
+	i := 0
+	next := func() (int, bool) {
+		if i >= n {
+			return 0, false
+		}
+		v := i
+		i++
+		return v, true
+	}
+	Stream(next, workers,
+		func(slot, _ int, item int) *int {
+			scratch[slot] = item
+			return &scratch[slot]
+		},
+		func(idx int, out *int) {
+			if *out != idx {
+				t.Errorf("emit %d observed scratch value %d", idx, *out)
+			}
+		})
+}
+
+func TestStreamPanicPropagation(t *testing.T) {
+	sources := []struct {
+		name string
+		run  func()
+	}{
+		{"fn", func() {
+			i := 0
+			next := func() (int, bool) { i++; return i, i <= 100 }
+			Stream(next, 3,
+				func(_, _ int, item int) int {
+					if item == 7 {
+						panic("boom-fn")
+					}
+					return item
+				},
+				func(int, int) {})
+		}},
+		{"next", func() {
+			i := 0
+			next := func() (int, bool) {
+				i++
+				if i == 5 {
+					panic("boom-next")
+				}
+				return i, true
+			}
+			Stream(next, 3, func(_, _ int, item int) int { return item }, func(int, int) {})
+		}},
+		{"emit", func() {
+			i := 0
+			next := func() (int, bool) { i++; return i, i <= 100 }
+			Stream(next, 3,
+				func(_, _ int, item int) int { return item },
+				func(idx int, _ int) {
+					if idx == 3 {
+						panic("boom-emit")
+					}
+				})
+		}},
+	}
+	for _, src := range sources {
+		t.Run(src.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("panic did not propagate to the caller")
+				}
+				want := "boom-" + src.name
+				if s, ok := r.(string); !ok || s != want {
+					t.Fatalf("recovered %v, want %q", r, want)
+				}
+			}()
+			src.run()
+		})
+	}
+}

@@ -1,0 +1,518 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/autoe2e/autoe2e/internal/core"
+	"github.com/autoe2e/autoe2e/internal/exectime"
+	"github.com/autoe2e/autoe2e/internal/parallel"
+	"github.com/autoe2e/autoe2e/internal/trace/colfmt"
+)
+
+// Options tunes the batch runtime. The zero value of every field selects
+// its default.
+type Options struct {
+	// Workers is the number of session workers (default parallel.Workers(),
+	// i.e. GOMAXPROCS). Each worker owns warm core.Sessions keyed by
+	// workload shape and runs one batch at a time.
+	Workers int
+	// MaxBatch is the batch size that forces an immediate flush
+	// (default 16).
+	MaxBatch int
+	// MaxWait is the longest an open batch waits for co-batchable requests
+	// before flushing anyway (default 2ms). Under light load a fresh batch
+	// dispatches immediately when a worker is idle; MaxWait only prices
+	// coalescing when all workers are busy.
+	MaxWait time.Duration
+	// QueueDepth bounds admission: the hard cap on requests accepted but
+	// not yet picked up by the dispatcher (default 4×Workers×MaxBatch).
+	// Beyond it the server answers 429 + Retry-After — backpressure is
+	// explicit, memory is bounded.
+	QueueDepth int
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = parallel.Workers()
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 16
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers * o.MaxBatch
+	}
+	return o
+}
+
+// nominalModel is the shared noise-free execution model. Hoisted so the
+// hot path assigns a prebuilt interface value instead of converting
+// (escape analysis charges the conversion to the converting frame).
+var nominalModel exectime.Model = exectime.Nominal{}
+
+// sweepParent fans a sweep request into per-seed pendings and joins them:
+// the worker finishing the last child signals done exactly once.
+type sweepParent struct {
+	children  []*pending
+	remaining atomic.Int32
+	done      chan struct{}
+}
+
+// pending is one admitted run riding through the batcher. It is pooled:
+// the handler that enqueued it waits on done, consumes buf, and returns it
+// to the pool. Workers never touch a pending after signalling it.
+type pending struct {
+	// resolved request (immutable after enqueue)
+	res        resolved
+	standalone bool // colfmt body carries its own file magic (single runs)
+
+	// response (written by the worker, read by the handler after done)
+	buf    []byte
+	status int
+	errMsg string
+	timing Timing
+
+	// lifecycle
+	tEnqueue time.Time
+	tBatch   time.Time
+	done     chan struct{} // cap 1; unused when parent is set
+	parent   *sweepParent
+}
+
+// batch is a flush unit: same-shape pendings that run back-to-back on one
+// worker's warm session.
+type batch struct {
+	shape shapeKey
+	items []*pending
+}
+
+// Server is the batch runtime: a bounded admission queue feeding a
+// dispatcher that coalesces same-shape requests into batches, which
+// session-owning workers drain. It serves both the HTTP handlers
+// (server.go) and the in-process Execute path the benchmarks drive.
+type Server struct {
+	opts    Options
+	metrics Registry
+
+	// used counts admission reservations (queued requests not yet picked
+	// up by the dispatcher); it is CASed against QueueDepth so admit sends
+	// never block once a reservation is held.
+	used  atomic.Int64
+	admit chan *pending
+	work  chan *batch
+
+	// drainMu serializes admission against shutdown: enqueue holds the
+	// read side across the reservation + send, Shutdown takes the write
+	// side to flip draining and close admit exactly once.
+	drainMu  sync.RWMutex
+	draining bool
+
+	wg          sync.WaitGroup
+	pendingPool sync.Pool
+	batchPool   sync.Pool
+}
+
+// NewServer starts the batch runtime: one dispatcher plus opts.Workers
+// session workers. Stop it with Shutdown (drains) or Close.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		admit: make(chan *pending, opts.QueueDepth),
+		work:  make(chan *batch),
+	}
+	s.pendingPool.New = func() any {
+		return &pending{done: make(chan struct{}, 1)}
+	}
+	s.batchPool.New = func() any {
+		return &batch{items: make([]*pending, 0, opts.MaxBatch)}
+	}
+	s.wg.Add(1 + opts.Workers)
+	go s.dispatch()
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the server's aggregate registry.
+func (s *Server) Metrics() *Registry { return &s.metrics }
+
+// getPending checks a reset pending out of the pool.
+func (s *Server) getPending() *pending {
+	p := s.pendingPool.Get().(*pending)
+	p.res = resolved{}
+	p.standalone = false
+	p.buf = p.buf[:0]
+	p.status = 0
+	p.errMsg = ""
+	p.timing = Timing{}
+	p.parent = nil
+	return p
+}
+
+// putPending returns a consumed pending; the caller must be done with buf.
+func (s *Server) putPending(p *pending) {
+	s.pendingPool.Put(p)
+}
+
+// tryReserve claims n admission slots, all or nothing.
+func (s *Server) tryReserve(n int64) bool {
+	for {
+		used := s.used.Load()
+		if used+n > int64(s.opts.QueueDepth) {
+			return false
+		}
+		if s.used.CompareAndSwap(used, used+n) {
+			return true
+		}
+	}
+}
+
+// retryAfterS estimates how long a rejected client should back off: the
+// queue's current occupancy times the smoothed per-run wall time, spread
+// over the workers, clamped to [1s, 60s].
+func (s *Server) retryAfterS() int {
+	ewma := s.metrics.runEWMA.Load()
+	if ewma <= 0 {
+		return 1
+	}
+	ns := s.used.Load() * ewma / int64(s.opts.Workers)
+	sec := int(ns / 1e9)
+	if sec < 1 {
+		return 1
+	}
+	if sec > 60 {
+		return 60
+	}
+	return sec
+}
+
+// enqueue errors classify admission failures onto HTTP statuses.
+var (
+	errQueueFull = errors.New("serve: admission queue full")
+	errDraining  = errors.New("serve: server is draining")
+)
+
+// enqueue admits one pending (reservation + queue send) or reports why it
+// cannot. On success the batcher owns p until it signals done.
+func (s *Server) enqueue(p *pending) error {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		s.metrics.unavail.Add(1)
+		return errDraining
+	}
+	if !s.tryReserve(1) {
+		s.metrics.rejected.Add(1)
+		return errQueueFull
+	}
+	p.tEnqueue = time.Now()
+	s.metrics.accepted.Add(1)
+	s.admit <- p // cannot block: a reservation is held for this slot
+	return nil
+}
+
+// enqueueSweep admits a whole sweep atomically: either every child gets a
+// queue slot or none do — a half-admitted sweep would deadlock its handler.
+func (s *Server) enqueueSweep(parent *sweepParent) error {
+	n := len(parent.children)
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		s.metrics.unavail.Add(1)
+		return errDraining
+	}
+	if !s.tryReserve(int64(n)) {
+		s.metrics.rejected.Add(1)
+		return errQueueFull
+	}
+	parent.remaining.Store(int32(n))
+	now := time.Now()
+	s.metrics.accepted.Add(uint64(n))
+	for _, p := range parent.children {
+		p.tEnqueue = now
+		s.admit <- p
+	}
+	return nil
+}
+
+// dispatch is the batcher core: it pulls admitted pendings, groups them by
+// shape into open batches, and flushes a batch when it reaches MaxBatch,
+// when it has waited MaxWait, or — the idle fast path — immediately if a
+// worker is free the moment it opens. Open batches live in a slice (the
+// map is lookup-only) so flush order is deterministic arrival order.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	defer close(s.work)
+
+	var open []*batch
+	byShape := make(map[shapeKey]*batch)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	timerArmed := false
+	// opened tracks each open batch's birth for the MaxWait deadline,
+	// parallel to open.
+	var opened []time.Time
+
+	remove := func(i int) {
+		delete(byShape, open[i].shape)
+		copy(open[i:], open[i+1:])
+		copy(opened[i:], opened[i+1:])
+		open[len(open)-1] = nil
+		open = open[:len(open)-1]
+		opened = opened[:len(opened)-1]
+	}
+
+	flushDue := func(now time.Time) {
+		for i := 0; i < len(open); {
+			if now.Sub(opened[i]) < s.opts.MaxWait {
+				i++
+				continue
+			}
+			bt := open[i]
+			remove(i)
+			s.work <- bt
+		}
+		if len(open) > 0 && !timerArmed {
+			d := s.opts.MaxWait - now.Sub(opened[0])
+			if d < 0 {
+				d = 0
+			}
+			timer.Reset(d)
+			timerArmed = true
+		}
+	}
+
+	for {
+		select {
+		case p, ok := <-s.admit:
+			if !ok {
+				// Draining: flush every open batch in arrival order, then
+				// stop. Workers finish the remaining work before close(work)
+				// releases them.
+				if timerArmed && !timer.Stop() {
+					<-timer.C
+				}
+				for len(open) > 0 {
+					bt := open[0]
+					remove(0)
+					s.work <- bt
+				}
+				return
+			}
+			s.used.Add(-1)
+			now := time.Now()
+			p.timing.QueueWaitNs = now.Sub(p.tEnqueue).Nanoseconds()
+			p.tBatch = now
+			bt := byShape[p.res.shape]
+			if bt == nil {
+				bt = s.batchPool.Get().(*batch)
+				bt.shape = p.res.shape
+				bt.items = append(bt.items[:0], p)
+				// Idle-worker fast path: a free worker takes the fresh
+				// batch immediately — no MaxWait tax when there is no
+				// contention to amortize.
+				select {
+				case s.work <- bt:
+					continue
+				default:
+				}
+				byShape[p.res.shape] = bt
+				open = append(open, bt)
+				opened = append(opened, now)
+				if !timerArmed {
+					timer.Reset(s.opts.MaxWait)
+					timerArmed = true
+				}
+				continue
+			}
+			bt.items = append(bt.items, p)
+			if len(bt.items) >= s.opts.MaxBatch {
+				for i := range open {
+					if open[i] == bt {
+						remove(i)
+						break
+					}
+				}
+				s.work <- bt
+			}
+		case now := <-timer.C:
+			timerArmed = false
+			flushDue(now)
+		}
+	}
+}
+
+// worker drains batches: it owns one warm core.Session per workload shape
+// and one reusable noise model, so a warm request runs with the session's
+// zero-allocation steady state and serializes into the pending's recycled
+// buffer.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	sessions := make(map[shapeKey]*core.Session)
+	noise := exectime.NewNoise(exectime.Nominal{}, 0, 0)
+	for bt := range s.work {
+		// One session lookup per batch: every item shares the batch's shape,
+		// so the whole batch runs back-to-back on one warm session.
+		sess := sessions[bt.shape]
+		if sess == nil {
+			sess = core.NewSession()
+			sessions[bt.shape] = sess
+		}
+		for i, p := range bt.items {
+			bt.items[i] = nil
+			s.serveOne(sess, noise, p)
+		}
+		bt.items = bt.items[:0]
+		s.batchPool.Put(bt)
+	}
+}
+
+// serveOne runs one pending to completion: simulate, serialize, record
+// metrics, signal the waiter. The pending must not be touched afterwards —
+// signalling transfers ownership back to the handler.
+//
+// serveOne is deliberately NOT an effects //lint:certify root: the session
+// warm path it rides is certified at its own roots (core.runWarm /
+// core.execute), but a shape miss legitimately routes through the
+// allocating rebuild path, so a transitive noalloc contract here would be
+// a lie. The serve layer's own guarantees are pinned instead by the
+// per-function //lint:noalloc markers on its serialize/metrics leaves
+// (escape-replay verified), the //lint:certify root on Registry.observe,
+// and the steady-state allocation gate in serve_test.go.
+func (s *Server) serveOne(sess *core.Session, noise *exectime.Noise, p *pending) {
+	if p.res.gate != nil {
+		<-p.res.gate
+	}
+	start := time.Now()
+	p.timing.BatchWaitNs = start.Sub(p.tBatch).Nanoseconds()
+
+	exec := nominalModel
+	if p.res.noiseOn {
+		noise.Reseed(p.res.noise.Spread, p.res.noise.Seed)
+		exec = noise
+	}
+	res, err := sess.Run(core.RunConfig{
+		System:     p.res.sys,
+		Exec:       exec,
+		Middleware: core.Config{Mode: p.res.mode},
+		Duration:   p.res.duration,
+	})
+	tRun := time.Now()
+	p.timing.RunNs = tRun.Sub(start).Nanoseconds()
+
+	if err != nil {
+		p.status = 500
+		p.errMsg = err.Error()
+		p.buf = appendError(p.buf[:0], p.errMsg, 0)
+		s.metrics.runErrors.Add(1)
+	} else {
+		p.status = 200
+		p.buf = p.buf[:0]
+		if p.res.colfmt {
+			if p.standalone {
+				p.buf = colfmt.AppendMagic(p.buf)
+			}
+			p.buf = colfmt.AppendRun(p.buf, res.Trace)
+			p.timing.SerializeNs = time.Since(tRun).Nanoseconds()
+		} else {
+			p.buf = append(p.buf, `{"summary":`...)
+			p.buf = appendSummary(p.buf, p.res.mode, p.res.durationS, res)
+			// SerializeNs covers the summary encode; the timing block that
+			// reports it is appended after the clock is read.
+			p.timing.SerializeNs = time.Since(tRun).Nanoseconds()
+			p.buf = append(p.buf, `,"timing_ns":`...)
+			p.buf = appendTiming(p.buf, p.timing)
+			p.buf = append(p.buf, '}')
+		}
+	}
+
+	s.metrics.observe(p.timing)
+	s.metrics.completed.Add(1)
+	if p.parent != nil {
+		if p.parent.remaining.Add(-1) == 0 {
+			p.parent.done <- struct{}{}
+		}
+		return
+	}
+	p.done <- struct{}{}
+}
+
+// Shutdown stops admission (new requests get 503) and drains: every
+// accepted request runs to completion and its waiter is signalled before
+// Shutdown returns. The context bounds the wait; on expiry workers keep
+// draining in the background but Shutdown reports ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.admit)
+	}
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close is Shutdown without a deadline.
+func (s *Server) Close() error { return s.Shutdown(context.Background()) }
+
+// Response is the caller-owned result slot of the in-process Execute path.
+// Body is recycled across calls; Status mirrors the HTTP handler's code.
+type Response struct {
+	Status int
+	Body   []byte
+	Timing Timing
+}
+
+// Execute runs one spec through the full admission + batch + session
+// pipeline without HTTP framing: the alloc-gate tests and the serve
+// benchmark drive this to measure the runtime itself. resp is reused —
+// Body keeps its backing array across calls.
+func (s *Server) Execute(spec *RunSpec, resp *Response) {
+	r, err := resolve(spec)
+	if err != nil {
+		resp.Status = 400
+		resp.Body = appendError(resp.Body[:0], err.Error(), 0)
+		resp.Timing = Timing{}
+		return
+	}
+	p := s.getPending()
+	p.res = r
+	p.standalone = true
+	if err := s.enqueue(p); err != nil {
+		s.putPending(p)
+		if errors.Is(err, errDraining) {
+			resp.Status = 503
+			resp.Body = appendError(resp.Body[:0], err.Error(), 0)
+		} else {
+			resp.Status = 429
+			resp.Body = appendError(resp.Body[:0], err.Error(), s.retryAfterS())
+		}
+		resp.Timing = Timing{}
+		return
+	}
+	<-p.done
+	resp.Status = p.status
+	resp.Body = append(resp.Body[:0], p.buf...)
+	resp.Timing = p.timing
+	s.putPending(p)
+}

@@ -79,6 +79,13 @@ func NewRand(seed int64) *Rand {
 	return r
 }
 
+// Reseed rewinds the generator to the state a fresh NewRand(seed) would
+// start from, without allocating. All distribution state lives in the
+// four-word source (see the type comment), so the reseeded stream is
+// sample-for-sample identical to a new Rand's. Long-running services use
+// this to serve per-request seeds from one retained stream.
+func (r *Rand) Reseed(seed int64) { r.x.seed(seed) }
+
 // State returns the complete generator state. The returned value is a plain
 // array copy owned by the caller.
 func (r *Rand) State() RandState { return r.x.s }

@@ -46,6 +46,17 @@ import "fmt"
 // magic identifies a columnar trace file: AutoE2E Trace, Columnar, v1.
 const magic = "ATC1"
 
+// MagicLen is the length of the file magic AppendMagic writes.
+const MagicLen = len(magic)
+
+// AppendMagic appends the 4-byte file magic onto dst and returns the
+// extended buffer. Streaming producers — the serve HTTP path writes colfmt
+// bodies straight from request buffers — use it to open a well-formed
+// stream before the first AppendRun record.
+//
+//lint:noalloc appends into a caller-grown buffer
+func AppendMagic(dst []byte) []byte { return append(dst, magic...) }
+
 // runMarker starts every run record; future record kinds get new markers.
 const runMarker = 'R'
 

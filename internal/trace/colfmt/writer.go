@@ -42,6 +42,8 @@ func appendValueColumn(dst []byte, vs []float64) []byte {
 // the core encoder: once dst has grown to a campaign's working size,
 // appending further runs allocates nothing. The file magic is not
 // included; see Writer for whole files.
+//
+//lint:noalloc appends into a caller-grown buffer; the series closures stay on the stack
 func AppendRun(dst []byte, rec *trace.Recorder) []byte {
 	nSeries := 0
 	rec.EachSeries(func(*trace.Series) { nSeries++ })
